@@ -1,0 +1,30 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark runs one experiment driver exactly once under
+pytest-benchmark's timer (``rounds=1``) — the interesting output is the
+reproduced figure/table itself, which is printed so that
+``pytest benchmarks/ --benchmark-only`` leaves a full paper-vs-measured record
+in the captured output (see ``bench_output.txt`` / ``EXPERIMENTS.md``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_experiment_once(benchmark, driver, **kwargs):
+    """Run an experiment driver once under the benchmark timer and print it."""
+    result = benchmark.pedantic(lambda: driver(**kwargs), rounds=1, iterations=1)
+    print()
+    print(result.to_markdown())
+    return result
+
+
+@pytest.fixture
+def experiment(benchmark):
+    """Fixture form of :func:`run_experiment_once`."""
+
+    def _run(driver, **kwargs):
+        return run_experiment_once(benchmark, driver, **kwargs)
+
+    return _run

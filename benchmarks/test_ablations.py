@@ -1,0 +1,40 @@
+"""Ablation benches for the design choices called out in DESIGN.md."""
+
+from repro.experiments import (
+    run_ablation_buffer_size,
+    run_ablation_delivery_mode,
+    run_ablation_gpu_sharing,
+    run_ablation_producer_batch,
+    run_ablation_rubberband,
+)
+
+
+def test_ablation_buffer_size(experiment):
+    result = experiment(run_ablation_buffer_size)
+    by_size = {row["buffer_size"]: row["aggregate_samples_per_s"] for row in result.rows}
+    assert by_size[2] >= 0.95 * max(by_size.values())
+
+
+def test_ablation_gpu_sharing(experiment):
+    result = experiment(run_ablation_gpu_sharing)
+    assert (
+        result.row_where(sharing_mode="mps")["aggregate_samples_per_s"]
+        >= result.row_where(sharing_mode="multi_stream")["aggregate_samples_per_s"]
+    )
+
+
+def test_ablation_delivery_mode(experiment):
+    result = experiment(run_ablation_delivery_mode)
+    assert all(row["reduction_factor"] > 1000 for row in result.rows)
+
+
+def test_ablation_producer_batch(experiment):
+    result = experiment(run_ablation_producer_batch)
+    assert all(row["bound_holds"] for row in result.rows)
+
+
+def test_ablation_rubberband(experiment):
+    result = experiment(run_ablation_rubberband)
+    assert result.row_where(window_fraction=0.02, join_after_batches=5)[
+        "batches_until_training_starts"
+    ] == 0

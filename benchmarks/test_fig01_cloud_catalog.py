@@ -1,0 +1,17 @@
+"""Figure 1 + Table 2: the cloud-instance catalogue and evaluation machines."""
+
+from repro.experiments import run_figure1, run_table2
+
+
+def test_fig01_cloud_catalog(experiment):
+    result = experiment(run_figure1)
+    aws = result.row_where(provider="aws")
+    # The paper's motivation: most offerings sit at modest vCPU:GPU ratios.
+    assert aws["share_at_or_below_12"] >= 0.4
+
+
+def test_tab02_machine_catalog(experiment):
+    result = experiment(run_table2)
+    assert result.row_where(instance="g5.8xlarge")["cost_per_hour"] > result.row_where(
+        instance="g5.2xlarge"
+    )["cost_per_hour"]

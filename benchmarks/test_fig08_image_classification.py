@@ -1,0 +1,13 @@
+"""Figure 8: image classification, 4-way collocation on the A100 server."""
+
+from repro.experiments import run_figure8
+
+
+def test_fig08_image_classification(experiment):
+    result = experiment(run_figure8)
+    # Shape checks from the paper: MobileNet S ~2x, MobileNet L unaffected,
+    # CPU freed across the board.
+    assert result.row_where(model="MobileNet S")["speedup"] > 1.7
+    assert abs(result.row_where(model="MobileNet L")["speedup"] - 1.0) < 0.1
+    for row in result.rows:
+        assert row["shared_cpu_percent"] < row["non_shared_cpu_percent"]

@@ -1,0 +1,9 @@
+"""Figure 9: throughput vs. collocation degree for MobileNet S and L."""
+
+from repro.experiments import run_figure9
+
+
+def test_fig09_collocation_degree(experiment):
+    result = experiment(run_figure9)
+    small = [r for r in result.rows if r["model"] == "MobileNet S"]
+    assert small[-1]["shared_samples_per_s"] > 1.5 * small[-1]["non_shared_samples_per_s"]

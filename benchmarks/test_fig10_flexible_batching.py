@@ -1,0 +1,10 @@
+"""Figure 10: default vs. flexible batch sizing on the H100 server."""
+
+from repro.experiments import run_figure10
+
+
+def test_fig10_flexible_batching(experiment):
+    result = experiment(run_figure10)
+    default = result.row_where(mode="default")["aggregate_samples_per_s"]
+    flexible = result.row_where(mode="flexible")["aggregate_samples_per_s"]
+    assert flexible > 0.85 * default

@@ -1,0 +1,11 @@
+"""Figure 11: CLMR audio classification on AWS G5 instances."""
+
+from repro.experiments import run_figure11
+from repro.experiments.audio_classification import cost_saving_summary
+
+
+def test_fig11_audio_classification(experiment):
+    result = experiment(run_figure11)
+    summary = cost_saving_summary(result)
+    print(f"\ncost saving summary: {summary}")
+    assert summary["cost_saving_percent"] > 40

@@ -1,0 +1,9 @@
+"""Figure 12: online DALL-E 2 training with shared CLIP inference."""
+
+from repro.experiments import run_figure12
+
+
+def test_fig12_image_generation(experiment):
+    result = experiment(run_figure12)
+    quad = result.row_where(collocation_degree=4)
+    assert 1.05 < quad["aggregate_speedup"] < 1.35

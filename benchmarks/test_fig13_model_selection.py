@@ -1,0 +1,10 @@
+"""Figure 13: mixed workload (RegNetX 2 + RegNetX 4) on AWS G5 instances."""
+
+from repro.experiments import run_figure13
+
+
+def test_fig13_model_selection(experiment):
+    result = experiment(run_figure13)
+    shared_small = result.row_where(instance="g5.2xlarge", strategy="tensorsocket")
+    nonshared_large = result.row_where(instance="g5.8xlarge", strategy="none")
+    assert shared_small["aggregate_samples_per_s"] > 0.9 * nonshared_large["aggregate_samples_per_s"]

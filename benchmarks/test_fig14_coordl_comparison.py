@@ -1,0 +1,10 @@
+"""Figure 14: CoorDL vs. TensorSocket vs. baseline scaling."""
+
+from repro.experiments import run_figure14
+
+
+def test_fig14_coordl_comparison(experiment):
+    result = experiment(run_figure14)
+    row = result.row_where(collocation_degree=4)
+    assert row["baseline_throughput_x"] < 0.35
+    assert row["coordl_cpu_x"] > row["tensorsocket_cpu_x"]

@@ -1,0 +1,14 @@
+"""Figure 15: Joader vs. TensorSocket vs. baseline on the H100 server."""
+
+from repro.experiments import run_figure15
+
+
+def test_fig15_joader_comparison(experiment):
+    result = experiment(run_figure15)
+    for row in result.rows:
+        if row["collocation_degree"] > 1:
+            assert (
+                row["baseline_samples_per_s"]
+                < row["joader_samples_per_s"]
+                < row["tensorsocket_samples_per_s"]
+            )

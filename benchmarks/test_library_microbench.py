@@ -1,0 +1,48 @@
+"""Micro-benchmarks of the real (non-simulated) library primitives.
+
+These measure the mechanisms Section 3.2.4 relies on: packing a batch into a
+pointer payload, rebuilding tensors from handles, and pushing batches through
+the in-process producer/consumer protocol end to end.
+"""
+
+import numpy as np
+
+from repro.core import ConsumerConfig, ProducerConfig, SharedLoaderSession
+from repro.data import DataLoader, SyntheticImageDataset
+from repro.data.transforms import Compose, DecodeJpeg, Normalize, ToTensor
+from repro.tensor import BatchPayload, SharedMemoryPool, from_numpy
+
+
+def test_payload_pack_unpack_throughput(benchmark):
+    pool = SharedMemoryPool()
+    images = pool.share_tensor(from_numpy(np.zeros((128, 3, 64, 64), dtype=np.float32)))
+    labels = pool.share_tensor(from_numpy(np.zeros(128, dtype=np.int64)))
+
+    def pack_and_unpack():
+        payload = BatchPayload.pack({"inputs": images, "targets": labels}, batch_index=0, epoch=0)
+        return payload.unpack(pool)
+
+    result = benchmark(pack_and_unpack)
+    assert result["inputs"].shares_memory_with(images)
+    pool.shutdown()
+
+
+def test_shared_loader_end_to_end_throughput(benchmark):
+    """One epoch through producer + consumer on the in-process transport."""
+
+    def one_epoch():
+        dataset = SyntheticImageDataset(64, image_size=16, payload_bytes=32)
+        pipeline = Compose([DecodeJpeg(height=16, width=16), Normalize(), ToTensor()])
+        loader = DataLoader(dataset, batch_size=16, transform=pipeline)
+        session = SharedLoaderSession(
+            loader, producer_config=ProducerConfig(epochs=1, poll_interval=0.002)
+        )
+        session.start()
+        consumer = session.consumer(ConsumerConfig(max_epochs=1, receive_timeout=20))
+        batches = sum(1 for _ in consumer)
+        consumer.close()
+        session.shutdown()
+        return batches
+
+    batches = benchmark.pedantic(one_epoch, rounds=3, iterations=1)
+    assert batches == 4

@@ -1,0 +1,11 @@
+"""Table 3: disk / PCIe / NVLink traffic and VRAM for 4x MobileNet L."""
+
+from repro.experiments import run_table3
+
+
+def test_tab03_data_movement(experiment):
+    result = experiment(run_table3)
+    baseline_disk = result.row_where(mode="baseline", gpu=0)["disk_mb_s"]
+    shared_disk = result.row_where(mode="shared", gpu=0)["disk_mb_s"]
+    assert shared_disk < baseline_disk / 3
+    assert result.row_where(mode="shared", gpu=1)["nvlink_mb_s"] > 100

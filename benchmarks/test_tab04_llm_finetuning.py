@@ -1,0 +1,10 @@
+"""Table 4: Qwen2.5-0.5B fine-tuning traffic and memory."""
+
+from repro.experiments import run_table4
+
+
+def test_tab04_llm_finetuning(experiment):
+    result = experiment(run_table4)
+    baseline = result.row_where(mode="baseline", gpu=0)["tokens_per_s"]
+    shared = result.row_where(mode="shared", role="consumer", gpu=1)["tokens_per_s"]
+    assert abs(shared - baseline) / baseline < 0.05

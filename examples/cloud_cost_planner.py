@@ -1,0 +1,63 @@
+"""Cloud cost planning with the collocation simulator.
+
+The paper's headline economic claim is that shared data loading lets a small,
+cheap cloud instance deliver the training throughput of a much larger one
+(Sections 4.3 and 4.5).  This example uses the same simulated hardware and
+collocation runner as the benchmark harness to answer a practical question:
+
+    "I want to run a 4-way hyper-parameter sweep of an input-bound model —
+     which AWS G5 instance should I rent, and should I share the loader?"
+
+Run with::
+
+    python examples/cloud_cost_planner.py
+"""
+
+from repro.experiments.harness import DATASET_BYTES
+from repro.hardware.instances import aws_g5_instances
+from repro.training import CollocationRunner, SharingStrategy, TrainingWorkload, get_model
+
+
+def plan(model_name: str = "CLMR", collocation: int = 4) -> None:
+    model = get_model(model_name)
+    print(f"Planning a {collocation}-way sweep of {model_name} "
+          f"({model.cpu_seconds_per_sample * 1e3:.0f} ms CPU per sample)")
+    print()
+    header = f"{'instance':<12} {'strategy':<13} {'agg samples/s':>14} {'CPU %':>7} " \
+             f"{'$/hour':>7} {'samples/$':>12}"
+    print(header)
+    print("-" * len(header))
+
+    best = None
+    for spec in aws_g5_instances():
+        for strategy in (SharingStrategy.NONE, SharingStrategy.TENSORSOCKET):
+            workloads = [
+                TrainingWorkload(model=model, gpu_index=0, name=f"{model.name}-{i}")
+                for i in range(collocation)
+            ]
+            result = CollocationRunner(
+                spec,
+                strategy=strategy,
+                total_loader_workers=spec.vcpus,
+                duration_s=90,
+                warmup_s=15,
+                dataset_bytes=DATASET_BYTES.get(model.dataset, None),
+            ).run(workloads)
+            samples_per_dollar = result.samples_per_dollar() or 0.0
+            print(f"{spec.name:<12} {str(strategy):<13} "
+                  f"{result.aggregate_samples_per_second:>14.1f} "
+                  f"{result.cpu_utilization_percent:>7.1f} "
+                  f"{spec.cost_per_hour:>7.2f} "
+                  f"{samples_per_dollar:>12.0f}")
+            if best is None or samples_per_dollar > best[2]:
+                best = (spec.name, strategy, samples_per_dollar,
+                        result.aggregate_samples_per_second)
+
+    print()
+    name, strategy, samples_per_dollar, aggregate = best
+    print(f"Most cost-efficient choice: {name} with strategy '{strategy}' "
+          f"({aggregate:.0f} samples/s, {samples_per_dollar:.0f} samples per dollar)")
+
+
+if __name__ == "__main__":
+    plan()

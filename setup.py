@@ -1,0 +1,4 @@
+"""Setuptools entry point (kept for environments without PEP 660 support)."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,49 @@
+"""Reproduction of *TensorSocket: Shared Data Loading for Deep Learning Training*.
+
+The package is organised as the paper's system plus every substrate it relies
+on (see ``DESIGN.md`` at the repository root for the full inventory):
+
+* :mod:`repro.tensor` — numpy-backed tensors, shared-memory pools and the
+  ``TensorPayload`` zero-copy handle mechanism.
+* :mod:`repro.messaging` — the ZeroMQ-style PUB/SUB, PUSH/PULL and heartbeat
+  channels the producer and consumers communicate over.
+* :mod:`repro.data` — datasets, samplers, transforms and the multi-worker
+  ``DataLoader`` the producer wraps.
+* :mod:`repro.core` — TensorSocket itself: ``TensorProducer``,
+  ``TensorConsumer`` and the policies (batch buffer, flexible batching,
+  rubberbanding, acknowledgement ledger).
+* :mod:`repro.simulation` / :mod:`repro.hardware` — the discrete-event
+  hardware models (GPUs, NVLink/PCIe, vCPUs, storage, cloud instances) used
+  to reproduce the paper's multi-GPU and cloud experiments.
+* :mod:`repro.training` — calibrated model cost profiles and the simulated
+  training loop / collocation runner.
+* :mod:`repro.baselines` — conventional per-process loading, CoorDL and
+  Joader re-implementations.
+* :mod:`repro.experiments` — one driver per figure/table of the evaluation.
+"""
+
+from repro.core import (
+    ConsumerConfig,
+    ProducerConfig,
+    SharedLoaderSession,
+    TensorConsumer,
+    TensorProducer,
+)
+from repro.data import DataLoader
+from repro.messaging import InProcHub
+from repro.tensor import SharedMemoryPool, Tensor
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "TensorProducer",
+    "TensorConsumer",
+    "ProducerConfig",
+    "ConsumerConfig",
+    "SharedLoaderSession",
+    "DataLoader",
+    "InProcHub",
+    "SharedMemoryPool",
+    "Tensor",
+    "__version__",
+]

@@ -1,0 +1,19 @@
+"""Baselines the paper compares TensorSocket against.
+
+* :class:`~repro.baselines.conventional.ConventionalLoading` — per-process
+  PyTorch-style data loaders (the "non-shared" baseline in every figure).
+* :class:`~repro.baselines.coordl.CoorDLLoading` — CoorDL [Mohan et al.,
+  VLDB'21]: DALI-based coordinated loading that prepares each batch once in
+  host memory and distributes it to per-GPU training processes, at the cost of
+  per-consumer coordination work and a lock-step schedule (Figure 14).
+* :class:`~repro.baselines.joader.JoaderLoading` — Joader [Xu et al.,
+  NeurIPS'22]: a shared loading server with dependent sampling, whose
+  per-iteration intersection computations and NumPy-over-IPC delivery add a
+  per-job serial cost that grows with the number of jobs (Figure 15).
+"""
+
+from repro.baselines.conventional import ConventionalLoading
+from repro.baselines.coordl import CoorDLLoading
+from repro.baselines.joader import JoaderLoading
+
+__all__ = ["ConventionalLoading", "CoorDLLoading", "JoaderLoading"]

@@ -1,0 +1,11 @@
+"""The non-shared baseline: per-process data loaders.
+
+This is the same pipeline class the training package defines (it is the
+default way PyTorch training scripts load data); it is re-exported here so the
+baseline set in :mod:`repro.baselines` is complete and experiment drivers can
+import every comparison point from one place.
+"""
+
+from repro.training.loading import ConventionalLoading
+
+__all__ = ["ConventionalLoading"]

@@ -1,0 +1,50 @@
+"""TensorSocket core: the shared data loader (producer, consumers, policies).
+
+This is the paper's primary contribution.  A single
+:class:`~repro.core.producer.TensorProducer` owns the data-loading pipeline
+and serves any number of :class:`~repro.core.consumer.TensorConsumer`
+training processes with zero-copy batch handles.  The policy pieces the
+protocol is built from are exposed separately because the simulated
+experiments and the baselines reuse them:
+
+* :class:`~repro.core.ack_ledger.AckLedger` — which consumer still owes an
+  acknowledgement for which batch, and when a batch's memory can be released.
+* :class:`~repro.core.batch_buffer.BatchBuffer` — the consumer-side bounded
+  buffer that lets consumers drift at most N batches apart.
+* :class:`~repro.core.flexible_batch.FlexibleBatcher` — producer-batch
+  collation, per-consumer slicing, offsets, shuffling and repetition
+  accounting (paper Section 3.2.6/3.2.7 and Figure 5).
+* :class:`~repro.core.rubberband.RubberbandPolicy` — the join window at the
+  start of an epoch (Section 3.2.5).
+* :class:`~repro.core.producer.TensorProducer` /
+  :class:`~repro.core.consumer.TensorConsumer` — the runnable, threaded /
+  multi-process implementation used by the examples and integration tests.
+* :class:`~repro.core.session.SharedLoaderSession` — convenience wrapper that
+  hosts a producer thread and hands out connected consumers.
+"""
+
+from repro.core.ack_ledger import AckLedger, BatchRecord
+from repro.core.batch_buffer import BatchBuffer
+from repro.core.config import ConsumerConfig, ProducerConfig
+from repro.core.consumer import TensorConsumer
+from repro.core.flexible_batch import ConsumerSlicePlan, FlexibleBatcher, SliceSpec, plan_slices
+from repro.core.producer import TensorProducer
+from repro.core.rubberband import JoinDecision, RubberbandPolicy
+from repro.core.session import SharedLoaderSession
+
+__all__ = [
+    "ProducerConfig",
+    "ConsumerConfig",
+    "AckLedger",
+    "BatchRecord",
+    "BatchBuffer",
+    "FlexibleBatcher",
+    "ConsumerSlicePlan",
+    "SliceSpec",
+    "plan_slices",
+    "RubberbandPolicy",
+    "JoinDecision",
+    "TensorProducer",
+    "TensorConsumer",
+    "SharedLoaderSession",
+]

@@ -1,0 +1,155 @@
+"""The producer's acknowledgement ledger.
+
+Figure 4 of the paper, steps 2 and 6: whenever the producer shares a batch it
+*stores* a reference to it; when a consumer finishes a batch it notifies the
+producer, and the producer *releases* the memory only once every consumer is
+done with it.  The :class:`AckLedger` is that bookkeeping, decoupled from the
+transport so both the threaded producer and the simulated producer use it.
+
+It also answers the flow-control question "may I publish another batch yet?":
+a consumer with ``buffer_size`` un-acknowledged batches must not be sent more
+(that is what bounds consumer drift).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+BatchKey = Tuple[int, int]  # (epoch, batch_index)
+
+
+@dataclass
+class BatchRecord:
+    """One published batch awaiting acknowledgements."""
+
+    key: BatchKey
+    waiting_on: Set[str]
+    segment_names: Tuple[str, ...] = ()
+    nbytes: int = 0
+    published_at: float = 0.0
+
+    @property
+    def fully_acknowledged(self) -> bool:
+        return not self.waiting_on
+
+
+class AckLedger:
+    """Tracks outstanding batches per consumer and releases fully-acked ones."""
+
+    def __init__(self, release_callback: Optional[Callable[[BatchRecord], None]] = None) -> None:
+        self._records: Dict[BatchKey, BatchRecord] = {}
+        self._outstanding_by_consumer: Dict[str, Set[BatchKey]] = {}
+        self._release_callback = release_callback
+        self.batches_published = 0
+        self.batches_released = 0
+        self.acks_received = 0
+        self.duplicate_acks = 0
+
+    # -- publishing -----------------------------------------------------------------
+    def publish(
+        self,
+        key: BatchKey,
+        consumers: Sequence[str],
+        *,
+        segment_names: Sequence[str] = (),
+        nbytes: int = 0,
+        published_at: float = 0.0,
+    ) -> BatchRecord:
+        """Record that a batch was shared with the given consumers."""
+        if key in self._records:
+            raise ValueError(f"batch {key} was already published")
+        if not consumers:
+            raise ValueError("a batch must be published to at least one consumer")
+        record = BatchRecord(
+            key=key,
+            waiting_on=set(consumers),
+            segment_names=tuple(segment_names),
+            nbytes=int(nbytes),
+            published_at=published_at,
+        )
+        self._records[key] = record
+        for consumer in consumers:
+            self._outstanding_by_consumer.setdefault(consumer, set()).add(key)
+        self.batches_published += 1
+        return record
+
+    # -- acknowledgements -------------------------------------------------------------
+    def acknowledge(self, consumer_id: str, key: BatchKey) -> Optional[BatchRecord]:
+        """Record an ack; returns the record if this ack fully released the batch."""
+        record = self._records.get(key)
+        self.acks_received += 1
+        if record is None or consumer_id not in record.waiting_on:
+            self.duplicate_acks += 1
+            return None
+        record.waiting_on.discard(consumer_id)
+        outstanding = self._outstanding_by_consumer.get(consumer_id)
+        if outstanding is not None:
+            outstanding.discard(key)
+        if record.fully_acknowledged:
+            self._release(record)
+            return record
+        return None
+
+    def drop_consumer(self, consumer_id: str) -> List[BatchRecord]:
+        """Remove a consumer (departed or detached) from every pending batch.
+
+        Returns the records that became fully acknowledged as a result — a
+        crashed consumer must not pin batch memory forever.
+        """
+        released: List[BatchRecord] = []
+        keys = self._outstanding_by_consumer.pop(consumer_id, set())
+        for key in keys:
+            record = self._records.get(key)
+            if record is None:
+                continue
+            record.waiting_on.discard(consumer_id)
+            if record.fully_acknowledged:
+                self._release(record)
+                released.append(record)
+        return released
+
+    def _release(self, record: BatchRecord) -> None:
+        del self._records[record.key]
+        self.batches_released += 1
+        if self._release_callback is not None:
+            self._release_callback(record)
+
+    # -- flow control ------------------------------------------------------------------
+    def outstanding_for(self, consumer_id: str) -> int:
+        return len(self._outstanding_by_consumer.get(consumer_id, ()))
+
+    def can_publish_to(self, consumer_id: str, buffer_size: int) -> bool:
+        """True when the consumer has room for another un-acknowledged batch."""
+        return self.outstanding_for(consumer_id) < buffer_size
+
+    def all_have_capacity(self, consumers: Sequence[str], buffer_size: int) -> bool:
+        return all(self.can_publish_to(c, buffer_size) for c in consumers)
+
+    def slowest_consumers(self, consumers: Sequence[str]) -> List[str]:
+        """Consumers with the most outstanding batches (the ones holding things up)."""
+        if not consumers:
+            return []
+        worst = max(self.outstanding_for(c) for c in consumers)
+        return [c for c in consumers if self.outstanding_for(c) == worst]
+
+    # -- introspection --------------------------------------------------------------------
+    @property
+    def pending_batches(self) -> int:
+        return len(self._records)
+
+    @property
+    def pending_bytes(self) -> int:
+        return sum(record.nbytes for record in self._records.values())
+
+    def pending_keys(self) -> List[BatchKey]:
+        return sorted(self._records)
+
+    def record_for(self, key: BatchKey) -> Optional[BatchRecord]:
+        return self._records.get(key)
+
+    def __repr__(self) -> str:
+        return (
+            f"AckLedger(pending={self.pending_batches}, published={self.batches_published}, "
+            f"released={self.batches_released})"
+        )

@@ -1,0 +1,88 @@
+"""The consumer-side batch buffer.
+
+Paper Section 3.2.5: "Instead of actively requesting the next batch on
+iteration, consumers can hold up to N batches (i.e., pointers to the tensors
+of batches) in their buffer.  This allows for the producer to actively
+pre-fetch data, and for the consumers to drift at most N batches apart."
+
+The buffer holds *payloads* (pointer packets), not tensor bytes, so its memory
+footprint is negligible; the GPU memory cost of buffering is accounted on the
+producer side where the staged batches live.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Iterable, List, Optional
+
+from repro.tensor.payload import BatchPayload
+
+
+class BatchBuffer:
+    """A bounded FIFO of batch payloads held by one consumer."""
+
+    def __init__(self, capacity: int = 2) -> None:
+        if capacity < 1:
+            raise ValueError("batch buffer capacity must be at least 1")
+        self.capacity = int(capacity)
+        self._buffer: Deque[BatchPayload] = deque()
+        self.total_enqueued = 0
+        self.total_dequeued = 0
+        self.high_water_mark = 0
+
+    # -- producer side (fill) -------------------------------------------------------
+    @property
+    def has_room(self) -> bool:
+        return len(self._buffer) < self.capacity
+
+    def put(self, payload: BatchPayload) -> None:
+        """Add a payload; raises if the buffer is full (flow control should prevent it)."""
+        if not self.has_room:
+            raise OverflowError(
+                f"batch buffer is full (capacity={self.capacity}); the producer "
+                "should not have published this batch yet"
+            )
+        self._buffer.append(payload)
+        self.total_enqueued += 1
+        self.high_water_mark = max(self.high_water_mark, len(self._buffer))
+
+    def put_many(self, payloads: Iterable[BatchPayload]) -> int:
+        count = 0
+        for payload in payloads:
+            self.put(payload)
+            count += 1
+        return count
+
+    # -- consumer side (drain) ---------------------------------------------------------
+    def get(self) -> Optional[BatchPayload]:
+        """Pop the oldest payload, or ``None`` when the buffer is empty."""
+        if not self._buffer:
+            return None
+        payload = self._buffer.popleft()
+        self.total_dequeued += 1
+        return payload
+
+    def peek(self) -> Optional[BatchPayload]:
+        return self._buffer[0] if self._buffer else None
+
+    def clear(self) -> List[BatchPayload]:
+        """Drop everything (used on shutdown); returns what was dropped."""
+        dropped = list(self._buffer)
+        self._buffer.clear()
+        return dropped
+
+    # -- introspection --------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._buffer
+
+    @property
+    def drift(self) -> int:
+        """How many batches this consumer currently lags the producer by."""
+        return len(self._buffer)
+
+    def __repr__(self) -> str:
+        return f"BatchBuffer(size={len(self._buffer)}/{self.capacity})"

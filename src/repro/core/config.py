@@ -1,0 +1,122 @@
+"""Configuration objects for the producer and consumers.
+
+The defaults follow the paper: a consumer-side buffer of two batches is enough
+for similar workloads (Section 3.2.5), the rubberband window is 2% of the
+dataset (Section 3.2.5), and flexible batching is off unless consumers request
+different batch sizes (Section 3.2.6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass
+class ProducerConfig:
+    """Settings for a :class:`~repro.core.producer.TensorProducer`.
+
+    Attributes
+    ----------
+    address:
+        Base address for the producer's sockets; the data channel lives at
+        ``{address}/data`` and the control/ack channel at ``{address}/control``.
+    buffer_size:
+        Maximum batches a consumer may hold un-acknowledged; bounds how far
+        consumers can drift apart.
+    rubberband_fraction:
+        Fraction of the epoch during which a newly joining consumer is
+        admitted immediately (others halt while it catches up).  ``0``
+        disables rubberbanding: late joiners wait for the next epoch.
+    epochs:
+        Number of passes over the nested data loader before the producer
+        shuts down.  ``None`` runs until :meth:`TensorProducer.stop`.
+    flexible_batching:
+        Serve consumers with differing batch sizes from larger producer
+        batches (Section 3.2.6).
+    producer_batch_size:
+        Row count of a producer batch under flexible batching.  Should be at
+        least twice the largest consumer batch size to bound repetition below
+        50%; when ``None`` it is sized automatically from consumer requests.
+    shuffle_slices / consumer_offsets:
+        Batch-order variation knobs (Section 3.2.7): shuffle the order of each
+        consumer's slices within a producer batch, and start each consumer's
+        carving at a different offset.
+    heartbeat_timeout:
+        Seconds of consumer silence after which the producer detaches it.
+    wait_for_consumers:
+        Pause data loading while no consumers are registered (the paper's
+        always-available producer behaviour).
+    share_device:
+        Device batches are staged on before publishing (``"cuda:0"`` for the
+        GPU-staging behaviour, ``"cpu"`` to share host tensors).
+    """
+
+    address: str = "tensorsocket"
+    buffer_size: int = 2
+    rubberband_fraction: float = 0.02
+    epochs: Optional[int] = 1
+    flexible_batching: bool = False
+    producer_batch_size: Optional[int] = None
+    shuffle_slices: bool = False
+    consumer_offsets: bool = False
+    heartbeat_timeout: float = 10.0
+    wait_for_consumers: bool = True
+    share_device: str = "cpu"
+    poll_interval: float = 0.005
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.buffer_size < 1:
+            raise ValueError("buffer_size must be at least 1")
+        if not (0.0 <= self.rubberband_fraction <= 1.0):
+            raise ValueError("rubberband_fraction must be within [0, 1]")
+        if self.epochs is not None and self.epochs < 1:
+            raise ValueError("epochs must be at least 1 when given")
+        if self.producer_batch_size is not None and self.producer_batch_size < 1:
+            raise ValueError("producer_batch_size must be positive when given")
+        if self.heartbeat_timeout <= 0:
+            raise ValueError("heartbeat_timeout must be positive")
+        if self.poll_interval <= 0:
+            raise ValueError("poll_interval must be positive")
+
+    @property
+    def data_address(self) -> str:
+        return f"{self.address}/data"
+
+    @property
+    def control_address(self) -> str:
+        return f"{self.address}/control"
+
+
+@dataclass
+class ConsumerConfig:
+    """Settings for a :class:`~repro.core.consumer.TensorConsumer`."""
+
+    address: str = "tensorsocket"
+    consumer_id: Optional[str] = None
+    batch_size: Optional[int] = None
+    buffer_size: int = 2
+    heartbeat_interval: float = 1.0
+    receive_timeout: float = 30.0
+    max_epochs: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.batch_size is not None and self.batch_size < 1:
+            raise ValueError("batch_size must be positive when given")
+        if self.buffer_size < 1:
+            raise ValueError("buffer_size must be at least 1")
+        if self.heartbeat_interval <= 0:
+            raise ValueError("heartbeat_interval must be positive")
+        if self.receive_timeout <= 0:
+            raise ValueError("receive_timeout must be positive")
+        if self.max_epochs is not None and self.max_epochs < 1:
+            raise ValueError("max_epochs must be at least 1 when given")
+
+    @property
+    def data_address(self) -> str:
+        return f"{self.address}/data"
+
+    @property
+    def control_address(self) -> str:
+        return f"{self.address}/control"

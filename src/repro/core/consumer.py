@@ -1,0 +1,253 @@
+"""The TensorSocket consumer: the training process's view of the shared loader.
+
+A consumer replaces the data loader inside a training script with a one-line
+swap (paper Figure 3c)::
+
+    consumer = TensorConsumer(hub=hub, pool=pool)
+    for batch in consumer:
+        ...  # training iteration on batch["inputs"], batch["targets"]
+
+Internally the consumer registers with the producer (HELLO), receives pointer
+payloads over the PUB/SUB data channel, rebuilds tensors zero-copy (step 4 in
+Figure 4), buffers up to N pending batches, acknowledges each batch once the
+training loop moves past it (step 6), emits heartbeats, and departs cleanly
+with BYE.
+"""
+
+from __future__ import annotations
+
+import time
+import uuid
+from typing import Dict, Iterator, Optional
+
+from repro.core.batch_buffer import BatchBuffer
+from repro.core.config import ConsumerConfig
+from repro.messaging.errors import MessagingError, TimeoutError_
+from repro.messaging.heartbeat import HeartbeatSender
+from repro.messaging.message import Message, MessageKind
+from repro.messaging.sockets import PushSocket, SubSocket
+from repro.messaging.transport import InProcHub
+from repro.tensor.payload import BatchPayload
+from repro.tensor.shared_memory import SharedMemoryPool
+from repro.tensor.tensor import Tensor
+
+
+class _ShutdownReceived(Exception):
+    """Internal: the producer announced shutdown."""
+
+
+class TensorConsumer:
+    """An iterable over batches served by a :class:`TensorProducer`."""
+
+    def __init__(
+        self,
+        *,
+        hub: InProcHub,
+        pool: Optional[SharedMemoryPool] = None,
+        config: Optional[ConsumerConfig] = None,
+    ) -> None:
+        self.config = config or ConsumerConfig()
+        self.consumer_id = self.config.consumer_id or f"consumer-{uuid.uuid4().hex[:8]}"
+        self.pool = pool
+        self.hub = hub
+
+        self._sub = SubSocket(
+            hub,
+            self.config.data_address,
+            topics=("broadcast", f"consumer/{self.consumer_id}"),
+            identity=self.consumer_id,
+        )
+        self._push = PushSocket(hub, self.config.control_address, identity=self.consumer_id)
+        self._heartbeat = HeartbeatSender(
+            self._push, self.consumer_id, interval=self.config.heartbeat_interval
+        )
+        self._buffer = BatchBuffer(self.config.buffer_size)
+        self._admitted_epoch: Optional[int] = None
+        self._epochs_ended = 0
+        self._closed = False
+        self._shutdown = False
+        self._registered = False
+
+        # Statistics surfaced by tests and experiments.
+        self.batches_consumed = 0
+        self.epochs_seen = 0
+        self.samples_consumed = 0
+
+        self._register()
+
+    # ------------------------------------------------------------------ registration
+    def _register(self) -> None:
+        """Announce this consumer to the producer.
+
+        The producer may not be up yet (consumers can be launched first, the
+        paper's always-available-loading scenario in reverse); in that case the
+        registration is retried from the receive loop until it succeeds.
+        """
+        try:
+            self._push.send(
+                MessageKind.HELLO,
+                body={
+                    "consumer_id": self.consumer_id,
+                    "batch_size": self.config.batch_size,
+                    "buffer_size": self.config.buffer_size,
+                },
+            )
+            self._heartbeat.send()
+            self._registered = True
+        except MessagingError:
+            self._registered = False
+
+    @property
+    def admitted_epoch(self) -> Optional[int]:
+        return self._admitted_epoch
+
+    @property
+    def is_admitted(self) -> bool:
+        return self._admitted_epoch is not None
+
+    # ------------------------------------------------------------------ message handling
+    def _handle_message(self, message: Message) -> Optional[BatchPayload]:
+        """Process one message; returns a payload when it is a usable data batch."""
+        if message.kind is MessageKind.REPLY:
+            body = message.body or {}
+            if body.get("consumer_id") == self.consumer_id:
+                self._admitted_epoch = int(body.get("admitted_epoch", 0))
+            return None
+        if message.kind is MessageKind.SHUTDOWN:
+            self._shutdown = True
+            raise _ShutdownReceived()
+        if message.kind is MessageKind.EPOCH_END:
+            body = message.body or {}
+            epoch = int(body.get("epoch", 0))
+            if self._admitted_epoch is not None and epoch >= self._admitted_epoch:
+                self.epochs_seen += 1
+                self._epochs_ended += 1
+            return None
+        if message.kind is MessageKind.BATCH:
+            payload: BatchPayload = message.body
+            if self._admitted_epoch is None or payload.epoch < self._admitted_epoch:
+                # Published before this consumer was admitted; not ours to use.
+                return None
+            return payload
+        return None
+
+    def _pump_messages(self, block: bool) -> None:
+        """Move arrived messages into the batch buffer."""
+        deadline = time.monotonic() + self.config.receive_timeout
+        while True:
+            if not self._registered:
+                self._register()
+            message = self._sub.try_recv()
+            if message is None:
+                if not block or not self._buffer.is_empty:
+                    return
+                try:
+                    self._heartbeat.maybe_send()
+                except MessagingError:
+                    pass
+                try:
+                    message = self._sub.recv(timeout=self.config.heartbeat_interval)
+                except TimeoutError_:
+                    if time.monotonic() > deadline:
+                        raise TimeoutError_(
+                            f"consumer {self.consumer_id!r} received no data for "
+                            f"{self.config.receive_timeout}s; is the producer running?"
+                        )
+                    continue
+            payload = self._handle_message(message)
+            if payload is not None:
+                self._buffer.put(payload)
+                # Only block until at least one batch is available.
+                block = False
+            if not block and self._sub.pending() == 0:
+                return
+
+    # ------------------------------------------------------------------ acknowledgements
+    def _acknowledge(self, payload: BatchPayload) -> None:
+        try:
+            self._push.send(
+                MessageKind.ACK,
+                body={
+                    "consumer_id": self.consumer_id,
+                    "epoch": payload.epoch,
+                    "batch_index": payload.batch_index,
+                },
+            )
+        except MessagingError:
+            # The producer is gone; there is nobody left to account the ack.
+            pass
+
+    # ------------------------------------------------------------------ iteration
+    def _reached_epoch_limit(self) -> bool:
+        return (
+            self.config.max_epochs is not None
+            and self._epochs_ended >= self.config.max_epochs
+        )
+
+    def __iter__(self) -> Iterator[Dict[str, Tensor]]:
+        if self._closed:
+            raise RuntimeError("consumer has been closed")
+        while not self._shutdown:
+            # Stop once the producer has closed max_epochs epochs and every
+            # batch from those epochs has been consumed.  (The producer sends
+            # EPOCH_END after the epoch's batches, and the hub preserves
+            # per-subscriber ordering, so this check is race-free.)
+            if self._reached_epoch_limit() and self._buffer.is_empty and self._sub.pending() == 0:
+                break
+            try:
+                self._pump_messages(block=self._buffer.is_empty)
+            except _ShutdownReceived:
+                break
+            payload = self._buffer.get()
+            if payload is None:
+                if self._reached_epoch_limit():
+                    break
+                continue
+            if self._reached_epoch_limit() and payload.epoch >= (self._admitted_epoch or 0) + (
+                self.config.max_epochs or 0
+            ):
+                # A batch from an epoch beyond our limit: acknowledge and drop
+                # it so the producer does not wait on us.
+                self._acknowledge(payload)
+                break
+            batch = payload.unpack(self.pool)
+            self.batches_consumed += 1
+            self.samples_consumed += payload.batch_size
+            yield batch
+            # The training loop finished with the batch: acknowledge it so
+            # the producer can release the shared memory.
+            self._acknowledge(payload)
+            self._heartbeat.maybe_send()
+        # Acknowledge anything left in the buffer so nothing stays pinned.
+        for leftover in self._buffer.clear():
+            self._acknowledge(leftover)
+
+    def __len__(self) -> int:
+        """Best-effort batches-per-epoch (only meaningful after one epoch)."""
+        return self.batches_consumed
+
+    # ------------------------------------------------------------------ shutdown
+    def close(self) -> None:
+        """Deregister from the producer and close the sockets."""
+        if self._closed:
+            return
+        self._closed = True
+        self._heartbeat.stop()
+        try:
+            self._push.send(MessageKind.BYE, body={"consumer_id": self.consumer_id})
+        except Exception:
+            pass
+        self._sub.close()
+        self._push.close()
+
+    def __enter__(self) -> "TensorConsumer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"TensorConsumer({self.consumer_id!r}, consumed={self.batches_consumed}, "
+            f"buffer={len(self._buffer)})"
+        )

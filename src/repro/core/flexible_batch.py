@@ -1,0 +1,339 @@
+"""Flexible batch sizing: producer batches, per-consumer slices, repetition.
+
+Paper Section 3.2.6 and Figure 5.  Under flexible batching the producer
+collates the nested loader's output into large *producer batches* (a
+contiguous block of rows) and every consumer receives row-slices of its own
+requested batch size.  Consumers therefore traverse the data at the same rate
+even though their batch sizes differ.  When a consumer's batch size does not
+divide the producer batch size, the last slice is completed by wrapping around
+to the start of the producer batch, repeating a few rows; the repetition per
+producer batch is bounded by ``max(consumer batch sizes) - 1`` and the paper
+recommends producer batches at least twice the largest consumer batch so the
+repeated share never exceeds 50%.
+
+Section 3.2.7's batch-order variation is implemented here too: per-consumer
+*offsets* rotate where carving starts, and *shuffling* permutes the order in
+which a consumer visits its slices of a producer batch.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.tensor.tensor import Tensor, cat
+
+
+@dataclass(frozen=True)
+class SliceSpec:
+    """One consumer batch carved from a producer batch.
+
+    The slice is a circular range of ``length`` rows starting at ``start``;
+    ``primary`` covers rows ``[start, primary_stop)`` and, if the range wraps
+    past the end of the producer batch, ``wrapped`` covers the remaining rows
+    taken from the beginning.
+    """
+
+    start: int
+    length: int
+    producer_batch_size: int
+
+    def __post_init__(self) -> None:
+        if not (0 <= self.start < self.producer_batch_size):
+            raise ValueError("slice start must lie inside the producer batch")
+        if not (0 < self.length <= self.producer_batch_size):
+            raise ValueError("slice length must be positive and fit the producer batch")
+
+    @property
+    def primary(self) -> Tuple[int, int]:
+        return (self.start, min(self.start + self.length, self.producer_batch_size))
+
+    @property
+    def wrapped(self) -> Optional[Tuple[int, int]]:
+        overflow = self.start + self.length - self.producer_batch_size
+        if overflow <= 0:
+            return None
+        return (0, overflow)
+
+    @property
+    def is_contiguous(self) -> bool:
+        return self.wrapped is None
+
+    def row_indices(self) -> np.ndarray:
+        """The producer-batch row indices this slice covers, in order."""
+        return (np.arange(self.start, self.start + self.length) % self.producer_batch_size)
+
+
+@dataclass
+class ConsumerSlicePlan:
+    """How one consumer traverses one producer batch."""
+
+    consumer_id: str
+    batch_size: int
+    producer_batch_size: int
+    slices: List[SliceSpec] = field(default_factory=list)
+
+    @property
+    def rows_served(self) -> int:
+        return sum(s.length for s in self.slices)
+
+    @property
+    def repeated_rows(self) -> int:
+        """Rows served beyond the unique producer-batch rows."""
+        return self.rows_served - self.producer_batch_size
+
+    @property
+    def repeated_share(self) -> float:
+        return self.repeated_rows / self.producer_batch_size
+
+    def covered_rows(self) -> np.ndarray:
+        """Unique producer-batch rows covered by the plan (should be all of them)."""
+        if not self.slices:
+            return np.empty(0, dtype=np.int64)
+        return np.unique(np.concatenate([s.row_indices() for s in self.slices]))
+
+
+def plan_slices(
+    producer_batch_size: int,
+    consumer_batch_size: int,
+    *,
+    consumer_id: str = "consumer",
+    offset: int = 0,
+    shuffle_seed: Optional[int] = None,
+) -> ConsumerSlicePlan:
+    """Plan how a consumer with ``consumer_batch_size`` traverses a producer batch.
+
+    The number of slices is ``ceil(P / b)`` so every producer-batch row is
+    served at least once; the final slice wraps to fill itself, repeating at
+    most ``b - 1`` rows.
+    """
+    if producer_batch_size < 1:
+        raise ValueError("producer_batch_size must be positive")
+    if consumer_batch_size < 1:
+        raise ValueError("consumer_batch_size must be positive")
+    if consumer_batch_size > producer_batch_size:
+        raise ValueError(
+            f"consumer batch size {consumer_batch_size} exceeds producer batch size "
+            f"{producer_batch_size}; increase producer_batch_size"
+        )
+    offset = int(offset) % producer_batch_size
+    n_slices = math.ceil(producer_batch_size / consumer_batch_size)
+    slices = [
+        SliceSpec(
+            start=(offset + i * consumer_batch_size) % producer_batch_size,
+            length=consumer_batch_size,
+            producer_batch_size=producer_batch_size,
+        )
+        for i in range(n_slices)
+    ]
+    if shuffle_seed is not None:
+        order = np.random.default_rng(shuffle_seed).permutation(len(slices))
+        slices = [slices[i] for i in order]
+    return ConsumerSlicePlan(
+        consumer_id=consumer_id,
+        batch_size=consumer_batch_size,
+        producer_batch_size=producer_batch_size,
+        slices=slices,
+    )
+
+
+def recommend_producer_batch_size(consumer_batch_sizes: Sequence[int]) -> int:
+    """The paper's guidance: at least twice the largest consumer batch.
+
+    We additionally round up to the least common multiple when it is small, so
+    that the common case of power-of-two batch sizes incurs zero repetition.
+    """
+    if not consumer_batch_sizes:
+        raise ValueError("need at least one consumer batch size")
+    sizes = [int(b) for b in consumer_batch_sizes]
+    if any(b < 1 for b in sizes):
+        raise ValueError("batch sizes must be positive")
+    largest = max(sizes)
+    baseline = 2 * largest
+    lcm = sizes[0]
+    for size in sizes[1:]:
+        lcm = math.lcm(lcm, size)
+        if lcm > 8 * largest:
+            return baseline
+    return max(baseline, lcm)
+
+
+class FlexibleBatcher:
+    """Builds producer batches and carves per-consumer slices from them.
+
+    The batcher accumulates the nested loader's batches (whatever their size)
+    into a contiguous producer batch of ``producer_batch_size`` rows, carrying
+    any remainder over to the next producer batch so no loader rows are lost.
+    """
+
+    def __init__(
+        self,
+        producer_batch_size: int,
+        consumer_batch_sizes: Mapping[str, int],
+        *,
+        use_offsets: bool = False,
+        shuffle_slices: bool = False,
+        seed: int = 0,
+    ) -> None:
+        if producer_batch_size < 1:
+            raise ValueError("producer_batch_size must be positive")
+        if not consumer_batch_sizes:
+            raise ValueError("at least one consumer batch size is required")
+        largest = max(consumer_batch_sizes.values())
+        if largest > producer_batch_size:
+            raise ValueError(
+                f"producer batch size {producer_batch_size} is smaller than the largest "
+                f"consumer batch size {largest}"
+            )
+        self.producer_batch_size = int(producer_batch_size)
+        self.consumer_batch_sizes = dict(consumer_batch_sizes)
+        self.use_offsets = bool(use_offsets)
+        self.shuffle_slices = bool(shuffle_slices)
+        self.seed = int(seed)
+        self._carry: Optional[Dict[str, Tensor]] = None
+        self._producer_batches_built = 0
+        self.total_rows_consumed = 0
+
+    # -- accumulation ------------------------------------------------------------------
+    def add_loader_batch(self, batch: Mapping[str, Tensor]) -> List[Dict[str, Tensor]]:
+        """Feed one nested-loader batch; returns zero or more full producer batches."""
+        if self._carry is None:
+            merged = dict(batch)
+        else:
+            merged = {key: cat([self._carry[key], batch[key]]) for key in self._carry}
+        self._carry = merged
+        self.total_rows_consumed += _rows(batch)
+
+        ready: List[Dict[str, Tensor]] = []
+        while self._carry is not None and _rows(self._carry) >= self.producer_batch_size:
+            full = {
+                key: tensor.slice_rows(0, self.producer_batch_size)
+                for key, tensor in self._carry.items()
+            }
+            remaining_rows = _rows(self._carry) - self.producer_batch_size
+            if remaining_rows > 0:
+                self._carry = {
+                    key: tensor.slice_rows(self.producer_batch_size, _rows(self._carry))
+                    for key, tensor in self._carry.items()
+                }
+            else:
+                self._carry = None
+            ready.append(full)
+            self._producer_batches_built += 1
+        return ready
+
+    def flush(self) -> Optional[Dict[str, Tensor]]:
+        """Return any partial producer batch left at the end of an epoch."""
+        carry, self._carry = self._carry, None
+        return carry
+
+    @property
+    def pending_rows(self) -> int:
+        return _rows(self._carry) if self._carry is not None else 0
+
+    @property
+    def producer_batches_built(self) -> int:
+        return self._producer_batches_built
+
+    def add_consumer(self, consumer_id: str, batch_size: int) -> None:
+        """Register a consumer that joined after the batcher was built.
+
+        The producer-batch geometry stays fixed; the newcomer simply gets its
+        own slicing plan, so it can be admitted mid-epoch without disturbing
+        the existing consumers.
+        """
+        batch_size = int(batch_size)
+        if batch_size < 1:
+            raise ValueError("batch_size must be positive")
+        if batch_size > self.producer_batch_size:
+            raise ValueError(
+                f"consumer batch size {batch_size} exceeds producer batch size "
+                f"{self.producer_batch_size}"
+            )
+        self.consumer_batch_sizes[consumer_id] = batch_size
+
+    def remove_consumer(self, consumer_id: str) -> None:
+        """Forget a departed consumer's slicing plan."""
+        self.consumer_batch_sizes.pop(consumer_id, None)
+
+    def has_consumer(self, consumer_id: str) -> bool:
+        return consumer_id in self.consumer_batch_sizes
+
+    # -- carving -------------------------------------------------------------------------
+    def offset_for(self, consumer_id: str) -> int:
+        if not self.use_offsets:
+            return 0
+        ordered = sorted(self.consumer_batch_sizes)
+        position = ordered.index(consumer_id)
+        if len(ordered) <= 1:
+            return 0
+        return (position * self.producer_batch_size) // len(ordered)
+
+    def plan_for(self, consumer_id: str, producer_batch_index: int = 0) -> ConsumerSlicePlan:
+        try:
+            batch_size = self.consumer_batch_sizes[consumer_id]
+        except KeyError as exc:
+            raise KeyError(f"unknown consumer {consumer_id!r}") from exc
+        shuffle_seed = None
+        if self.shuffle_slices:
+            shuffle_seed = hash((self.seed, consumer_id, producer_batch_index)) & 0x7FFFFFFF
+        return plan_slices(
+            self.producer_batch_size,
+            batch_size,
+            consumer_id=consumer_id,
+            offset=self.offset_for(consumer_id),
+            shuffle_seed=shuffle_seed,
+        )
+
+    def carve(
+        self,
+        producer_batch: Mapping[str, Tensor],
+        consumer_id: str,
+        producer_batch_index: int = 0,
+    ) -> List[Dict[str, Tensor]]:
+        """Materialize the consumer's batches for one producer batch.
+
+        Contiguous slices are zero-copy views of the producer batch; wrapped
+        slices concatenate two views (copying only the wrapped rows).
+        """
+        rows = _rows(producer_batch)
+        if rows != self.producer_batch_size:
+            raise ValueError(
+                f"producer batch has {rows} rows, expected {self.producer_batch_size}"
+            )
+        plan = self.plan_for(consumer_id, producer_batch_index)
+        batches: List[Dict[str, Tensor]] = []
+        for spec in plan.slices:
+            start, stop = spec.primary
+            batch = {key: tensor.slice_rows(start, stop) for key, tensor in producer_batch.items()}
+            if spec.wrapped is not None:
+                wrap_start, wrap_stop = spec.wrapped
+                batch = {
+                    key: cat([batch[key], tensor.slice_rows(wrap_start, wrap_stop)])
+                    for key, tensor in producer_batch.items()
+                }
+            batches.append(batch)
+        return batches
+
+    # -- analysis ------------------------------------------------------------------------
+    def repetition_report(self) -> Dict[str, float]:
+        """Per-consumer repeated-row share per producer batch (Figure 5 analysis)."""
+        report = {}
+        for consumer_id in self.consumer_batch_sizes:
+            plan = self.plan_for(consumer_id)
+            report[consumer_id] = plan.repeated_share
+        return report
+
+    def max_repeated_share(self) -> float:
+        """Worst-case repeated share across consumers; < 50% per the paper's guidance
+        whenever the producer batch is at least twice the largest consumer batch."""
+        report = self.repetition_report()
+        return max(report.values()) if report else 0.0
+
+
+def _rows(batch: Mapping[str, Tensor]) -> int:
+    first = next(iter(batch.values()))
+    return first.shape[0]

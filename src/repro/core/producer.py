@@ -1,0 +1,517 @@
+"""The TensorSocket producer: one data-loading pipeline serving many trainers.
+
+The producer owns the nested :class:`~repro.data.dataloader.DataLoader`
+(step 0 in the paper's Figure 4), stages every prepared batch once in shared
+memory (step 2), publishes pointer payloads to all consumers (step 3), and
+releases the memory once every consumer has acknowledged the batch (step 6).
+Along the way it implements the paper's supporting mechanisms: consumer
+registration and heartbeats, flow control through the consumer batch buffer,
+rubberbanding for late joiners, flexible batch sizing and batch-order
+variation.
+
+The producer is exposed as an iterator over the nested loader, exactly like
+the paper's ``producer.py`` example::
+
+    producer = TensorProducer(loader, hub=hub, config=ProducerConfig(epochs=2))
+    for _ in producer:      # drives loading, publishing and acknowledgements
+        pass
+    producer.join()         # drain acks, announce shutdown
+"""
+
+from __future__ import annotations
+
+import time
+import uuid
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Mapping, Optional, Tuple
+
+from repro.core.ack_ledger import AckLedger
+from repro.core.config import ProducerConfig
+from repro.core.flexible_batch import FlexibleBatcher, recommend_producer_batch_size
+from repro.core.rubberband import JoinDecision, RubberbandPolicy
+from repro.messaging.heartbeat import HeartbeatMonitor
+from repro.messaging.message import Message, MessageKind
+from repro.messaging.sockets import PubSocket, PullSocket
+from repro.messaging.transport import InProcHub
+from repro.tensor.payload import BatchPayload
+from repro.tensor.shared_memory import SharedMemoryPool
+from repro.tensor.tensor import Tensor
+
+
+@dataclass
+class ConsumerState:
+    """What the producer knows about one registered consumer."""
+
+    consumer_id: str
+    batch_size: Optional[int] = None
+    buffer_size: int = 2
+    active: bool = True
+    admitted_epoch: int = 0
+    joined_at: float = field(default_factory=time.monotonic)
+    batches_sent: int = 0
+
+
+class _SkipEpoch(Exception):
+    """Internal signal: abandon the current epoch (every consumer has left)."""
+
+
+class TensorProducer:
+    """A shared data loader server wrapping an ordinary data loader."""
+
+    def __init__(
+        self,
+        data_loader,
+        *,
+        hub: Optional[InProcHub] = None,
+        config: Optional[ProducerConfig] = None,
+        pool: Optional[SharedMemoryPool] = None,
+    ) -> None:
+        self.loader = data_loader
+        self.config = config or ProducerConfig()
+        self.hub = hub or InProcHub()
+        self.pool = pool or SharedMemoryPool()
+        self.identity = f"producer-{uuid.uuid4().hex[:8]}"
+
+        self._pub = PubSocket(self.hub, self.config.data_address, identity=self.identity)
+        self._control = PullSocket(self.hub, self.config.control_address, identity=self.identity)
+        self._heartbeats = HeartbeatMonitor(detach_timeout=self.config.heartbeat_timeout)
+        self.ledger = AckLedger()
+        self.rubberband = RubberbandPolicy(self.config.rubberband_fraction)
+        try:
+            self.rubberband.set_epoch_length(len(data_loader))
+        except TypeError:
+            pass
+
+        self._consumers: Dict[str, ConsumerState] = {}
+        self.epoch = 0
+        self._batches_published_this_epoch = 0
+        self._publish_seq = 0
+        self._stopped = False
+        self._shutdown_sent = False
+        # Batches kept alive (producer hold) for the rubberband window, keyed
+        # by their original per-epoch index.
+        self._window_cache: Dict[int, BatchPayload] = {}
+        self._flexible: Optional[FlexibleBatcher] = None
+
+        # Statistics surfaced by tests and experiments.
+        self.batches_loaded = 0
+        self.payloads_published = 0
+        self.epochs_completed = 0
+
+    # ------------------------------------------------------------------ registration
+    @property
+    def consumers(self) -> Dict[str, ConsumerState]:
+        return dict(self._consumers)
+
+    def active_consumer_ids(self) -> List[str]:
+        return [c.consumer_id for c in self._consumers.values() if c.active]
+
+    def _register_consumer(self, body: Mapping) -> None:
+        consumer_id = body["consumer_id"]
+        state = ConsumerState(
+            consumer_id=consumer_id,
+            batch_size=body.get("batch_size"),
+            buffer_size=int(body.get("buffer_size", self.config.buffer_size)),
+        )
+        decision = self.rubberband.decide(consumer_id, self._batches_published_this_epoch) \
+            if self.rubberband.batches_per_epoch is not None else (
+                JoinDecision.IMMEDIATE if self._batches_published_this_epoch == 0
+                else JoinDecision.WAIT_FOR_NEXT_EPOCH
+            )
+
+        if decision is JoinDecision.WAIT_FOR_NEXT_EPOCH:
+            state.active = False
+            state.admitted_epoch = self.epoch + 1
+        else:
+            state.active = True
+            state.admitted_epoch = self.epoch
+        self._consumers[consumer_id] = state
+        self._heartbeats.beat(consumer_id)
+
+        # Tell the consumer which epoch it starts in so it can ignore batches
+        # that predate its admission.
+        self._pub.send(
+            MessageKind.REPLY,
+            body={
+                "consumer_id": consumer_id,
+                "admitted_epoch": state.admitted_epoch,
+                "decision": str(decision),
+                "flexible_batching": self.config.flexible_batching,
+            },
+            topic=f"consumer/{consumer_id}",
+        )
+
+        if decision is JoinDecision.CATCH_UP:
+            self._replay_window(state)
+
+    def _replay_window(self, state: ConsumerState) -> None:
+        """Send the batches a rubberbanded consumer missed (personal topic)."""
+        for index in sorted(self._window_cache):
+            payload = self._window_cache[index]
+            for name in payload.segment_names:
+                self.pool.retain(name)
+            key = payload.key()
+            record = self.ledger.record_for(key)
+            if record is not None:
+                record.waiting_on.add(state.consumer_id)
+                self.ledger._outstanding_by_consumer.setdefault(state.consumer_id, set()).add(key)
+            else:
+                self.ledger.publish(
+                    key,
+                    [state.consumer_id],
+                    segment_names=payload.segment_names,
+                    nbytes=payload.tensor_nbytes,
+                )
+            self._pub.send(MessageKind.BATCH, body=payload, topic=f"consumer/{state.consumer_id}")
+            state.batches_sent += 1
+            self.rubberband.record_replayed(state.consumer_id, 0)  # tracked via acks
+
+    def _drop_consumer(self, consumer_id: str, *, reason: str) -> None:
+        state = self._consumers.pop(consumer_id, None)
+        if state is None:
+            return
+        # Release the holds of every batch the consumer still owed an ack for.
+        for key in list(self.ledger.pending_keys()):
+            record = self.ledger.record_for(key)
+            if record is not None and consumer_id in record.waiting_on:
+                for name in record.segment_names:
+                    if self.pool.contains(name):
+                        self.pool.release(name)
+        self.ledger.drop_consumer(consumer_id)
+        self.rubberband.abandon(consumer_id)
+        self._heartbeats.forget(consumer_id)
+
+    # ------------------------------------------------------------------ control plane
+    def _process_control(self, block_timeout: Optional[float] = None) -> None:
+        """Drain the control socket: registrations, acks, byes, heartbeats."""
+        message = self._control.try_recv()
+        if message is None and block_timeout:
+            try:
+                message = self._control.recv(timeout=block_timeout)
+            except Exception:
+                message = None
+        while message is not None:
+            self._handle_control_message(message)
+            message = self._control.try_recv()
+
+    def _handle_control_message(self, message: Message) -> None:
+        body = message.body or {}
+        consumer_id = body.get("consumer_id", message.sender)
+        self._heartbeats.beat(consumer_id)
+        if message.kind is MessageKind.HELLO:
+            self._register_consumer(body)
+        elif message.kind is MessageKind.ACK:
+            self._handle_ack(consumer_id, (int(body["epoch"]), int(body["batch_index"])))
+        elif message.kind is MessageKind.BYE:
+            self._drop_consumer(consumer_id, reason="bye")
+        elif message.kind is MessageKind.HEARTBEAT:
+            pass  # the beat above is all that is needed
+        # REQUEST/REPLY traffic is handled by auxiliary tooling, not here.
+
+    def _handle_ack(self, consumer_id: str, key: Tuple[int, int]) -> None:
+        record = self.ledger.record_for(key)
+        if record is None or consumer_id not in record.waiting_on:
+            self.ledger.acknowledge(consumer_id, key)  # counts the duplicate
+            return
+        for name in record.segment_names:
+            if self.pool.contains(name):
+                self.pool.release(name)
+        self.ledger.acknowledge(consumer_id, key)
+        if self.rubberband.catch_up_for(consumer_id) is not None:
+            self.rubberband.record_replayed(consumer_id, 1)
+
+    def _sweep_heartbeats(self) -> None:
+        for consumer_id in self._heartbeats.sweep():
+            self._drop_consumer(consumer_id, reason="heartbeat timeout")
+
+    # ------------------------------------------------------------------ flow control
+    def _wait_for_capacity(self) -> None:
+        """Block until every active consumer can take another batch.
+
+        Also enforces the paper's pause conditions: no consumers → no loading;
+        a rubberbanded consumer catching up → other consumers halt (we simply
+        stop publishing until the catch-up finishes).
+        """
+        deadline = time.monotonic() + self.config.heartbeat_timeout * 4
+        while not self._stopped:
+            self._process_control()
+            self._sweep_heartbeats()
+            active = self.active_consumer_ids()
+            waiting = [c for c in self._consumers.values() if not c.active]
+
+            if not active:
+                if not self.config.wait_for_consumers:
+                    return
+                if waiting and self._batches_published_this_epoch > 0:
+                    # Everyone left mid-epoch and a newcomer is parked for the
+                    # next epoch: abandon this epoch so it can start.
+                    raise _SkipEpoch()
+                self._process_control(block_timeout=self.config.poll_interval)
+                deadline = time.monotonic() + self.config.heartbeat_timeout * 4
+                continue
+
+            buffer_limit = min(
+                [self.config.buffer_size]
+                + [state.buffer_size for state in self._consumers.values() if state.active]
+            )
+            capacity_ok = self.ledger.all_have_capacity(active, buffer_limit)
+            if capacity_ok and not self.rubberband.halting:
+                return
+            if time.monotonic() > deadline:
+                # A consumer stopped acknowledging but its heartbeats still
+                # arrive (e.g. it crashed inside a training step).  Detach the
+                # slowest consumers rather than wedging the shared loader.
+                for consumer_id in self.ledger.slowest_consumers(active):
+                    self._drop_consumer(consumer_id, reason="ack timeout")
+                deadline = time.monotonic() + self.config.heartbeat_timeout * 4
+                continue
+            self._process_control(block_timeout=self.config.poll_interval)
+
+    # ------------------------------------------------------------------ staging & publishing
+    def _stage_batch(self, batch: Mapping[str, Tensor]) -> Dict[str, Tensor]:
+        """Copy a loader batch into shared memory on the share device (step 2)."""
+        staged = {}
+        for name, tensor in batch.items():
+            tensor = tensor.to(self.config.share_device)
+            staged[name] = self.pool.share_tensor(tensor, initial_refcount=1)
+        self.batches_loaded += 1
+        return staged
+
+    def _publish_payload(
+        self,
+        payload: BatchPayload,
+        consumers: List[str],
+        *,
+        topic: str = "broadcast",
+    ) -> None:
+        for name in payload.segment_names:
+            self.pool.retain(name, count=len(consumers))
+        self.ledger.publish(
+            payload.key(),
+            consumers,
+            segment_names=payload.segment_names,
+            nbytes=payload.tensor_nbytes,
+            published_at=time.monotonic(),
+        )
+        self._pub.send(MessageKind.BATCH, body=payload, topic=topic)
+        for consumer_id in consumers:
+            state = self._consumers.get(consumer_id)
+            if state is not None:
+                state.batches_sent += 1
+        self.payloads_published += 1
+
+    def _release_producer_hold(self, payload: BatchPayload) -> None:
+        for name in payload.segment_names:
+            if self.pool.contains(name):
+                self.pool.release(name)
+
+    def _maybe_cache_for_window(self, payload: BatchPayload, batch_index: int) -> bool:
+        """Keep the first few batches of an epoch alive for rubberband joiners."""
+        try:
+            window = self.rubberband.window_batches
+        except ValueError:
+            window = 0
+        if self.config.rubberband_fraction > 0 and batch_index < window:
+            self._window_cache[batch_index] = payload
+            return True
+        return False
+
+    def _clear_window_cache(self) -> None:
+        for payload in self._window_cache.values():
+            self._release_producer_hold(payload)
+        self._window_cache.clear()
+
+    # ------------------------------------------------------------------ default-mode epoch
+    def _run_epoch_default(self) -> Iterator[int]:
+        batch_index = 0
+        for batch in self.loader:
+            if self._stopped:
+                break
+            self._wait_for_capacity()
+            if self._stopped:
+                break
+            active = self.active_consumer_ids()
+            if not active:
+                # Nobody to serve right now (free-running mode, or the wait was
+                # cut short by stop()): skip publishing this batch.
+                batch_index += 1
+                continue
+            staged = self._stage_batch(batch)
+            is_last = batch_index == len(self.loader) - 1 if self._loader_sized() else False
+            payload = BatchPayload.pack(
+                staged,
+                batch_index=batch_index,
+                epoch=self.epoch,
+                is_last_in_epoch=is_last,
+            )
+            self._publish_payload(payload, active)
+            if not self._maybe_cache_for_window(payload, batch_index):
+                self._release_producer_hold(payload)
+            self._batches_published_this_epoch = batch_index + 1
+            batch_index += 1
+            yield batch_index
+
+    # ------------------------------------------------------------------ flexible-mode epoch
+    def _build_flexible_batcher(self) -> FlexibleBatcher:
+        sizes = {
+            state.consumer_id: int(state.batch_size)
+            for state in self._consumers.values()
+            if state.active and state.batch_size
+        }
+        if not sizes:
+            raise RuntimeError(
+                "flexible batching requires every active consumer to announce a batch size"
+            )
+        producer_batch = self.config.producer_batch_size or recommend_producer_batch_size(
+            list(sizes.values())
+        )
+        return FlexibleBatcher(
+            producer_batch,
+            sizes,
+            use_offsets=self.config.consumer_offsets,
+            shuffle_slices=self.config.shuffle_slices,
+            seed=self.config.seed,
+        )
+
+    def _run_epoch_flexible(self) -> Iterator[int]:
+        # Wait for at least one consumer before fixing producer-batch geometry.
+        self._wait_for_capacity()
+        self._flexible = self._build_flexible_batcher()
+        producer_batch_index = 0
+        for batch in self.loader:
+            if self._stopped:
+                break
+            for producer_batch in self._flexible.add_loader_batch(batch):
+                self._emit_producer_batch(producer_batch, producer_batch_index)
+                producer_batch_index += 1
+                yield producer_batch_index
+        self._batches_published_this_epoch = producer_batch_index
+
+    def _emit_producer_batch(self, producer_batch: Mapping[str, Tensor], index: int) -> None:
+        self._wait_for_capacity()
+        active = self.active_consumer_ids()
+        if not active or self._stopped:
+            return
+        # Consumers admitted after the batcher was built get their own slicing
+        # plan over the existing producer-batch geometry.
+        for consumer_id in active:
+            if not self._flexible.has_consumer(consumer_id):
+                state = self._consumers[consumer_id]
+                if state.batch_size:
+                    self._flexible.add_consumer(consumer_id, int(state.batch_size))
+        staged = self._stage_batch(producer_batch)
+        released_producer_hold = False
+        for consumer_id in active:
+            if not self._flexible.has_consumer(consumer_id):
+                continue
+            slices = self._flexible.carve(staged, consumer_id, index)
+            for slice_batch in slices:
+                self._wait_for_capacity()
+                if consumer_id not in self.active_consumer_ids():
+                    break
+                self._publish_seq += 1
+                payload = BatchPayload.pack(
+                    slice_batch,
+                    batch_index=self._publish_seq,
+                    epoch=self.epoch,
+                    producer_batch_id=index,
+                )
+                self._publish_payload(payload, [consumer_id], topic=f"consumer/{consumer_id}")
+        # The producer's own hold on the staged producer batch.
+        for tensor in staged.values():
+            if tensor.segment is not None and self.pool.contains(tensor.segment.name):
+                self.pool.release(tensor.segment.name)
+            released_producer_hold = True
+        self._batches_published_this_epoch = index + 1
+
+    # ------------------------------------------------------------------ top-level iteration
+    def _loader_sized(self) -> bool:
+        try:
+            len(self.loader)
+            return True
+        except TypeError:
+            return False
+
+    def __iter__(self) -> Iterator[int]:
+        epoch_limit = self.config.epochs
+        while not self._stopped and (epoch_limit is None or self.epoch < epoch_limit):
+            self._batches_published_this_epoch = 0
+            self._window_cache.clear()
+            runner = (
+                self._run_epoch_flexible() if self.config.flexible_batching
+                else self._run_epoch_default()
+            )
+            try:
+                for progress in runner:
+                    yield progress
+            except _SkipEpoch:
+                pass
+            self._finish_epoch()
+        # Iteration complete; callers are expected to call join() for cleanup.
+
+    def _finish_epoch(self) -> None:
+        self._clear_window_cache()
+        self._pub.send(
+            MessageKind.EPOCH_END,
+            body={"epoch": self.epoch, "batches": self._batches_published_this_epoch},
+            topic="broadcast",
+        )
+        self.epoch += 1
+        self.epochs_completed += 1
+        self.rubberband.reset_for_new_epoch()
+        # Waiting consumers become active at the boundary (Figure 6).
+        for state in self._consumers.values():
+            if not state.active and state.admitted_epoch <= self.epoch:
+                state.active = True
+
+    # ------------------------------------------------------------------ shutdown
+    def stop(self) -> None:
+        """Ask the producer to stop after the current batch."""
+        self._stopped = True
+
+    def join(self, timeout: float = 10.0) -> None:
+        """Drain outstanding acknowledgements and announce shutdown."""
+        deadline = time.monotonic() + timeout
+        while self.ledger.pending_batches and time.monotonic() < deadline:
+            self._process_control(block_timeout=self.config.poll_interval)
+            self._sweep_heartbeats()
+        if not self._shutdown_sent:
+            self._pub.send(MessageKind.SHUTDOWN, body={"epochs": self.epoch}, topic="broadcast")
+            self._shutdown_sent = True
+        # Whatever is still pending belongs to consumers that vanished; free it.
+        for key in list(self.ledger.pending_keys()):
+            record = self.ledger.record_for(key)
+            if record is None:
+                continue
+            for consumer_id in list(record.waiting_on):
+                for name in record.segment_names:
+                    if self.pool.contains(name):
+                        self.pool.release(name)
+                self.ledger.acknowledge(consumer_id, key)
+        self._clear_window_cache()
+        self._control.close()
+        self._pub.close()
+
+    # ------------------------------------------------------------------ introspection
+    def status(self) -> Dict[str, object]:
+        """A snapshot used by monitoring utilities and tests."""
+        return {
+            "epoch": self.epoch,
+            "consumers": {
+                cid: {
+                    "active": state.active,
+                    "batches_sent": state.batches_sent,
+                    "outstanding": self.ledger.outstanding_for(cid),
+                }
+                for cid, state in self._consumers.items()
+            },
+            "pending_batches": self.ledger.pending_batches,
+            "bytes_in_flight": self.pool.bytes_in_flight,
+            "payloads_published": self.payloads_published,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"TensorProducer(epoch={self.epoch}, consumers={len(self._consumers)}, "
+            f"published={self.payloads_published})"
+        )

@@ -1,0 +1,91 @@
+"""Convenience wrapper hosting a producer thread and handing out consumers.
+
+The paper deploys the producer as a long-lived server process (Section 3.3.1).
+In-process users — the examples, tests and notebooks — usually want the same
+thing without managing threads by hand: :class:`SharedLoaderSession` runs the
+producer loop on a background thread, exposes a factory for connected
+consumers, and tears everything down cleanly.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import List, Optional
+
+from repro.core.config import ConsumerConfig, ProducerConfig
+from repro.core.consumer import TensorConsumer
+from repro.core.producer import TensorProducer
+from repro.messaging.transport import InProcHub
+from repro.tensor.shared_memory import SharedMemoryPool
+
+
+class SharedLoaderSession:
+    """Run a :class:`TensorProducer` on a background thread and create consumers."""
+
+    def __init__(
+        self,
+        data_loader,
+        *,
+        producer_config: Optional[ProducerConfig] = None,
+        hub: Optional[InProcHub] = None,
+        pool: Optional[SharedMemoryPool] = None,
+    ) -> None:
+        self.hub = hub or InProcHub()
+        self.pool = pool or SharedMemoryPool()
+        self.producer = TensorProducer(
+            data_loader,
+            hub=self.hub,
+            config=producer_config or ProducerConfig(),
+            pool=self.pool,
+        )
+        self._thread: Optional[threading.Thread] = None
+        self._consumers: List[TensorConsumer] = []
+        self._producer_error: Optional[BaseException] = None
+
+    # -- lifecycle ---------------------------------------------------------------------
+    def start(self) -> "SharedLoaderSession":
+        """Start the producer loop on a daemon thread."""
+        if self._thread is not None:
+            raise RuntimeError("session already started")
+        self._thread = threading.Thread(target=self._run_producer, daemon=True, name="producer")
+        self._thread.start()
+        return self
+
+    def _run_producer(self) -> None:
+        try:
+            for _ in self.producer:
+                pass
+            self.producer.join()
+        except BaseException as exc:  # pragma: no cover - surfaced via raise_producer_error
+            self._producer_error = exc
+
+    def consumer(self, config: Optional[ConsumerConfig] = None) -> TensorConsumer:
+        """Create a consumer connected to this session's producer."""
+        consumer = TensorConsumer(hub=self.hub, pool=self.pool, config=config)
+        self._consumers.append(consumer)
+        return consumer
+
+    def raise_producer_error(self) -> None:
+        """Re-raise any exception the producer thread died with."""
+        if self._producer_error is not None:
+            raise self._producer_error
+
+    def shutdown(self, timeout: float = 10.0) -> None:
+        """Stop the producer, close consumers and release shared memory."""
+        self.producer.stop()
+        for consumer in self._consumers:
+            consumer.close()
+        if self._thread is not None:
+            self._thread.join(timeout=timeout)
+        self.pool.shutdown()
+        self.raise_producer_error()
+
+    def __enter__(self) -> "SharedLoaderSession":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+    @property
+    def is_running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()

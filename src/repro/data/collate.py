@@ -1,0 +1,49 @@
+"""Collation: turn a list of per-item dictionaries into one batch of tensors.
+
+The producer's nested loader collates items exactly like PyTorch's default
+collate function: numpy arrays and tensors stack along a new leading
+dimension, numbers become 1-D tensors, and dictionaries collate key-wise.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence
+
+import numpy as np
+
+from repro.tensor.tensor import Tensor, from_numpy, stack
+
+
+def default_collate(items: Sequence) -> Dict[str, Tensor]:
+    """Collate a list of items into a mapping of batched tensors.
+
+    Supported item shapes:
+
+    * mapping of str → (Tensor | numpy array | int | float) — collated per key,
+    * tuple ``(sample, label)`` — collated into ``{"inputs", "targets"}``.
+    """
+    items = list(items)
+    if not items:
+        raise ValueError("cannot collate an empty batch")
+
+    first = items[0]
+    if isinstance(first, Mapping):
+        return {key: _collate_values([item[key] for item in items]) for key in first}
+    if isinstance(first, (tuple, list)) and len(first) == 2:
+        inputs = _collate_values([item[0] for item in items])
+        targets = _collate_values([item[1] for item in items])
+        return {"inputs": inputs, "targets": targets}
+    raise TypeError(f"cannot collate items of type {type(first)!r}")
+
+
+def _collate_values(values: List) -> Tensor:
+    first = values[0]
+    if isinstance(first, Tensor):
+        return stack(values)
+    if isinstance(first, np.ndarray):
+        return from_numpy(np.stack(values))
+    if isinstance(first, (int, np.integer)):
+        return from_numpy(np.asarray(values, dtype=np.int64))
+    if isinstance(first, (float, np.floating)):
+        return from_numpy(np.asarray(values, dtype=np.float32))
+    raise TypeError(f"cannot collate values of type {type(first)!r}")

@@ -1,0 +1,230 @@
+"""A multi-worker, prefetching data loader.
+
+This is the object a :class:`~repro.core.producer.TensorProducer` wraps — the
+reproduction of ``torch.utils.data.DataLoader``.  It supports:
+
+* map-style datasets with a sampler / batch-sampler,
+* an optional per-item ``transform`` (the preprocessing pipeline),
+* ``num_workers`` worker threads with ``prefetch_factor`` batches in flight,
+* ordered delivery (batches come out in sampler order regardless of which
+  worker finished first),
+* a ``nominal_cpu_seconds_per_item`` estimate derived from the transform
+  chain, which the simulated experiments use to charge CPU time.
+
+Worker parallelism uses threads rather than processes: the numpy work in the
+synthetic pipelines is small, threads keep the loader dependency-free, and the
+hardware *cost* of loading is modeled separately by the simulator, so thread
+workers are sufficient for both the real-mode library and the experiments.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Callable, Dict, Iterator, List, Optional, Sequence
+
+from repro.data.collate import default_collate
+from repro.data.dataset import Dataset
+from repro.data.samplers import BatchSampler, RandomSampler, Sampler, SequentialSampler
+from repro.tensor.tensor import Tensor
+
+
+class DataLoader:
+    """Iterate a dataset in batches, optionally with worker threads.
+
+    Parameters
+    ----------
+    dataset:
+        A map-style :class:`~repro.data.dataset.Dataset`.
+    batch_size:
+        Samples per batch (ignored when ``batch_sampler`` is given).
+    shuffle:
+        Use a :class:`~repro.data.samplers.RandomSampler` when no explicit
+        sampler is supplied.
+    sampler / batch_sampler:
+        Explicit sampling control, mutually exclusive with ``shuffle`` /
+        ``batch_size`` respectively (matching PyTorch's rules).
+    num_workers:
+        Worker threads; ``0`` loads synchronously in the iterating thread.
+    transform:
+        Optional per-item callable applied before collation.
+    collate_fn:
+        Batch assembly function; defaults to :func:`default_collate`.
+    prefetch_factor:
+        Batches each worker keeps in flight.
+    drop_last:
+        Drop the final partial batch.
+    """
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        batch_size: int = 1,
+        *,
+        shuffle: bool = False,
+        sampler: Optional[Sampler] = None,
+        batch_sampler: Optional[BatchSampler] = None,
+        num_workers: int = 0,
+        transform: Optional[Callable] = None,
+        collate_fn: Optional[Callable] = None,
+        prefetch_factor: int = 2,
+        drop_last: bool = False,
+        seed: int = 0,
+    ) -> None:
+        if batch_sampler is not None:
+            if sampler is not None or shuffle:
+                raise ValueError("batch_sampler is mutually exclusive with sampler/shuffle")
+        else:
+            if batch_size <= 0:
+                raise ValueError("batch_size must be positive")
+        if sampler is not None and shuffle:
+            raise ValueError("sampler is mutually exclusive with shuffle")
+        if num_workers < 0:
+            raise ValueError("num_workers must be non-negative")
+        if prefetch_factor <= 0:
+            raise ValueError("prefetch_factor must be positive")
+
+        self.dataset = dataset
+        self.batch_size = int(batch_size)
+        self.num_workers = int(num_workers)
+        self.transform = transform
+        self.collate_fn = collate_fn or default_collate
+        self.prefetch_factor = int(prefetch_factor)
+        self.drop_last = bool(drop_last)
+
+        if batch_sampler is not None:
+            self.batch_sampler = batch_sampler
+            self.sampler = batch_sampler.sampler
+        else:
+            if sampler is None:
+                sampler = (
+                    RandomSampler(dataset, seed=seed) if shuffle else SequentialSampler(dataset)
+                )
+            self.sampler = sampler
+            self.batch_sampler = BatchSampler(sampler, self.batch_size, drop_last=drop_last)
+
+    # -- metadata ------------------------------------------------------------------
+    def __len__(self) -> int:
+        """Number of batches per epoch."""
+        return len(self.batch_sampler)
+
+    @property
+    def nominal_cpu_seconds_per_item(self) -> float:
+        """Single-core CPU seconds of preprocessing per item (0 if no transform)."""
+        return getattr(self.transform, "nominal_cpu_seconds", 0.0) if self.transform else 0.0
+
+    @property
+    def stored_bytes_per_item(self) -> int:
+        """On-disk bytes read per item, taken from the dataset when it reports it."""
+        probe = self.dataset[0] if len(self.dataset) else None
+        if probe is None:
+            return 0
+        if hasattr(probe, "stored_nbytes"):
+            return int(probe.stored_nbytes)
+        if isinstance(probe, dict) and "stored_nbytes" in probe:
+            return int(probe["stored_nbytes"])
+        return 0
+
+    # -- iteration -------------------------------------------------------------------
+    def __iter__(self) -> "LoaderIterator":
+        return LoaderIterator(self)
+
+    def _load_item(self, index: int):
+        item = self.dataset[index]
+        if self.transform is not None:
+            item = self.transform(item)
+        return item
+
+    def _load_batch(self, indices: Sequence[int]) -> Dict[str, Tensor]:
+        return self.collate_fn([self._load_item(i) for i in indices])
+
+
+class LoaderIterator:
+    """One epoch's iteration state, with optional worker threads."""
+
+    _SENTINEL = object()
+
+    def __init__(self, loader: DataLoader) -> None:
+        self._loader = loader
+        self._batches = list(loader.batch_sampler)
+        self._next_to_yield = 0
+        self.batches_loaded = 0
+
+        if loader.num_workers == 0:
+            self._mode = "sync"
+            return
+
+        self._mode = "threaded"
+        self._task_queue: "queue.Queue" = queue.Queue()
+        self._results: Dict[int, Dict[str, Tensor]] = {}
+        self._results_lock = threading.Condition()
+        self._stop = threading.Event()
+        max_in_flight = loader.num_workers * loader.prefetch_factor
+        self._in_flight = threading.Semaphore(max_in_flight)
+
+        for position, indices in enumerate(self._batches):
+            self._task_queue.put((position, indices))
+        for _ in range(loader.num_workers):
+            self._task_queue.put(self._SENTINEL)
+
+        self._workers = [
+            threading.Thread(target=self._worker_loop, daemon=True, name=f"loader-worker-{i}")
+            for i in range(loader.num_workers)
+        ]
+        for worker in self._workers:
+            worker.start()
+
+    # -- worker side -------------------------------------------------------------
+    def _worker_loop(self) -> None:
+        while not self._stop.is_set():
+            task = self._task_queue.get()
+            if task is self._SENTINEL:
+                return
+            position, indices = task
+            self._in_flight.acquire()
+            try:
+                batch = self._loader._load_batch(indices)
+            except Exception as exc:  # surface worker failures to the consumer
+                batch = exc
+            with self._results_lock:
+                self._results[position] = batch
+                self._results_lock.notify_all()
+
+    # -- consumer side ---------------------------------------------------------------
+    def __iter__(self) -> "LoaderIterator":
+        return self
+
+    def __next__(self) -> Dict[str, Tensor]:
+        if self._next_to_yield >= len(self._batches):
+            self.close()
+            raise StopIteration
+        if self._mode == "sync":
+            batch = self._loader._load_batch(self._batches[self._next_to_yield])
+        else:
+            with self._results_lock:
+                while self._next_to_yield not in self._results:
+                    self._results_lock.wait(timeout=0.1)
+                batch = self._results.pop(self._next_to_yield)
+            self._in_flight.release()
+            if isinstance(batch, Exception):
+                self.close()
+                raise batch
+        self._next_to_yield += 1
+        self.batches_loaded += 1
+        return batch
+
+    def close(self) -> None:
+        if self._mode == "threaded":
+            self._stop.set()
+            # Drain remaining tasks so worker threads can exit promptly.
+            try:
+                while True:
+                    self._task_queue.get_nowait()
+            except queue.Empty:
+                pass
+
+    def __del__(self) -> None:  # pragma: no cover - best-effort cleanup
+        try:
+            self.close()
+        except Exception:
+            pass

@@ -1,0 +1,108 @@
+"""Dataset protocols: map-style, iterable, subsets and concatenation.
+
+These mirror ``torch.utils.data``'s dataset surface closely enough that any
+training script written against this reproduction reads like a PyTorch script
+(which is the adoption argument the paper makes for TensorSocket itself).
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterable, Iterator, List, Sequence
+
+
+class Dataset:
+    """A map-style dataset: indexable and sized.
+
+    Subclasses implement ``__getitem__`` and ``__len__``.  Items can be
+    anything the downstream collate function understands; the synthetic
+    datasets in :mod:`repro.data.synthetic` return ``(sample, label)`` pairs of
+    numpy arrays / ints plus a per-item cost annotation.
+    """
+
+    def __getitem__(self, index: int):
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    def __iter__(self) -> Iterator:
+        for index in range(len(self)):
+            yield self[index]
+
+    # -- composition helpers -----------------------------------------------------
+    def subset(self, indices: Sequence[int]) -> "Subset":
+        return Subset(self, indices)
+
+    def __add__(self, other: "Dataset") -> "ConcatDataset":
+        return ConcatDataset([self, other])
+
+
+class IterableDataset:
+    """A purely streaming dataset (no random access, unknown or known length)."""
+
+    def __iter__(self) -> Iterator:
+        raise NotImplementedError
+
+
+class Subset(Dataset):
+    """A view of a dataset restricted to the given indices."""
+
+    def __init__(self, dataset: Dataset, indices: Sequence[int]) -> None:
+        self.dataset = dataset
+        self.indices = list(indices)
+        n = len(dataset)
+        for index in self.indices:
+            if not (0 <= index < n):
+                raise IndexError(f"subset index {index} out of range for dataset of size {n}")
+
+    def __getitem__(self, index: int):
+        return self.dataset[self.indices[index]]
+
+    def __len__(self) -> int:
+        return len(self.indices)
+
+
+class ConcatDataset(Dataset):
+    """Concatenation of several datasets, indexable as one."""
+
+    def __init__(self, datasets: Iterable[Dataset]) -> None:
+        self.datasets: List[Dataset] = list(datasets)
+        if not self.datasets:
+            raise ValueError("ConcatDataset needs at least one dataset")
+        self.cumulative_sizes: List[int] = []
+        total = 0
+        for dataset in self.datasets:
+            total += len(dataset)
+            self.cumulative_sizes.append(total)
+
+    def __len__(self) -> int:
+        return self.cumulative_sizes[-1]
+
+    def __getitem__(self, index: int):
+        if index < 0:
+            index += len(self)
+        if not (0 <= index < len(self)):
+            raise IndexError(f"index {index} out of range for ConcatDataset of size {len(self)}")
+        dataset_idx = bisect.bisect_right(self.cumulative_sizes, index)
+        prior = 0 if dataset_idx == 0 else self.cumulative_sizes[dataset_idx - 1]
+        return self.datasets[dataset_idx][index - prior]
+
+
+def train_val_split(dataset: Dataset, val_fraction: float, *, seed: int = 0):
+    """Split a dataset into (train, validation) subsets.
+
+    The split is deterministic given ``seed`` — validation indices are a
+    pseudo-random sample without replacement.
+    """
+    import numpy as np
+
+    if not (0.0 < val_fraction < 1.0):
+        raise ValueError("val_fraction must be in (0, 1)")
+    n = len(dataset)
+    n_val = max(1, int(round(n * val_fraction)))
+    rng = np.random.default_rng(seed)
+    permutation = rng.permutation(n)
+    val_indices = sorted(int(i) for i in permutation[:n_val])
+    train_indices = sorted(int(i) for i in permutation[n_val:])
+    return Subset(dataset, train_indices), Subset(dataset, val_indices)

@@ -1,0 +1,124 @@
+"""Samplers: the order in which a data loader visits dataset indices.
+
+The paper's mechanisms interact with sampling in two places: the producer's
+nested loader iterates the dataset in whatever order its sampler defines, and
+Joader's "dependent sampling" (re-implemented in
+:mod:`repro.baselines.joader`) needs per-job samplers whose intersections are
+recomputed every iteration.  These samplers mirror ``torch.utils.data``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence
+
+import numpy as np
+
+
+class Sampler:
+    """Base class: an iterable of dataset indices with a known length."""
+
+    def __iter__(self) -> Iterator[int]:
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+
+class SequentialSampler(Sampler):
+    """Visit indices ``0, 1, ..., n-1`` in order."""
+
+    def __init__(self, data_source) -> None:
+        self.data_source = data_source
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(range(len(self.data_source)))
+
+    def __len__(self) -> int:
+        return len(self.data_source)
+
+
+class RandomSampler(Sampler):
+    """Visit indices in a fresh pseudo-random permutation each epoch.
+
+    ``reseed_each_epoch`` controls whether successive iterations produce
+    different permutations (the PyTorch behaviour) or repeat the same one
+    (useful for reproducible tests).
+    """
+
+    def __init__(
+        self,
+        data_source,
+        *,
+        seed: int = 0,
+        reseed_each_epoch: bool = True,
+        replacement: bool = False,
+        num_samples: Optional[int] = None,
+    ) -> None:
+        self.data_source = data_source
+        self.seed = int(seed)
+        self.reseed_each_epoch = bool(reseed_each_epoch)
+        self.replacement = bool(replacement)
+        self._num_samples = num_samples
+        self._epoch = 0
+
+    @property
+    def num_samples(self) -> int:
+        return self._num_samples if self._num_samples is not None else len(self.data_source)
+
+    def set_epoch(self, epoch: int) -> None:
+        """Explicitly pin the permutation used by the next iteration."""
+        self._epoch = int(epoch)
+
+    def __iter__(self) -> Iterator[int]:
+        rng = np.random.default_rng(self.seed + self._epoch)
+        n = len(self.data_source)
+        if self.replacement:
+            indices = rng.integers(0, n, size=self.num_samples)
+        else:
+            indices = rng.permutation(n)[: self.num_samples]
+        if self.reseed_each_epoch:
+            self._epoch += 1
+        return iter(int(i) for i in indices)
+
+    def __len__(self) -> int:
+        return self.num_samples
+
+
+class SubsetSampler(Sampler):
+    """Visit a fixed list of indices in the given order."""
+
+    def __init__(self, indices: Sequence[int]) -> None:
+        self.indices = [int(i) for i in indices]
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.indices)
+
+    def __len__(self) -> int:
+        return len(self.indices)
+
+
+class BatchSampler(Sampler):
+    """Group another sampler's indices into lists of ``batch_size``."""
+
+    def __init__(self, sampler: Sampler, batch_size: int, drop_last: bool = False) -> None:
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        self.sampler = sampler
+        self.batch_size = int(batch_size)
+        self.drop_last = bool(drop_last)
+
+    def __iter__(self) -> Iterator[List[int]]:
+        batch: List[int] = []
+        for index in self.sampler:
+            batch.append(index)
+            if len(batch) == self.batch_size:
+                yield batch
+                batch = []
+        if batch and not self.drop_last:
+            yield batch
+
+    def __len__(self) -> int:
+        n = len(self.sampler)
+        if self.drop_last:
+            return n // self.batch_size
+        return (n + self.batch_size - 1) // self.batch_size

@@ -1,0 +1,290 @@
+"""Synthetic stand-ins for the paper's datasets.
+
+The paper evaluates on ImageNet-1K, LibriSpeech, Conceptual Captions (CC3M)
+and Alpaca.  None of these can be downloaded in this environment, so each gets
+a synthetic equivalent that preserves the properties the data-loading path
+cares about:
+
+* on-disk item size (drives disk I/O accounting),
+* decoded item shape and dtype (drives PCIe traffic and GPU memory),
+* per-item decode / preprocessing cost (drives CPU-boundedness),
+* deterministic content derived from the item index (so tests can assert that
+  every consumer observed identical bytes without storing the dataset).
+
+Items are generated on the fly from a counter-based RNG; nothing is stored, so
+a "1.28M-image" dataset costs no memory until items are materialized.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+
+
+def _rng_for(seed: int, index: int) -> np.random.Generator:
+    """A per-item RNG: independent streams keyed by (seed, index)."""
+    return np.random.default_rng(np.random.SeedSequence(entropy=seed, spawn_key=(index,)))
+
+
+@dataclass(frozen=True)
+class SampleRecord:
+    """An un-decoded sample as it would come off storage.
+
+    ``payload`` is the raw encoded bytes (a stand-in for a JPEG / FLAC / text
+    blob), ``label`` is the supervised target, and ``stored_nbytes`` is what
+    reading the item costs in disk traffic.
+    """
+
+    index: int
+    payload: np.ndarray
+    label: int
+    stored_nbytes: int
+    kind: str
+
+
+class SyntheticImageDataset(Dataset):
+    """ImageNet-like synthetic dataset of encoded images.
+
+    Real ImageNet-1K: ~1.28M training images, average JPEG ≈ 110 KB, decoded
+    to 3x224x224 after augmentation, 1000 classes.  The defaults scale the
+    sample count down (experiments pass an explicit size) but keep per-item
+    sizes authentic so I/O and decode ratios match.
+    """
+
+    DEFAULT_ENCODED_BYTES = 110 * 1024
+
+    def __init__(
+        self,
+        size: int = 1_281_167,
+        *,
+        num_classes: int = 1000,
+        image_size: int = 224,
+        encoded_bytes: int = DEFAULT_ENCODED_BYTES,
+        payload_bytes: Optional[int] = None,
+        seed: int = 0,
+    ) -> None:
+        if size <= 0:
+            raise ValueError("dataset size must be positive")
+        self._size = int(size)
+        self.num_classes = int(num_classes)
+        self.image_size = int(image_size)
+        self.encoded_bytes = int(encoded_bytes)
+        # payload_bytes controls how many bytes are *materialized* per item;
+        # keeping it small makes tests fast while stored_nbytes still reports
+        # the realistic on-disk size for I/O accounting.
+        self.payload_bytes = int(payload_bytes if payload_bytes is not None else min(encoded_bytes, 4096))
+        self.seed = int(seed)
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __getitem__(self, index: int) -> SampleRecord:
+        if index < 0:
+            index += self._size
+        if not (0 <= index < self._size):
+            raise IndexError(f"index {index} out of range for dataset of size {self._size}")
+        rng = _rng_for(self.seed, index)
+        payload = rng.integers(0, 256, size=self.payload_bytes, dtype=np.uint8)
+        label = int(rng.integers(0, self.num_classes))
+        return SampleRecord(
+            index=index,
+            payload=payload,
+            label=label,
+            stored_nbytes=self.encoded_bytes,
+            kind="image",
+        )
+
+    def decoded_shape(self) -> Tuple[int, int, int]:
+        return (3, self.image_size, self.image_size)
+
+
+class SyntheticAudioDataset(Dataset):
+    """LibriSpeech-like synthetic dataset of audio clips.
+
+    LibriSpeech train-clean-100: ~28.5k utterances, FLAC ≈ 650 KB average,
+    16 kHz mono.  CLMR trains on fixed-length crops (59049 samples ≈ 3.7 s).
+    """
+
+    DEFAULT_ENCODED_BYTES = 650 * 1024
+
+    def __init__(
+        self,
+        size: int = 28_539,
+        *,
+        sample_rate: int = 16_000,
+        clip_seconds: float = 3.69,
+        num_classes: int = 251,
+        encoded_bytes: int = DEFAULT_ENCODED_BYTES,
+        payload_bytes: Optional[int] = None,
+        seed: int = 0,
+    ) -> None:
+        if size <= 0:
+            raise ValueError("dataset size must be positive")
+        self._size = int(size)
+        self.sample_rate = int(sample_rate)
+        self.clip_samples = int(sample_rate * clip_seconds)
+        self.num_classes = int(num_classes)
+        self.encoded_bytes = int(encoded_bytes)
+        self.payload_bytes = int(payload_bytes if payload_bytes is not None else min(encoded_bytes, 4096))
+        self.seed = int(seed)
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __getitem__(self, index: int) -> SampleRecord:
+        if index < 0:
+            index += self._size
+        if not (0 <= index < self._size):
+            raise IndexError(f"index {index} out of range for dataset of size {self._size}")
+        rng = _rng_for(self.seed, index)
+        payload = rng.integers(0, 256, size=self.payload_bytes, dtype=np.uint8)
+        label = int(rng.integers(0, self.num_classes))
+        return SampleRecord(
+            index=index,
+            payload=payload,
+            label=label,
+            stored_nbytes=self.encoded_bytes,
+            kind="audio",
+        )
+
+    def decoded_shape(self) -> Tuple[int]:
+        return (self.clip_samples,)
+
+
+class SyntheticCaptionDataset(Dataset):
+    """Conceptual-Captions-like dataset of (image, caption token ids) pairs.
+
+    Used for the DALL-E 2 diffusion-prior workload: each item is an encoded
+    image plus a tokenized caption; the producer-side CLIP model turns these
+    into image/text embeddings (Section 3.3.4 of the paper).
+    """
+
+    DEFAULT_ENCODED_BYTES = 90 * 1024
+
+    def __init__(
+        self,
+        size: int = 3_300_000,
+        *,
+        image_size: int = 224,
+        caption_length: int = 77,
+        vocab_size: int = 49_408,
+        encoded_bytes: int = DEFAULT_ENCODED_BYTES,
+        payload_bytes: Optional[int] = None,
+        seed: int = 0,
+    ) -> None:
+        if size <= 0:
+            raise ValueError("dataset size must be positive")
+        self._size = int(size)
+        self.image_size = int(image_size)
+        self.caption_length = int(caption_length)
+        self.vocab_size = int(vocab_size)
+        self.encoded_bytes = int(encoded_bytes)
+        self.payload_bytes = int(payload_bytes if payload_bytes is not None else min(encoded_bytes, 4096))
+        self.seed = int(seed)
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __getitem__(self, index: int):
+        if index < 0:
+            index += self._size
+        if not (0 <= index < self._size):
+            raise IndexError(f"index {index} out of range for dataset of size {self._size}")
+        rng = _rng_for(self.seed, index)
+        payload = rng.integers(0, 256, size=self.payload_bytes, dtype=np.uint8)
+        caption = rng.integers(0, self.vocab_size, size=self.caption_length, dtype=np.int64)
+        return {
+            "index": index,
+            "payload": payload,
+            "caption": caption,
+            "stored_nbytes": self.encoded_bytes,
+            "kind": "image_caption",
+        }
+
+
+class SyntheticInstructionDataset(Dataset):
+    """Alpaca-like instruction-tuning dataset of tokenized prompt/response pairs.
+
+    Alpaca has 52k instruction examples; sequences are short (mean ≈ 270
+    tokens) and preprocessing is trivial, which is why the LLM fine-tuning use
+    case in the paper (Table 4) is GPU-bound rather than input-bound.
+    """
+
+    def __init__(
+        self,
+        size: int = 52_002,
+        *,
+        max_sequence_length: int = 512,
+        mean_sequence_length: int = 270,
+        vocab_size: int = 151_936,
+        seed: int = 0,
+    ) -> None:
+        if size <= 0:
+            raise ValueError("dataset size must be positive")
+        if mean_sequence_length > max_sequence_length:
+            raise ValueError("mean_sequence_length cannot exceed max_sequence_length")
+        self._size = int(size)
+        self.max_sequence_length = int(max_sequence_length)
+        self.mean_sequence_length = int(mean_sequence_length)
+        self.vocab_size = int(vocab_size)
+        self.seed = int(seed)
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __getitem__(self, index: int):
+        if index < 0:
+            index += self._size
+        if not (0 <= index < self._size):
+            raise IndexError(f"index {index} out of range for dataset of size {self._size}")
+        rng = _rng_for(self.seed, index)
+        length = int(
+            np.clip(
+                rng.normal(self.mean_sequence_length, self.mean_sequence_length / 4),
+                16,
+                self.max_sequence_length,
+            )
+        )
+        tokens = rng.integers(0, self.vocab_size, size=length, dtype=np.int64)
+        return {
+            "index": index,
+            "tokens": tokens,
+            "length": length,
+            "stored_nbytes": length * 4,
+            "kind": "instruction",
+        }
+
+
+_DATASET_FACTORIES = {
+    "imagenet": SyntheticImageDataset,
+    "librispeech": SyntheticAudioDataset,
+    "cc3m": SyntheticCaptionDataset,
+    "alpaca": SyntheticInstructionDataset,
+}
+
+
+def make_dataset(name: str, size: Optional[int] = None, **kwargs) -> Dataset:
+    """Build a synthetic dataset by the paper's dataset name.
+
+    Parameters
+    ----------
+    name:
+        One of ``imagenet``, ``librispeech``, ``cc3m``, ``alpaca``
+        (case-insensitive).
+    size:
+        Number of items; defaults to the real dataset's training-set size.
+    """
+    key = name.lower()
+    try:
+        factory = _DATASET_FACTORIES[key]
+    except KeyError as exc:
+        raise ValueError(
+            f"unknown dataset {name!r}; expected one of {sorted(_DATASET_FACTORIES)}"
+        ) from exc
+    if size is not None:
+        return factory(size, **kwargs)
+    return factory(**kwargs)

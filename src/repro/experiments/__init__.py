@@ -1,0 +1,80 @@
+"""Experiment drivers: one per figure and table of the paper's evaluation.
+
+Every driver follows the same contract:
+
+* ``run_*(fast=False)`` builds the workloads and machines for that experiment,
+  runs the collocation simulator once per configuration, and returns an
+  :class:`~repro.experiments.base.ExperimentResult` whose rows mirror the
+  figure's series / the table's cells,
+* ``PAPER_REFERENCE`` in each module records the values (or qualitative
+  shapes) the paper reports, so the benchmark harness can print
+  paper-vs-measured side by side (see ``EXPERIMENTS.md``),
+* ``fast=True`` shortens the simulated duration so the whole suite can run in
+  seconds (used by tests); default durations match the benchmark harness.
+
+The registry in :data:`EXPERIMENTS` maps experiment ids (``fig8``, ``tab3``,
+...) to their drivers so ``python -m repro.experiments`` can run any subset.
+"""
+
+from repro.experiments.base import ExperimentResult, format_table
+from repro.experiments.cloud_catalog import run_figure1, run_table2
+from repro.experiments.image_classification import run_figure8
+from repro.experiments.data_movement import run_table3
+from repro.experiments.collocation_scaling import run_figure9
+from repro.experiments.flexible_batching import run_figure10
+from repro.experiments.audio_classification import run_figure11
+from repro.experiments.image_generation import run_figure12
+from repro.experiments.model_selection import run_figure13
+from repro.experiments.llm_finetuning import run_table4
+from repro.experiments.coordl_comparison import run_figure14
+from repro.experiments.joader_comparison import run_figure15
+from repro.experiments.ablations import (
+    run_ablation_buffer_size,
+    run_ablation_delivery_mode,
+    run_ablation_gpu_sharing,
+    run_ablation_producer_batch,
+    run_ablation_rubberband,
+)
+
+EXPERIMENTS = {
+    "fig1": run_figure1,
+    "tab2": run_table2,
+    "fig8": run_figure8,
+    "tab3": run_table3,
+    "fig9": run_figure9,
+    "fig10": run_figure10,
+    "fig11": run_figure11,
+    "fig12": run_figure12,
+    "fig13": run_figure13,
+    "tab4": run_table4,
+    "fig14": run_figure14,
+    "fig15": run_figure15,
+    "ablation_buffer": run_ablation_buffer_size,
+    "ablation_gpu_sharing": run_ablation_gpu_sharing,
+    "ablation_delivery": run_ablation_delivery_mode,
+    "ablation_producer_batch": run_ablation_producer_batch,
+    "ablation_rubberband": run_ablation_rubberband,
+}
+
+__all__ = [
+    "ExperimentResult",
+    "format_table",
+    "EXPERIMENTS",
+    "run_figure1",
+    "run_table2",
+    "run_figure8",
+    "run_table3",
+    "run_figure9",
+    "run_figure10",
+    "run_figure11",
+    "run_figure12",
+    "run_figure13",
+    "run_table4",
+    "run_figure14",
+    "run_figure15",
+    "run_ablation_buffer_size",
+    "run_ablation_gpu_sharing",
+    "run_ablation_delivery_mode",
+    "run_ablation_producer_batch",
+    "run_ablation_rubberband",
+]

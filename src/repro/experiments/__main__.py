@@ -1,0 +1,52 @@
+"""Command-line entry point: run any subset of the paper's experiments.
+
+Examples::
+
+    python -m repro.experiments --list
+    python -m repro.experiments fig8 tab3
+    python -m repro.experiments --all --fast
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments import EXPERIMENTS
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Run reproductions of the paper's figures and tables.",
+    )
+    parser.add_argument("experiments", nargs="*", help="experiment ids (e.g. fig8 tab3)")
+    parser.add_argument("--all", action="store_true", help="run every registered experiment")
+    parser.add_argument("--fast", action="store_true", help="short simulated durations")
+    parser.add_argument("--list", action="store_true", help="list available experiment ids")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for experiment_id in EXPERIMENTS:
+            print(experiment_id)
+        return 0
+
+    selected = list(EXPERIMENTS) if args.all else args.experiments
+    if not selected:
+        parser.print_help()
+        return 1
+
+    unknown = [e for e in selected if e not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment ids: {unknown}; use --list", file=sys.stderr)
+        return 2
+
+    for experiment_id in selected:
+        result = EXPERIMENTS[experiment_id](fast=args.fast)
+        print(result.to_markdown())
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,93 @@
+"""Shared infrastructure for experiment drivers: results, tables, durations."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+
+#: Default simulated duration (seconds) and warm-up for full experiment runs.
+DEFAULT_DURATION_S = 90.0
+DEFAULT_WARMUP_S = 15.0
+#: Shorter settings used by ``fast=True`` (unit tests, quick smoke runs).
+FAST_DURATION_S = 40.0
+FAST_WARMUP_S = 8.0
+
+
+def durations(fast: bool) -> Dict[str, float]:
+    """The (duration_s, warmup_s) pair as runner keyword arguments."""
+    if fast:
+        return {"duration_s": FAST_DURATION_S, "warmup_s": FAST_WARMUP_S}
+    return {"duration_s": DEFAULT_DURATION_S, "warmup_s": DEFAULT_WARMUP_S}
+
+
+@dataclass
+class ExperimentResult:
+    """The outcome of one experiment driver.
+
+    ``rows`` holds one dictionary per plotted point / table cell group, with
+    stable column names so benchmarks and EXPERIMENTS.md can consume them.
+    ``reference`` carries the paper's reported values for the same quantities
+    (where the paper gives numbers) for side-by-side comparison.
+    """
+
+    experiment_id: str
+    title: str
+    rows: List[Dict[str, object]] = field(default_factory=list)
+    reference: List[Dict[str, object]] = field(default_factory=list)
+    notes: str = ""
+
+    def add_row(self, **values: object) -> None:
+        self.rows.append(dict(values))
+
+    def column(self, name: str) -> List[object]:
+        return [row.get(name) for row in self.rows]
+
+    def row_where(self, **criteria: object) -> Dict[str, object]:
+        """The first row matching every key=value criterion."""
+        for row in self.rows:
+            if all(row.get(key) == value for key, value in criteria.items()):
+                return row
+        raise KeyError(f"no row matching {criteria} in {self.experiment_id}")
+
+    def to_markdown(self) -> str:
+        lines = [f"### {self.experiment_id}: {self.title}", ""]
+        lines.append(format_table(self.rows))
+        if self.notes:
+            lines.extend(["", self.notes])
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"ExperimentResult({self.experiment_id!r}, rows={len(self.rows)})"
+
+
+def format_table(rows: Sequence[Mapping[str, object]], columns: Optional[Sequence[str]] = None) -> str:
+    """Render rows as a GitHub-flavoured markdown table."""
+    rows = list(rows)
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        columns = []
+        for row in rows:
+            for key in row:
+                if key not in columns:
+                    columns.append(key)
+
+    def fmt(value: object) -> str:
+        if isinstance(value, float):
+            return f"{value:.2f}" if abs(value) < 100 else f"{value:.0f}"
+        return str(value)
+
+    header = "| " + " | ".join(columns) + " |"
+    divider = "| " + " | ".join("---" for _ in columns) + " |"
+    body = [
+        "| " + " | ".join(fmt(row.get(column, "")) for column in columns) + " |" for row in rows
+    ]
+    return "\n".join([header, divider] + body)
+
+
+def relative_change(new: float, old: float) -> float:
+    """(new - old) / old, guarded against zero denominators."""
+    if old == 0:
+        return float("inf") if new > 0 else 0.0
+    return (new - old) / old

@@ -1,0 +1,111 @@
+"""Figure 1 and Table 2: the cloud-instance landscape and the machines used.
+
+Figure 1 of the paper counts, for each (GPU count, vCPU count) cell, how many
+instance types AWS, Azure and GCP offer — the point being that vCPU:GPU ratios
+are coarse-grained and high-CPU variants are disproportionately expensive,
+which is what motivates reducing the CPU requirement of data loading.  The
+catalogue below transcribes the figure's grid (values read from the figure;
+they are counts of instance types, not of machines).
+
+Table 2 lists the servers and cloud instances the evaluation runs on, with
+on-demand prices; it is generated from :mod:`repro.hardware.instances` so the
+cost model used by Figures 11/13 and the table stay consistent.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.experiments.base import ExperimentResult
+from repro.hardware.instances import machine_catalog
+
+#: vCPU row labels used by Figure 1 (top to bottom in the paper's heat map).
+FIGURE1_VCPU_ROWS: Tuple[int, ...] = (96, 64, 48, 32, 24, 16, 8, 4)
+#: GPU count column labels.
+FIGURE1_GPU_COLS: Tuple[int, ...] = (1, 2, 4, 6, 8, 16)
+
+#: Instance-type counts per (vcpus, gpus) cell, transcribed from Figure 1.
+FIGURE1_GRID: Dict[str, Dict[Tuple[int, int], int]] = {
+    "aws": {
+        (4, 1): 1, (8, 1): 2, (16, 1): 5, (32, 1): 1,
+        (48, 1): 2, (96, 1): 2, (48, 4): 2, (96, 4): 4,
+        (32, 4): 2, (96, 8): 4, (64, 8): 1, (96, 16): 6,
+        (48, 8): 1, (24, 1): 9, (16, 2): 8,
+    },
+    "azure": {
+        (4, 1): 2, (8, 1): 1, (16, 1): 1, (24, 1): 1,
+        (32, 1): 2, (48, 4): 1, (96, 4): 1, (96, 8): 1,
+    },
+    "gcp": {
+        (4, 1): 2, (8, 1): 1, (16, 1): 1, (32, 1): 2,
+        (48, 1): 2, (96, 1): 1, (16, 2): 2, (32, 2): 1,
+        (48, 2): 2, (96, 2): 3, (24, 4): 3, (48, 4): 3,
+        (96, 4): 3, (64, 8): 1, (96, 8): 4, (96, 16): 3,
+        (48, 8): 3, (64, 4): 3, (64, 2): 1, (64, 1): 1,
+    },
+}
+
+#: The vCPU:GPU ratios the paper calls out as the common, affordable band.
+TYPICAL_VCPU_PER_GPU_RANGE = (4, 12)
+
+
+def vcpu_gpu_ratio_histogram(provider: str) -> Dict[float, int]:
+    """Instance-type count per vCPU:GPU ratio for one provider."""
+    grid = FIGURE1_GRID[provider.lower()]
+    histogram: Dict[float, int] = {}
+    for (vcpus, gpus), count in grid.items():
+        ratio = vcpus / gpus
+        histogram[ratio] = histogram.get(ratio, 0) + count
+    return dict(sorted(histogram.items()))
+
+
+def run_figure1(fast: bool = False) -> ExperimentResult:
+    """Figure 1: cloud instances by vCPU-to-GPU ratio across providers."""
+    result = ExperimentResult(
+        experiment_id="fig1",
+        title="Cloud instances by vCPU:GPU ratio (AWS, Azure, GCP)",
+        notes=(
+            "Counts of instance types per (vCPU, GPU) cell, transcribed from the "
+            "paper's Figure 1.  Most offerings sit at or below 12 vCPUs per GPU, "
+            "which is the regime where shared data loading pays off."
+        ),
+    )
+    for provider, grid in FIGURE1_GRID.items():
+        total = sum(grid.values())
+        low_ratio = sum(
+            count for (vcpus, gpus), count in grid.items() if vcpus / gpus <= TYPICAL_VCPU_PER_GPU_RANGE[1]
+        )
+        result.add_row(
+            provider=provider,
+            instance_types=total,
+            types_at_or_below_12_vcpu_per_gpu=low_ratio,
+            share_at_or_below_12=round(low_ratio / total, 2) if total else 0.0,
+            max_vcpu_per_gpu=max(v / g for (v, g) in grid),
+            min_vcpu_per_gpu=min(v / g for (v, g) in grid),
+        )
+    return result
+
+
+def run_table2(fast: bool = False) -> ExperimentResult:
+    """Table 2: the evaluation machines and their on-demand prices."""
+    result = ExperimentResult(
+        experiment_id="tab2",
+        title="On-prem servers and cloud instances used in the evaluation",
+    )
+    for name, spec in machine_catalog().items():
+        result.add_row(
+            instance=name,
+            vcpus=spec.vcpus,
+            gpu=spec.gpu.model,
+            gpu_count=spec.gpu_count,
+            vram_gb=spec.gpu.vram_gb,
+            cost_per_hour=spec.cost_per_hour if spec.cost_per_hour is not None else "-",
+            vcpus_per_gpu=round(spec.vcpus_per_gpu, 1),
+        )
+    return result
+
+
+def cost_ratio(small_instance: str, large_instance: str) -> float:
+    """Hourly-cost ratio between two cloud instances (used for savings claims)."""
+    catalog = machine_catalog()
+    return catalog[large_instance].hourly_cost() / catalog[small_instance].hourly_cost()

@@ -1,0 +1,73 @@
+"""Small helpers shared by the experiment drivers."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.experiments.base import durations
+from repro.hardware.gpu import GpuSharingMode
+from repro.hardware.instances import MachineSpec
+from repro.hardware.metrics import GB
+from repro.training.collocation import CollocationResult, CollocationRunner, SharingStrategy
+from repro.training.model_zoo import ModelProfile, get_model
+from repro.training.workload import TrainingWorkload
+
+#: On-disk dataset sizes (bytes) used for storage / page-cache modeling.
+DATASET_BYTES = {
+    "imagenet": 145 * GB,
+    "librispeech": 60 * GB,
+    "cc3m": 420 * GB,
+    "alpaca": int(0.05 * GB),
+}
+
+
+def make_workloads(
+    model: str | ModelProfile,
+    count: int,
+    *,
+    same_gpu: bool = False,
+    batch_size: Optional[int] = None,
+    start_delays: Optional[Sequence[float]] = None,
+) -> List[TrainingWorkload]:
+    """``count`` copies of one model, on separate GPUs or collocated on GPU 0."""
+    profile = get_model(model) if isinstance(model, str) else model
+    workloads = []
+    for index in range(count):
+        workloads.append(
+            TrainingWorkload(
+                model=profile,
+                gpu_index=0 if same_gpu else index,
+                batch_size=batch_size,
+                name=f"{profile.name}-{index}",
+                start_delay_s=start_delays[index] if start_delays else 0.0,
+            )
+        )
+    return workloads
+
+
+def run_collocation(
+    spec: MachineSpec,
+    workloads: Sequence[TrainingWorkload],
+    strategy: SharingStrategy,
+    *,
+    fast: bool = False,
+    total_loader_workers: Optional[int] = None,
+    sharing_mode: GpuSharingMode = GpuSharingMode.MPS,
+    producer_gpu: int = 0,
+    buffer_size: int = 2,
+    flexible_batching: bool = False,
+) -> CollocationResult:
+    """Run one configuration with experiment-standard durations and dataset sizing."""
+    dataset = workloads[0].model.dataset
+    runner = CollocationRunner(
+        spec,
+        strategy=strategy,
+        sharing_mode=sharing_mode,
+        total_loader_workers=total_loader_workers,
+        producer_gpu=producer_gpu,
+        buffer_size=buffer_size,
+        flexible_batching=flexible_batching,
+        dataset_bytes=DATASET_BYTES.get(dataset, 100 * GB),
+        **durations(fast),
+    )
+    return runner.run(list(workloads))

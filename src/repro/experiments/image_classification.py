@@ -1,0 +1,79 @@
+"""Figure 8: image-classification training on the A100 server, 4-way collocation.
+
+Setup (paper Section 4.2): each of the four A100 GPUs trains one instance of
+the same model on ImageNet; 48 vCPUs total (12 per GPU).  Without sharing,
+every training process runs its own loader with 12 workers; with TensorSocket
+a single producer on GPU 0 feeds all four consumers over NVLink.
+
+Reported per model: training throughput (samples/s), total CPU utilization and
+per-GPU SM activity — the three panels of Figure 8.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.harness import make_workloads, run_collocation
+from repro.hardware.instances import A100_SERVER
+from repro.training.collocation import SharingStrategy
+
+#: Models in the order the figure plots them (paper display names).
+FIGURE8_MODELS = ("ResNet18", "RegNetX 2", "RegNetX 4", "MobileNet S", "MobileNet L")
+
+#: Qualitative reference from the paper's Figure 8 and its discussion:
+#: throughput gain from sharing and whether the baseline saturates the CPU.
+PAPER_REFERENCE = {
+    "ResNet18": {"gain": "5-10%", "baseline_cpu_bound": True},
+    "RegNetX 2": {"gain": "large (>40%)", "baseline_cpu_bound": True},
+    "RegNetX 4": {"gain": "moderate", "baseline_cpu_bound": True},
+    "MobileNet S": {"gain": "~2x", "baseline_cpu_bound": True},
+    "MobileNet L": {"gain": "~5%", "baseline_cpu_bound": False},
+}
+
+COLLOCATION_DEGREE = 4
+TOTAL_WORKERS = 48
+
+
+def run_figure8(fast: bool = False) -> ExperimentResult:
+    """Reproduce Figure 8 (throughput, CPU utilization, GPU utilization)."""
+    result = ExperimentResult(
+        experiment_id="fig8",
+        title="Image classification, 4-way collocation on the A100 server",
+        notes=(
+            "Per-model training throughput with conventional loading vs. TensorSocket, "
+            "plus total CPU utilization and per-GPU SM activity.  The gain correlates "
+            "with how input-bound the model is (paper Section 4.2)."
+        ),
+    )
+    for display_name in FIGURE8_MODELS:
+        workloads = make_workloads(display_name, COLLOCATION_DEGREE, same_gpu=False)
+        baseline = run_collocation(
+            A100_SERVER,
+            workloads,
+            SharingStrategy.NONE,
+            fast=fast,
+            total_loader_workers=TOTAL_WORKERS,
+        )
+        shared = run_collocation(
+            A100_SERVER,
+            make_workloads(display_name, COLLOCATION_DEGREE, same_gpu=False),
+            SharingStrategy.TENSORSOCKET,
+            fast=fast,
+            total_loader_workers=TOTAL_WORKERS,
+        )
+        gain = (
+            shared.per_model_samples_per_second / baseline.per_model_samples_per_second
+            if baseline.per_model_samples_per_second
+            else float("inf")
+        )
+        result.add_row(
+            model=display_name,
+            non_shared_samples_per_s=round(baseline.per_model_samples_per_second, 1),
+            shared_samples_per_s=round(shared.per_model_samples_per_second, 1),
+            speedup=round(gain, 2),
+            non_shared_cpu_percent=round(baseline.cpu_utilization_percent, 1),
+            shared_cpu_percent=round(shared.cpu_utilization_percent, 1),
+            non_shared_gpu_percent=round(baseline.gpu_utilization_percent[1], 1),
+            shared_gpu_percent=round(shared.gpu_utilization_percent[1], 1),
+            paper_gain=PAPER_REFERENCE[display_name]["gain"],
+        )
+    return result

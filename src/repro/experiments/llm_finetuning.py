@@ -1,0 +1,104 @@
+"""Table 4: Qwen2.5-0.5B fine-tuning on Alpaca (two models, separate A100s).
+
+Setup (paper Section 4.6): two Qwen2.5-0.5B fine-tuning jobs (TorchTune
+recipe, batch size 8) run on A100 GPUs 1 and 2; under TensorSocket the
+producer lives on GPU 0 so its traffic and memory can be observed separately.
+LLM fine-tuning is GPU-bound, so the point of the table is not speedup but
+that sharing costs nothing: tokens/s unchanged, data traffic negligible
+(~150 KB/s of NVLink), no VRAM overhead on the consumers and ~1.5 GB on the
+producer GPU.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult, durations
+from repro.experiments.harness import DATASET_BYTES
+from repro.hardware.instances import A100_SERVER
+from repro.training.collocation import CollocationRunner, SharingStrategy
+from repro.training.model_zoo import get_model
+from repro.training.workload import TrainingWorkload
+
+PAPER_REFERENCE = {
+    "baseline": {"tokens_per_s": 7450.0, "pcie_mb_s": 48.0, "vram_gb": 7.3},
+    "shared_producer": {"pcie_mb_s": 0.3, "vram_gb": 1.5},
+    "shared_consumer": {"tokens_per_s": 7550.0, "pcie_mb_s": 48.0, "nvlink_kb_s": 152.0, "vram_gb": 7.3},
+}
+
+BATCH_SIZE = 8
+LOADER_WORKERS = 8
+
+
+def _run(strategy: SharingStrategy, fast: bool):
+    model = get_model("Qwen2.5 0.5B")
+    consumer_gpus = (1, 2) if strategy is SharingStrategy.TENSORSOCKET else (0, 1)
+    workloads = [
+        TrainingWorkload(model=model, gpu_index=gpu, batch_size=BATCH_SIZE, name=f"qwen-{i}")
+        for i, gpu in enumerate(consumer_gpus)
+    ]
+    runner = CollocationRunner(
+        A100_SERVER,
+        strategy=strategy,
+        total_loader_workers=LOADER_WORKERS,
+        producer_gpu=0,
+        dataset_bytes=DATASET_BYTES["alpaca"],
+        **durations(fast),
+    )
+    return runner.run(workloads), consumer_gpus
+
+
+def run_table4(fast: bool = False) -> ExperimentResult:
+    """Reproduce Table 4 (tokens/s, PCIe, NVLink and VRAM per GPU)."""
+    result = ExperimentResult(
+        experiment_id="tab4",
+        title="Qwen2.5-0.5B fine-tuning: training speed, traffic and memory per GPU",
+        notes=(
+            "LLM fine-tuning is GPU-bound: TensorSocket neither helps nor hurts tokens/s, "
+            "its data traffic is negligible next to the training's own PCIe use, and the "
+            "only memory cost is a small producer-side allocation (paper Table 4)."
+        ),
+    )
+
+    baseline, baseline_gpus = _run(SharingStrategy.NONE, fast)
+    for index, gpu in enumerate(baseline_gpus):
+        workload = baseline.workloads[index]
+        result.add_row(
+            mode="baseline",
+            gpu=gpu,
+            role="trainer",
+            tokens_per_s=round(workload.tokens_per_second),
+            pcie_mb_s=round(baseline.traffic_mb_s[f"pcie{gpu}_mb_s"], 1),
+            nvlink_kb_s=0.0,
+            vram_gb=round(baseline.gpu_vram_gb[gpu], 1),
+            paper_tokens_per_s=PAPER_REFERENCE["baseline"]["tokens_per_s"],
+            paper_vram_gb=PAPER_REFERENCE["baseline"]["vram_gb"],
+        )
+
+    shared, consumer_gpus = _run(SharingStrategy.TENSORSOCKET, fast)
+    result.add_row(
+        mode="shared",
+        gpu=0,
+        role="producer",
+        tokens_per_s=0,
+        pcie_mb_s=round(shared.traffic_mb_s["pcie0_mb_s"], 2),
+        nvlink_kb_s=round(
+            sum(v for k, v in shared.traffic_mb_s.items() if k.startswith("nvlink0-")) * 1024, 1
+        ),
+        vram_gb=round(shared.gpu_vram_gb[0], 1),
+        paper_tokens_per_s=0,
+        paper_vram_gb=PAPER_REFERENCE["shared_producer"]["vram_gb"],
+    )
+    for index, gpu in enumerate(consumer_gpus):
+        workload = shared.workloads[index]
+        nvlink_kb = shared.traffic_mb_s.get(f"nvlink0-{gpu}_mb_s", 0.0) * 1024
+        result.add_row(
+            mode="shared",
+            gpu=gpu,
+            role="consumer",
+            tokens_per_s=round(workload.tokens_per_second),
+            pcie_mb_s=round(shared.traffic_mb_s[f"pcie{gpu}_mb_s"], 1),
+            nvlink_kb_s=round(nvlink_kb, 1),
+            vram_gb=round(shared.gpu_vram_gb[gpu], 1),
+            paper_tokens_per_s=PAPER_REFERENCE["shared_consumer"]["tokens_per_s"],
+            paper_vram_gb=PAPER_REFERENCE["shared_consumer"]["vram_gb"],
+        )
+    return result

@@ -1,0 +1,102 @@
+"""Figure 13: mixed-workload model selection on AWS G5 instances.
+
+Setup (paper Section 4.5): a RegNetX 002 and a RegNetX 004 train together on
+one A10G GPU (a model-selection scenario where the candidate models differ in
+complexity), on the three G5 instance sizes, with and without TensorSocket.
+The paper plots aggregate throughput over elapsed time; the headline is that
+the shared g5.2xlarge closely approximates the larger instances' throughput at
+roughly half the cost, whereas the non-shared run throttles badly on the small
+instance.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.harness import run_collocation
+from repro.hardware.instances import aws_g5_instances
+from repro.training.collocation import SharingStrategy
+from repro.training.model_zoo import get_model
+from repro.training.workload import TrainingWorkload
+
+PAPER_REFERENCE = {
+    "shape": (
+        "non-shared throughput on g5.2xlarge throttles far below the larger instances; "
+        "with sharing the g5.2xlarge nearly matches g5.8xlarge at about half the cost"
+    ),
+}
+
+MODELS = ("RegNetX 2", "RegNetX 4")
+
+
+def _workloads() -> List[TrainingWorkload]:
+    return [
+        TrainingWorkload(model=get_model(name), gpu_index=0, name=f"{get_model(name).name}")
+        for name in MODELS
+    ]
+
+
+def run_figure13(fast: bool = False) -> ExperimentResult:
+    """Reproduce Figure 13 (aggregate throughput of the mixed workload over time)."""
+    result = ExperimentResult(
+        experiment_id="fig13",
+        title="Mixed workload (RegNetX 2 + RegNetX 4) on AWS G5 instances",
+        notes=(
+            "Aggregate steady-state throughput and a coarse time series per instance size. "
+            "The samples-per-dollar column carries the paper's cost argument: the shared "
+            "g5.2xlarge delivers large-instance throughput at half the price."
+        ),
+    )
+    for spec in aws_g5_instances():
+        for strategy in (SharingStrategy.NONE, SharingStrategy.TENSORSOCKET):
+            run = run_collocation(
+                spec,
+                _workloads(),
+                strategy,
+                fast=fast,
+                total_loader_workers=spec.vcpus,
+            )
+            series = aggregate_series(run)
+            result.add_row(
+                instance=spec.name,
+                strategy=str(strategy),
+                aggregate_samples_per_s=round(run.aggregate_samples_per_second, 1),
+                per_model_samples_per_s={
+                    w.name: round(w.samples_per_second, 1) for w in run.workloads
+                },
+                cpu_percent=round(run.cpu_utilization_percent, 1),
+                cost_per_hour=spec.cost_per_hour,
+                samples_per_dollar=round(run.samples_per_dollar() or 0.0),
+                series_points=len(series),
+                series_mean=round(
+                    sum(v for _, v in series) / len(series), 1
+                ) if series else 0.0,
+            )
+    return result
+
+
+def aggregate_series(run) -> List[Tuple[float, float]]:
+    """Sum the per-workload throughput series into one aggregate series."""
+    merged = {}
+    for workload in run.workloads:
+        for time, value in workload.throughput_series:
+            bucket = round(time, 0)
+            merged.setdefault(bucket, 0.0)
+            merged[bucket] = max(merged[bucket], 0.0)
+    # A simple union of sampling points: for each bucket take the sum of each
+    # workload's most recent rate at or before that time.
+    times = sorted(merged)
+    series: List[Tuple[float, float]] = []
+    for time in times:
+        total = 0.0
+        for workload in run.workloads:
+            last = 0.0
+            for t, v in workload.throughput_series:
+                if t <= time:
+                    last = v
+                else:
+                    break
+            total += last
+        series.append((time, total))
+    return series

@@ -1,0 +1,59 @@
+"""Simulated hardware substrate: CPUs, GPUs, interconnects, storage, machines.
+
+The paper's experiments run on an H100 server, a 4x A100 NVLink server and
+AWS G5 (A10G) cloud instances.  This subpackage models those machines on top
+of the discrete-event kernel in :mod:`repro.simulation` so the benchmark
+harness can reproduce every figure and table without the hardware:
+
+* :class:`~repro.hardware.cpu.CpuPool` — vCPU cores claimed by data-loading
+  workers and training-loop host work, with utilization accounting (the
+  paper's ``top``-style CPU %).
+* :class:`~repro.hardware.gpu.Gpu` — SM compute shared between collocated
+  processes via MPS or multi-streams, plus VRAM accounting (``dcgm`` SM
+  activity and ``nvidia-smi`` memory).
+* :class:`~repro.hardware.interconnect.Link` — PCIe and NVLink links with
+  finite bandwidth and byte counters (``dcgm`` PCIe/NVLink traffic).
+* :class:`~repro.hardware.storage.StorageDevice` — disk with a page cache
+  (``iostat`` disk I/O).
+* :class:`~repro.hardware.machine.Machine` — wires the above together from a
+  :class:`~repro.hardware.instances.MachineSpec`.
+* :mod:`~repro.hardware.instances` — the catalogue of machines used in the
+  paper's Table 2, including cloud prices.
+"""
+
+from repro.hardware.cpu import CpuPool
+from repro.hardware.gpu import Gpu, GpuSharingMode
+from repro.hardware.interconnect import Link, LinkKind
+from repro.hardware.storage import StorageDevice
+from repro.hardware.instances import (
+    AWS_G5_2XLARGE,
+    AWS_G5_4XLARGE,
+    AWS_G5_8XLARGE,
+    A100_SERVER,
+    H100_SERVER,
+    GpuSpec,
+    MachineSpec,
+    machine_catalog,
+)
+from repro.hardware.machine import Machine
+from repro.hardware.metrics import MetricsRegistry, TrafficMeter
+
+__all__ = [
+    "CpuPool",
+    "Gpu",
+    "GpuSharingMode",
+    "Link",
+    "LinkKind",
+    "StorageDevice",
+    "Machine",
+    "MachineSpec",
+    "GpuSpec",
+    "machine_catalog",
+    "H100_SERVER",
+    "A100_SERVER",
+    "AWS_G5_2XLARGE",
+    "AWS_G5_4XLARGE",
+    "AWS_G5_8XLARGE",
+    "MetricsRegistry",
+    "TrafficMeter",
+]

@@ -1,0 +1,141 @@
+"""Machine catalogue: the servers and cloud instances from the paper's Table 2.
+
+Each :class:`MachineSpec` records vCPU count, GPUs, interconnects, storage and
+(for cloud instances) the on-demand hourly price used for the cost-savings
+analysis (Figures 11 and 13, Section 4.3 and 4.5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.hardware.interconnect import NVLINK_A100, NVLINK_H100, PCIE_GEN4_X16, PCIE_GEN5_X16
+
+
+@dataclass(frozen=True)
+class GpuSpec:
+    """Static description of one GPU model."""
+
+    model: str
+    vram_gb: float
+    #: Training compute relative to an A100 SXM (A100 = 1.0).  Derived from
+    #: published mixed-precision training throughput ratios.
+    relative_compute: float
+
+
+A100_40GB = GpuSpec(model="A100", vram_gb=40.0, relative_compute=1.0)
+H100_80GB = GpuSpec(model="H100", vram_gb=80.0, relative_compute=2.2)
+A10G_24GB = GpuSpec(model="A10G", vram_gb=24.0, relative_compute=0.6)
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """Static description of a machine (on-prem server or cloud instance)."""
+
+    name: str
+    vcpus: int
+    gpu: GpuSpec
+    gpu_count: int
+    cost_per_hour: Optional[float] = None
+    has_nvlink: bool = False
+    nvlink_bandwidth: int = NVLINK_A100
+    pcie_bandwidth: int = PCIE_GEN4_X16
+    storage_bandwidth: float = 3.0e9
+    memory_gb: float = 256.0
+    provider: str = "on-prem"
+    notes: str = ""
+
+    @property
+    def vcpus_per_gpu(self) -> float:
+        return self.vcpus / self.gpu_count
+
+    @property
+    def total_vram_gb(self) -> float:
+        return self.gpu.vram_gb * self.gpu_count
+
+    def hourly_cost(self) -> float:
+        if self.cost_per_hour is None:
+            raise ValueError(f"{self.name} has no cloud price (on-prem machine)")
+        return self.cost_per_hour
+
+
+# -- Table 2 -----------------------------------------------------------------
+
+H100_SERVER = MachineSpec(
+    name="H100 Server",
+    vcpus=24,
+    gpu=H100_80GB,
+    gpu_count=1,
+    has_nvlink=False,
+    pcie_bandwidth=PCIE_GEN5_X16,
+    storage_bandwidth=6.0e9,
+    memory_gb=512.0,
+    notes="On-prem server used for DALL-E 2 collocation and the Joader comparison.",
+)
+
+A100_SERVER = MachineSpec(
+    name="A100 Server",
+    vcpus=48,  # 128 physical, capped at 48 to mimic Azure's 12:1 vCPU:GPU ratio
+    gpu=A100_40GB,
+    gpu_count=4,
+    has_nvlink=True,
+    nvlink_bandwidth=NVLINK_A100,
+    pcie_bandwidth=PCIE_GEN4_X16,
+    storage_bandwidth=5.0e9,
+    memory_gb=512.0,
+    notes="4x A100 NVLink server; capped to 48 cores as in the paper's Table 2.",
+)
+
+AWS_G5_2XLARGE = MachineSpec(
+    name="g5.2xlarge",
+    vcpus=8,
+    gpu=A10G_24GB,
+    gpu_count=1,
+    cost_per_hour=1.212,
+    pcie_bandwidth=PCIE_GEN4_X16,
+    storage_bandwidth=1.2e9,
+    memory_gb=32.0,
+    provider="aws",
+)
+
+AWS_G5_4XLARGE = MachineSpec(
+    name="g5.4xlarge",
+    vcpus=16,
+    gpu=A10G_24GB,
+    gpu_count=1,
+    cost_per_hour=1.624,
+    pcie_bandwidth=PCIE_GEN4_X16,
+    storage_bandwidth=1.8e9,
+    memory_gb=64.0,
+    provider="aws",
+)
+
+AWS_G5_8XLARGE = MachineSpec(
+    name="g5.8xlarge",
+    vcpus=32,
+    gpu=A10G_24GB,
+    gpu_count=1,
+    cost_per_hour=2.448,
+    pcie_bandwidth=PCIE_GEN4_X16,
+    storage_bandwidth=3.5e9,
+    memory_gb=128.0,
+    provider="aws",
+)
+
+
+def machine_catalog() -> Dict[str, MachineSpec]:
+    """Every machine used in the evaluation, keyed by name."""
+    machines = (
+        H100_SERVER,
+        A100_SERVER,
+        AWS_G5_2XLARGE,
+        AWS_G5_4XLARGE,
+        AWS_G5_8XLARGE,
+    )
+    return {machine.name: machine for machine in machines}
+
+
+def aws_g5_instances() -> Tuple[MachineSpec, ...]:
+    """The three AWS G5 sizes, ordered by vCPU count (Figures 11 and 13)."""
+    return (AWS_G5_2XLARGE, AWS_G5_4XLARGE, AWS_G5_8XLARGE)

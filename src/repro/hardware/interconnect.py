@@ -1,0 +1,103 @@
+"""Interconnect links: PCIe (CPU↔GPU) and NVLink (GPU↔GPU).
+
+TensorSocket replaces per-process host-to-device copies over PCIe with a
+single staging copy followed by GPU-to-GPU broadcasts over NVLink (Table 3 in
+the paper).  A :class:`Link` models one such channel: a finite bandwidth
+shared FIFO plus a byte counter, so experiments can report average MB/s per
+link exactly as ``dcgm`` does.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Optional
+
+from repro.hardware.metrics import TrafficMeter
+from repro.simulation.engine import Simulator
+from repro.simulation.resources import Resource
+
+
+class LinkKind(str, enum.Enum):
+    PCIE = "pcie"
+    NVLINK = "nvlink"
+    NETWORK = "network"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+#: Usable bandwidths (bytes/second) for the link generations in the paper's
+#: machines.  These are effective rates (~80% of the headline figure).
+PCIE_GEN4_X16 = int(25e9)
+PCIE_GEN5_X16 = int(50e9)
+NVLINK_A100 = int(480e9)
+NVLINK_H100 = int(720e9)
+
+
+class Link:
+    """A point-to-point (or shared bus) transfer channel."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        *,
+        kind: LinkKind,
+        bandwidth_bytes_per_s: float,
+        latency_s: float = 5e-6,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        if bandwidth_bytes_per_s <= 0:
+            raise ValueError("bandwidth must be positive")
+        if latency_s < 0:
+            raise ValueError("latency must be non-negative")
+        self.sim = sim
+        self.name = name
+        self.kind = kind
+        self.bandwidth = float(bandwidth_bytes_per_s)
+        self.latency = float(latency_s)
+        self._channel = Resource(sim, 1, name=f"{name}-channel")
+        self.meter = TrafficMeter(name, clock or sim.clock)
+
+    def transfer_seconds(self, nbytes: int) -> float:
+        """Time one transfer of ``nbytes`` takes with the link to itself."""
+        return self.latency + nbytes / self.bandwidth
+
+    def transfer(self, nbytes: int):
+        """A process body performing one transfer (FIFO access to the link)."""
+        if nbytes < 0:
+            raise ValueError("cannot transfer a negative number of bytes")
+
+        def _body():
+            yield self._channel.request()
+            try:
+                self.meter.record(nbytes)
+                duration = self.transfer_seconds(nbytes)
+                if duration > 0:
+                    yield self.sim.timeout(duration)
+            finally:
+                self._channel.release()
+
+        return _body()
+
+    def record_only(self, nbytes: int) -> None:
+        """Account bytes without simulating the transfer time.
+
+        Used for small control-plane messages whose latency is negligible but
+        whose volume should still show up in the traffic report.
+        """
+        self.meter.record(nbytes)
+
+    # -- reporting ----------------------------------------------------------------------
+    @property
+    def total_bytes(self) -> int:
+        return self.meter.total_bytes
+
+    def average_mb_per_second(self) -> float:
+        return self.meter.average_mb_per_second()
+
+    def utilization(self, since: float = 0.0) -> float:
+        return self._channel.utilization(since)
+
+    def __repr__(self) -> str:
+        return f"Link({self.name!r}, kind={self.kind.value}, total={self.total_bytes}B)"

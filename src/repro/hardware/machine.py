@@ -1,0 +1,132 @@
+"""A simulated machine assembled from a :class:`MachineSpec`.
+
+A :class:`Machine` owns the live simulation objects for one server or cloud
+instance: the CPU pool, one :class:`~repro.hardware.gpu.Gpu` per physical GPU,
+a PCIe link per GPU, NVLink links between GPUs when the spec has them, and a
+storage device.  Experiment drivers interact with machines rather than with
+individual resources, and read the per-device meters at the end of a run to
+build the paper's tables.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.hardware.cpu import CpuPool
+from repro.hardware.gpu import Gpu, GpuSharingMode
+from repro.hardware.instances import MachineSpec
+from repro.hardware.interconnect import Link, LinkKind
+from repro.hardware.metrics import GB, MetricsRegistry
+from repro.hardware.storage import StorageDevice
+from repro.simulation.engine import Simulator
+
+
+class Machine:
+    """Live simulation state for one machine."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        spec: MachineSpec,
+        *,
+        sharing_mode: GpuSharingMode = GpuSharingMode.MPS,
+        dataset_bytes: Optional[float] = None,
+    ) -> None:
+        self.sim = sim
+        self.spec = spec
+        self.cpu = CpuPool(sim, spec.vcpus, name=f"{spec.name}-cpu")
+        self.gpus: List[Gpu] = [
+            Gpu(
+                sim,
+                name=f"{spec.name}-gpu{i}",
+                vram_gb=spec.gpu.vram_gb,
+                relative_compute=spec.gpu.relative_compute,
+                sharing_mode=sharing_mode,
+            )
+            for i in range(spec.gpu_count)
+        ]
+        self.pcie_links: List[Link] = [
+            Link(
+                sim,
+                name=f"{spec.name}-pcie{i}",
+                kind=LinkKind.PCIE,
+                bandwidth_bytes_per_s=spec.pcie_bandwidth,
+            )
+            for i in range(spec.gpu_count)
+        ]
+        self.nvlink_links: Dict[Tuple[int, int], Link] = {}
+        if spec.has_nvlink and spec.gpu_count > 1:
+            for src in range(spec.gpu_count):
+                for dst in range(spec.gpu_count):
+                    if src < dst:
+                        self.nvlink_links[(src, dst)] = Link(
+                            sim,
+                            name=f"{spec.name}-nvlink{src}-{dst}",
+                            kind=LinkKind.NVLINK,
+                            bandwidth_bytes_per_s=spec.nvlink_bandwidth,
+                        )
+        working_set = dataset_bytes if dataset_bytes is not None else 150 * GB
+        self.storage = StorageDevice(
+            sim,
+            name=f"{spec.name}-disk",
+            read_bandwidth_bytes_per_s=spec.storage_bandwidth,
+            cache_bytes=min(spec.memory_gb * 0.5, 64.0) * GB,
+            working_set_bytes=working_set,
+        )
+        self.metrics = MetricsRegistry(sim.clock)
+
+    # -- lookups ------------------------------------------------------------------------
+    def gpu(self, index: int = 0) -> Gpu:
+        return self.gpus[index]
+
+    def pcie(self, gpu_index: int = 0) -> Link:
+        return self.pcie_links[gpu_index]
+
+    def nvlink(self, src: int, dst: int) -> Link:
+        """The NVLink link between two GPUs (order-independent)."""
+        if src == dst:
+            raise ValueError("an NVLink link connects two distinct GPUs")
+        key = (min(src, dst), max(src, dst))
+        try:
+            return self.nvlink_links[key]
+        except KeyError as exc:
+            raise ValueError(
+                f"{self.spec.name} has no NVLink between GPU {src} and GPU {dst}"
+            ) from exc
+
+    @property
+    def has_nvlink(self) -> bool:
+        return bool(self.nvlink_links)
+
+    def set_sharing_mode(self, mode: GpuSharingMode) -> None:
+        for gpu in self.gpus:
+            gpu.set_sharing_mode(mode)
+
+    def set_dataset_working_set(self, nbytes: float) -> None:
+        self.storage.set_working_set(nbytes)
+
+    def reset_utilization(self) -> None:
+        """Restart every device's utilization window (called after warm-up)."""
+        self.cpu.reset_utilization()
+        for gpu in self.gpus:
+            gpu.reset_utilization()
+
+    # -- reporting ----------------------------------------------------------------------
+    def traffic_report(self) -> Dict[str, float]:
+        """Average MB/s per channel over the whole run (Table 3 / Table 4 style)."""
+        report: Dict[str, float] = {"disk_read_mb_s": self.storage.average_mb_per_second()}
+        for index, link in enumerate(self.pcie_links):
+            report[f"pcie{index}_mb_s"] = link.average_mb_per_second()
+        for (src, dst), link in self.nvlink_links.items():
+            report[f"nvlink{src}-{dst}_mb_s"] = link.average_mb_per_second()
+        return report
+
+    def utilization_report(self, since: float = 0.0) -> Dict[str, float]:
+        report = {"cpu_percent": self.cpu.utilization_percent(since)}
+        for index, gpu in enumerate(self.gpus):
+            report[f"gpu{index}_percent"] = gpu.utilization_percent(since)
+            report[f"gpu{index}_vram_gb"] = gpu.vram_in_use_gb
+        return report
+
+    def __repr__(self) -> str:
+        return f"Machine({self.spec.name!r}, gpus={len(self.gpus)}, vcpus={self.spec.vcpus})"

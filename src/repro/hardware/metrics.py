@@ -1,0 +1,157 @@
+"""Measurement utilities: traffic meters, gauges and a metrics registry.
+
+The paper reports CPU utilization (``top``), GPU SM activity (``dcgm``), GPU
+memory (``nvidia-smi``), and average data movement on disk, PCIe and NVLink
+(``iostat`` / ``dcgm``).  The simulator produces the same quantities through
+these helpers; experiment drivers collect them into result rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+MB = 1024 * 1024
+GB = 1024 * MB
+
+
+class TrafficMeter:
+    """Counts bytes moved over a channel and reports averages.
+
+    ``clock`` is any zero-argument callable returning the current time; the
+    simulated clock is injected so rates are computed over simulated seconds.
+    """
+
+    def __init__(self, name: str, clock: Callable[[], float]) -> None:
+        self.name = name
+        self._clock = clock
+        self._start = clock()
+        self.total_bytes = 0
+        self.transfer_count = 0
+
+    def record(self, nbytes: int) -> None:
+        if nbytes < 0:
+            raise ValueError("cannot record negative bytes")
+        self.total_bytes += int(nbytes)
+        self.transfer_count += 1
+
+    def reset(self) -> None:
+        self.total_bytes = 0
+        self.transfer_count = 0
+        self._start = self._clock()
+
+    @property
+    def elapsed(self) -> float:
+        return max(self._clock() - self._start, 0.0)
+
+    def average_bytes_per_second(self) -> float:
+        elapsed = self.elapsed
+        return self.total_bytes / elapsed if elapsed > 0 else 0.0
+
+    def average_mb_per_second(self) -> float:
+        return self.average_bytes_per_second() / MB
+
+    def __repr__(self) -> str:
+        return f"TrafficMeter({self.name!r}, total={self.total_bytes}B)"
+
+
+class Gauge:
+    """A time-weighted gauge (e.g. memory in use) with peak tracking."""
+
+    def __init__(self, name: str, clock: Callable[[], float]) -> None:
+        self.name = name
+        self._clock = clock
+        self._value = 0.0
+        self.peak = 0.0
+        self._last_time = clock()
+        self._integral = 0.0
+
+    def set(self, value: float) -> None:
+        now = self._clock()
+        self._integral += self._value * (now - self._last_time)
+        self._last_time = now
+        self._value = float(value)
+        self.peak = max(self.peak, self._value)
+
+    def add(self, delta: float) -> None:
+        self.set(self._value + delta)
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def time_average(self, since: float = 0.0) -> float:
+        now = self._clock()
+        elapsed = now - since
+        if elapsed <= 0:
+            return self._value
+        integral = self._integral + self._value * (now - self._last_time)
+        return integral / elapsed
+
+
+@dataclass
+class Counter:
+    """A plain monotonic counter."""
+
+    name: str
+    value: float = 0.0
+
+    def add(self, delta: float = 1.0) -> None:
+        self.value += delta
+
+
+class MetricsRegistry:
+    """A named collection of meters, gauges and counters for one simulation run."""
+
+    def __init__(self, clock: Callable[[], float]) -> None:
+        self._clock = clock
+        self.meters: Dict[str, TrafficMeter] = {}
+        self.gauges: Dict[str, Gauge] = {}
+        self.counters: Dict[str, Counter] = {}
+
+    def meter(self, name: str) -> TrafficMeter:
+        if name not in self.meters:
+            self.meters[name] = TrafficMeter(name, self._clock)
+        return self.meters[name]
+
+    def gauge(self, name: str) -> Gauge:
+        if name not in self.gauges:
+            self.gauges[name] = Gauge(name, self._clock)
+        return self.gauges[name]
+
+    def counter(self, name: str) -> Counter:
+        if name not in self.counters:
+            self.counters[name] = Counter(name)
+        return self.counters[name]
+
+    def snapshot(self) -> Dict[str, float]:
+        """A flat dictionary of every metric's headline value."""
+        out: Dict[str, float] = {}
+        for name, meter in self.meters.items():
+            out[f"{name}.total_bytes"] = float(meter.total_bytes)
+            out[f"{name}.mb_per_s"] = meter.average_mb_per_second()
+        for name, gauge in self.gauges.items():
+            out[f"{name}.value"] = gauge.value
+            out[f"{name}.peak"] = gauge.peak
+        for name, counter in self.counters.items():
+            out[name] = counter.value
+        return out
+
+
+@dataclass
+class ThroughputSeries:
+    """Samples of (time, samples/s) used for time-series figures (Figure 13)."""
+
+    name: str
+    times: List[float] = field(default_factory=list)
+    values: List[float] = field(default_factory=list)
+
+    def append(self, time: float, value: float) -> None:
+        self.times.append(time)
+        self.values.append(value)
+
+    def as_rows(self) -> List[Tuple[float, float]]:
+        return list(zip(self.times, self.values))
+
+    def mean(self) -> float:
+        return sum(self.values) / len(self.values) if self.values else 0.0

@@ -1,0 +1,111 @@
+"""Storage device with a page cache.
+
+Reading training data from disk is the other host-side bottleneck the paper
+discusses (Section 2): when the dataset exceeds memory, every epoch re-reads
+from disk and the OS page cache thrashes.  The model here is intentionally
+simple but captures what the experiments need:
+
+* a finite read bandwidth shared FIFO,
+* a page cache holding ``cache_bytes`` of the hottest data — a read hits the
+  cache with probability ``min(1, cache_bytes / working_set_bytes)`` and then
+  costs no disk traffic,
+* a byte counter for the ``iostat``-style disk I/O column of Table 3.
+
+With N independent (non-shared) loaders the working set is read N times per
+epoch, multiplying disk traffic; TensorSocket's single producer reads it once.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.hardware.metrics import GB, TrafficMeter
+from repro.simulation.engine import Simulator
+from repro.simulation.resources import Resource
+
+
+class StorageDevice:
+    """A disk (NVMe by default) with bandwidth, latency and a page cache."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str = "nvme",
+        *,
+        read_bandwidth_bytes_per_s: float = 3.0e9,
+        latency_s: float = 80e-6,
+        cache_bytes: float = 64 * GB,
+        working_set_bytes: float = 150 * GB,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        if read_bandwidth_bytes_per_s <= 0:
+            raise ValueError("read bandwidth must be positive")
+        if cache_bytes < 0 or working_set_bytes <= 0:
+            raise ValueError("cache and working-set sizes must be non-negative / positive")
+        self.sim = sim
+        self.name = name
+        self.read_bandwidth = float(read_bandwidth_bytes_per_s)
+        self.latency = float(latency_s)
+        self.cache_bytes = float(cache_bytes)
+        self.working_set_bytes = float(working_set_bytes)
+        self._channel = Resource(sim, 1, name=f"{name}-channel")
+        self.meter = TrafficMeter(f"{name}-read", clock or sim.clock)
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    # -- cache model -------------------------------------------------------------------
+    @property
+    def cache_hit_ratio(self) -> float:
+        if self.working_set_bytes <= 0:
+            return 1.0
+        return min(1.0, self.cache_bytes / self.working_set_bytes)
+
+    def set_working_set(self, nbytes: float) -> None:
+        """Update the hot working-set size (e.g. dataset size × loader count)."""
+        if nbytes <= 0:
+            raise ValueError("working set must be positive")
+        self.working_set_bytes = float(nbytes)
+
+    # -- reads --------------------------------------------------------------------------
+    def read(self, nbytes: int, *, cacheable: bool = True):
+        """A process body reading ``nbytes``; cache hits cost (almost) nothing."""
+        if nbytes < 0:
+            raise ValueError("cannot read a negative number of bytes")
+
+        def _body():
+            hit_fraction = self.cache_hit_ratio if cacheable else 0.0
+            disk_bytes = int(nbytes * (1.0 - hit_fraction))
+            if disk_bytes <= 0:
+                self.cache_hits += 1
+                return
+            self.cache_misses += 1
+            yield self._channel.request()
+            try:
+                self.meter.record(disk_bytes)
+                duration = self.latency + disk_bytes / self.read_bandwidth
+                yield self.sim.timeout(duration)
+            finally:
+                self._channel.release()
+
+        return _body()
+
+    def read_seconds(self, nbytes: int) -> float:
+        """Expected time for a read given the current cache hit ratio."""
+        disk_bytes = nbytes * (1.0 - self.cache_hit_ratio)
+        if disk_bytes <= 0:
+            return 0.0
+        return self.latency + disk_bytes / self.read_bandwidth
+
+    # -- reporting -----------------------------------------------------------------------
+    @property
+    def total_bytes_read(self) -> int:
+        return self.meter.total_bytes
+
+    def average_mb_per_second(self) -> float:
+        return self.meter.average_mb_per_second()
+
+    def __repr__(self) -> str:
+        return (
+            f"StorageDevice({self.name!r}, hit_ratio={self.cache_hit_ratio:.2f}, "
+            f"read={self.total_bytes_read}B)"
+        )

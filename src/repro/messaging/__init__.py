@@ -1,0 +1,52 @@
+"""Messaging layer: a small ZeroMQ-style socket library.
+
+TensorSocket uses ZeroMQ PUB/SUB sockets for the data channel (producer
+multicasts batch payloads to all consumers), a PUSH/PULL-style channel for
+acknowledgements, and a separate heartbeat channel for liveness (paper
+Section 3.2.3).  ZeroMQ is not available offline, so this subpackage provides
+the same patterns:
+
+* :class:`~repro.messaging.message.Message` — a typed envelope (topic, kind,
+  sender, body) with a stable wire encoding.
+* :class:`~repro.messaging.transport.InProcHub` — an in-process broker with
+  named endpoints, used by threaded runs, tests and the simulator.
+* :class:`~repro.messaging.transport.TcpHub` — the same API over TCP sockets
+  for true multi-process runs.
+* :mod:`~repro.messaging.sockets` — ``PubSocket`` / ``SubSocket``,
+  ``PushSocket`` / ``PullSocket`` and ``ReqSocket`` / ``RepSocket`` pattern
+  wrappers.
+* :class:`~repro.messaging.heartbeat.HeartbeatMonitor` — per-peer liveness
+  tracking with the detach-after-timeout behaviour the producer relies on.
+"""
+
+from repro.messaging.errors import MessagingError, EndpointClosedError, TimeoutError_
+from repro.messaging.message import Message, MessageKind
+from repro.messaging.transport import Endpoint, InProcHub, TcpHub
+from repro.messaging.sockets import (
+    PubSocket,
+    PullSocket,
+    PushSocket,
+    RepSocket,
+    ReqSocket,
+    SubSocket,
+)
+from repro.messaging.heartbeat import HeartbeatMonitor, HeartbeatSender
+
+__all__ = [
+    "Message",
+    "MessageKind",
+    "Endpoint",
+    "InProcHub",
+    "TcpHub",
+    "PubSocket",
+    "SubSocket",
+    "PushSocket",
+    "PullSocket",
+    "ReqSocket",
+    "RepSocket",
+    "HeartbeatMonitor",
+    "HeartbeatSender",
+    "MessagingError",
+    "EndpointClosedError",
+    "TimeoutError_",
+]

@@ -1,0 +1,18 @@
+"""Exception hierarchy for the messaging layer."""
+
+
+class MessagingError(Exception):
+    """Base class for messaging failures."""
+
+
+class EndpointClosedError(MessagingError):
+    """Raised when sending to or receiving from a closed endpoint."""
+
+
+class TimeoutError_(MessagingError):
+    """Raised when a blocking receive exceeds its timeout.
+
+    Named with a trailing underscore to avoid shadowing the builtin
+    :class:`TimeoutError`; it still subclasses :class:`MessagingError` so
+    callers can catch messaging failures uniformly.
+    """

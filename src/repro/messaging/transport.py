@@ -1,0 +1,427 @@
+"""Transports: how message envelopes move between parties.
+
+The socket patterns in :mod:`repro.messaging.sockets` are written against a
+small transport abstraction so the same producer/consumer protocol code can
+run in three settings:
+
+* **In-process** (:class:`InProcHub`) — endpoints are thread-safe queues held
+  in one registry.  Used by tests, threaded real-mode runs, and the
+  discrete-event simulator.
+* **TCP** (:class:`TcpHub`) — a lightweight broker thread speaking a
+  length-prefixed pickle protocol, so producer and consumers can live in
+  separate OS processes, mirroring the ZeroMQ deployment in the paper.
+
+Both hubs expose the same two primitives:
+
+* ``bind(address)`` / ``connect(address)`` → :class:`Endpoint`
+* ``publish(address, message)`` — fan out to every endpoint connected to the
+  address whose subscription matches the message topic (PUB/SUB), and
+* ``push(address, message)`` — deliver to the single endpoint bound at the
+  address (PUSH/PULL and REQ/REP routing).
+"""
+
+from __future__ import annotations
+
+import pickle
+import queue
+import socket
+import struct
+import threading
+import uuid
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.messaging.errors import EndpointClosedError, MessagingError, TimeoutError_
+from repro.messaging.message import Message
+
+
+class Endpoint:
+    """A receive queue owned by one socket.
+
+    Endpoints hold subscriptions (topic prefixes).  An endpoint with no
+    subscriptions receives everything published to the addresses it is
+    connected to; this matches ZeroMQ SUB sockets subscribed to ``""``.
+    """
+
+    def __init__(self, name: str, address: str) -> None:
+        self.name = name
+        self.address = address
+        self.subscriptions: Set[str] = set()
+        self._queue: "queue.Queue[Message]" = queue.Queue()
+        self._closed = False
+
+    # -- subscription management ---------------------------------------------------
+    def subscribe(self, prefix: str = "") -> None:
+        self.subscriptions.add(prefix)
+
+    def unsubscribe(self, prefix: str) -> None:
+        self.subscriptions.discard(prefix)
+
+    def accepts(self, message: Message) -> bool:
+        if not self.subscriptions:
+            return True
+        return any(message.matches_topic(prefix) for prefix in self.subscriptions)
+
+    # -- queue interface --------------------------------------------------------------
+    def deliver(self, message: Message) -> None:
+        if self._closed:
+            return
+        self._queue.put(message)
+
+    def receive(self, timeout: Optional[float] = None, block: bool = True) -> Message:
+        if self._closed and self._queue.empty():
+            raise EndpointClosedError(f"endpoint {self.name!r} is closed")
+        try:
+            return self._queue.get(block=block, timeout=timeout)
+        except queue.Empty as exc:
+            raise TimeoutError_(
+                f"no message on endpoint {self.name!r} within timeout={timeout}"
+            ) from exc
+
+    def try_receive(self) -> Optional[Message]:
+        """Non-blocking receive; returns ``None`` when the queue is empty."""
+        try:
+            return self._queue.get_nowait()
+        except queue.Empty:
+            return None
+
+    def pending(self) -> int:
+        return self._queue.qsize()
+
+    def close(self) -> None:
+        self._closed = True
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __repr__(self) -> str:
+        return f"Endpoint(name={self.name!r}, address={self.address!r})"
+
+
+class InProcHub:
+    """An in-process broker: named addresses, bound and connected endpoints."""
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self._bound: Dict[str, Endpoint] = {}
+        self._connected: Dict[str, List[Endpoint]] = {}
+        self._messages_published = 0
+        self._messages_pushed = 0
+
+    # -- endpoint management -----------------------------------------------------------
+    def bind(self, address: str, name: Optional[str] = None) -> Endpoint:
+        with self._lock:
+            if address in self._bound:
+                raise MessagingError(f"address {address!r} is already bound")
+            endpoint = Endpoint(name or f"bound-{uuid.uuid4().hex[:8]}", address)
+            self._bound[address] = endpoint
+            return endpoint
+
+    def connect(self, address: str, name: Optional[str] = None) -> Endpoint:
+        with self._lock:
+            endpoint = Endpoint(name or f"conn-{uuid.uuid4().hex[:8]}", address)
+            self._connected.setdefault(address, []).append(endpoint)
+            return endpoint
+
+    def disconnect(self, endpoint: Endpoint) -> None:
+        with self._lock:
+            peers = self._connected.get(endpoint.address, [])
+            if endpoint in peers:
+                peers.remove(endpoint)
+            if self._bound.get(endpoint.address) is endpoint:
+                del self._bound[endpoint.address]
+            endpoint.close()
+
+    # -- delivery ------------------------------------------------------------------------
+    def publish(self, address: str, message: Message) -> int:
+        """Fan a message out to every matching connected endpoint.
+
+        Returns the number of endpoints the message was delivered to.
+        """
+        with self._lock:
+            targets = [ep for ep in self._connected.get(address, []) if not ep.closed]
+        delivered = 0
+        for endpoint in targets:
+            if endpoint.accepts(message):
+                endpoint.deliver(message)
+                delivered += 1
+        self._messages_published += 1
+        return delivered
+
+    def push(self, address: str, message: Message) -> None:
+        """Deliver a message to the endpoint bound at ``address``."""
+        with self._lock:
+            endpoint = self._bound.get(address)
+        if endpoint is None or endpoint.closed:
+            raise MessagingError(f"no endpoint bound at {address!r}")
+        endpoint.deliver(message)
+        self._messages_pushed += 1
+
+    def has_bound(self, address: str) -> bool:
+        with self._lock:
+            return address in self._bound
+
+    def connected_count(self, address: str) -> int:
+        with self._lock:
+            return len([ep for ep in self._connected.get(address, []) if not ep.closed])
+
+    # -- statistics -----------------------------------------------------------------------
+    @property
+    def messages_published(self) -> int:
+        return self._messages_published
+
+    @property
+    def messages_pushed(self) -> int:
+        return self._messages_pushed
+
+    def __repr__(self) -> str:
+        with self._lock:
+            return (
+                f"InProcHub(bound={len(self._bound)}, "
+                f"connections={sum(len(v) for v in self._connected.values())})"
+            )
+
+
+# ---------------------------------------------------------------------------
+# TCP transport
+# ---------------------------------------------------------------------------
+
+_HEADER = struct.Struct("!I")
+
+
+def _send_frame(sock: socket.socket, payload: bytes) -> None:
+    sock.sendall(_HEADER.pack(len(payload)) + payload)
+
+
+def _recv_exactly(sock: socket.socket, count: int) -> bytes:
+    chunks = []
+    remaining = count
+    while remaining > 0:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            raise ConnectionError("peer closed the connection")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def _recv_frame(sock: socket.socket) -> bytes:
+    header = _recv_exactly(sock, _HEADER.size)
+    (length,) = _HEADER.unpack(header)
+    return _recv_exactly(sock, length)
+
+
+class TcpHub:
+    """A broker listening on one TCP port, routing frames between clients.
+
+    Each client registers with ``{"op": "bind"|"connect", "address": ...}`` and
+    then exchanges ``{"op": "publish"|"push", "address": ..., "message": ...}``
+    frames.  The broker applies the same routing rules as :class:`InProcHub`.
+
+    The TCP path exists so that the real-mode examples can run the producer and
+    consumers as genuinely separate OS processes; the in-process hub remains
+    the default everywhere else because it is dependency-free and deterministic.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0) -> None:
+        self._server = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._server.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._server.bind((host, port))
+        self._server.listen(64)
+        self.host, self.port = self._server.getsockname()
+        self._inner = InProcHub()
+        self._remote_endpoints: Dict[str, Tuple[Endpoint, socket.socket]] = {}
+        self._running = True
+        self._threads: List[threading.Thread] = []
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="tcp-hub-accept", daemon=True
+        )
+        self._accept_thread.start()
+
+    # -- server side -----------------------------------------------------------------
+    def _accept_loop(self) -> None:
+        while self._running:
+            try:
+                client, _ = self._server.accept()
+            except OSError:
+                break
+            thread = threading.Thread(
+                target=self._serve_client, args=(client,), daemon=True
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    def _serve_client(self, client: socket.socket) -> None:
+        endpoint: Optional[Endpoint] = None
+        forwarder: Optional[threading.Thread] = None
+        try:
+            while self._running:
+                frame = pickle.loads(_recv_frame(client))
+                op = frame["op"]
+                if op in ("bind", "connect"):
+                    address = frame["address"]
+                    if op == "bind":
+                        endpoint = self._inner.bind(address)
+                    else:
+                        endpoint = self._inner.connect(address)
+                        for prefix in frame.get("subscriptions", []):
+                            endpoint.subscribe(prefix)
+                    forwarder = threading.Thread(
+                        target=self._forward_loop, args=(endpoint, client), daemon=True
+                    )
+                    forwarder.start()
+                    _send_frame(client, pickle.dumps({"ok": True}))
+                elif op == "subscribe" and endpoint is not None:
+                    endpoint.subscribe(frame["prefix"])
+                elif op == "publish":
+                    message = Message.from_bytes(frame["message"])
+                    self._inner.publish(frame["address"], message)
+                elif op == "push":
+                    message = Message.from_bytes(frame["message"])
+                    self._inner.push(frame["address"], message)
+                elif op == "close":
+                    break
+        except (ConnectionError, EOFError, OSError):
+            pass
+        finally:
+            if endpoint is not None:
+                self._inner.disconnect(endpoint)
+            try:
+                client.close()
+            except OSError:
+                pass
+
+    def _forward_loop(self, endpoint: Endpoint, client: socket.socket) -> None:
+        """Push every message delivered to a server-side endpoint down to the client."""
+        while self._running and not endpoint.closed:
+            try:
+                message = endpoint.receive(timeout=0.2)
+            except TimeoutError_:
+                continue
+            except EndpointClosedError:
+                break
+            try:
+                _send_frame(
+                    client, pickle.dumps({"op": "deliver", "message": message.to_bytes()})
+                )
+            except OSError:
+                break
+
+    # -- lifecycle ---------------------------------------------------------------------
+    def close(self) -> None:
+        self._running = False
+        try:
+            self._server.close()
+        except OSError:
+            pass
+
+    @property
+    def endpoint_address(self) -> Tuple[str, int]:
+        return (self.host, self.port)
+
+    def __repr__(self) -> str:
+        return f"TcpHub({self.host}:{self.port})"
+
+
+class TcpClientEndpoint:
+    """Client-side endpoint talking to a :class:`TcpHub` broker.
+
+    Provides the same ``deliver``/``receive`` surface as :class:`Endpoint` so
+    the socket wrappers do not care whether they are in-process or remote.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        op: str,
+        address: str,
+        subscriptions: Optional[List[str]] = None,
+    ) -> None:
+        self.address = address
+        self.name = f"tcp-{uuid.uuid4().hex[:8]}"
+        self.subscriptions: Set[str] = set(subscriptions or [])
+        self._sock = socket.create_connection((host, port))
+        self._send_lock = threading.Lock()
+        self._queue: "queue.Queue[Message]" = queue.Queue()
+        self._closed = False
+        self._request(
+            {"op": op, "address": address, "subscriptions": list(self.subscriptions)}
+        )
+        self._reader = threading.Thread(target=self._read_loop, daemon=True)
+        self._reader.start()
+
+    def _request(self, frame: dict) -> None:
+        with self._send_lock:
+            _send_frame(self._sock, pickle.dumps(frame))
+            reply = pickle.loads(_recv_frame(self._sock))
+        if not reply.get("ok"):
+            raise MessagingError(f"broker rejected {frame!r}: {reply!r}")
+
+    def _read_loop(self) -> None:
+        while not self._closed:
+            try:
+                frame = pickle.loads(_recv_frame(self._sock))
+            except (ConnectionError, EOFError, OSError):
+                break
+            if frame.get("op") == "deliver":
+                self._queue.put(Message.from_bytes(frame["message"]))
+
+    # -- sending ----------------------------------------------------------------------
+    def send_publish(self, address: str, message: Message) -> None:
+        with self._send_lock:
+            _send_frame(
+                self._sock,
+                pickle.dumps(
+                    {"op": "publish", "address": address, "message": message.to_bytes()}
+                ),
+            )
+
+    def send_push(self, address: str, message: Message) -> None:
+        with self._send_lock:
+            _send_frame(
+                self._sock,
+                pickle.dumps(
+                    {"op": "push", "address": address, "message": message.to_bytes()}
+                ),
+            )
+
+    # -- receiving ---------------------------------------------------------------------
+    def subscribe(self, prefix: str = "") -> None:
+        self.subscriptions.add(prefix)
+        with self._send_lock:
+            _send_frame(self._sock, pickle.dumps({"op": "subscribe", "prefix": prefix}))
+
+    def receive(self, timeout: Optional[float] = None, block: bool = True) -> Message:
+        try:
+            return self._queue.get(block=block, timeout=timeout)
+        except queue.Empty as exc:
+            raise TimeoutError_(f"no message within timeout={timeout}") from exc
+
+    def try_receive(self) -> Optional[Message]:
+        try:
+            return self._queue.get_nowait()
+        except queue.Empty:
+            return None
+
+    def pending(self) -> int:
+        return self._queue.qsize()
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            with self._send_lock:
+                _send_frame(self._sock, pickle.dumps({"op": "close"}))
+        except OSError:
+            pass
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    @property
+    def closed(self) -> bool:
+        return self._closed

@@ -1,0 +1,42 @@
+"""A small discrete-event simulation kernel (SimPy-style, dependency-free).
+
+The paper's evaluation spans hardware this environment does not have (4x A100
+with NVLink, an H100 server, AWS A10G instances).  The benchmark harness
+therefore runs the TensorSocket protocol and its baselines on a simulated
+substrate; this subpackage is the kernel underneath that substrate.
+
+* :class:`~repro.simulation.engine.Simulator` — the event loop and clock.
+* :class:`~repro.simulation.engine.Process` — a generator-based coroutine;
+  yielding a :class:`~repro.simulation.engine.Timeout`, another process, or a
+  resource request suspends it until the corresponding event fires.
+* :mod:`~repro.simulation.resources` — ``Resource`` (counted slots),
+  ``Store`` (producer/consumer queue), ``Container`` (continuous quantity) and
+  ``ProcessorSharingResource`` (capacity split evenly among active jobs —
+  how MPS shares GPU SMs).
+"""
+
+from repro.simulation.engine import (
+    Interrupt,
+    Process,
+    SimulationError,
+    Simulator,
+    Timeout,
+)
+from repro.simulation.resources import (
+    Container,
+    ProcessorSharingResource,
+    Resource,
+    Store,
+)
+
+__all__ = [
+    "Simulator",
+    "Process",
+    "Timeout",
+    "Interrupt",
+    "SimulationError",
+    "Resource",
+    "Store",
+    "Container",
+    "ProcessorSharingResource",
+]

@@ -1,0 +1,328 @@
+"""The discrete-event simulation kernel: events, processes and the event loop.
+
+The kernel follows the SimPy model closely (but is dependency-free):
+
+* an :class:`Event` is something that will *trigger* at a simulated time and
+  then run its callbacks;
+* a :class:`Process` wraps a Python generator.  Each ``yield`` hands back an
+  event (a :class:`Timeout`, a resource request, or another process) and the
+  process resumes when that event triggers;
+* the :class:`Simulator` owns the clock and the priority queue of scheduled
+  events and advances time by popping events in (time, insertion order).
+
+Determinism: two events scheduled for the same instant fire in the order they
+were scheduled, so simulation results are reproducible run to run.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+
+class SimulationError(Exception):
+    """Raised for kernel misuse (yielding non-events, running without work, ...)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process that another actor interrupted."""
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """Something that triggers at a simulated time and then runs callbacks."""
+
+    __slots__ = ("sim", "callbacks", "_triggered", "_processed", "value", "ok")
+
+    def __init__(self, sim: "Simulator") -> None:
+        self.sim = sim
+        self.callbacks: List[Callable[["Event"], None]] = []
+        self._triggered = False
+        self._processed = False
+        self.value: Any = None
+        self.ok = True
+
+    # -- state ----------------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        return self._triggered
+
+    @property
+    def processed(self) -> bool:
+        return self._processed
+
+    # -- triggering -------------------------------------------------------------
+    def succeed(self, value: Any = None, delay: float = 0.0) -> "Event":
+        """Schedule this event to trigger (optionally after ``delay``)."""
+        if self._triggered:
+            raise SimulationError("event has already been triggered")
+        self._triggered = True
+        self.value = value
+        self.ok = True
+        self.sim._enqueue(self, delay)
+        return self
+
+    def fail(self, exception: BaseException, delay: float = 0.0) -> "Event":
+        """Schedule this event to trigger as a failure (raises in the waiter)."""
+        if self._triggered:
+            raise SimulationError("event has already been triggered")
+        self._triggered = True
+        self.value = exception
+        self.ok = False
+        self.sim._enqueue(self, delay)
+        return self
+
+    # -- internals ---------------------------------------------------------------
+    def _run_callbacks(self) -> None:
+        self._processed = True
+        callbacks, self.callbacks = self.callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+    def __repr__(self) -> str:
+        state = "processed" if self._processed else ("triggered" if self._triggered else "pending")
+        return f"{type(self).__name__}({state})"
+
+
+class Timeout(Event):
+    """An event that triggers ``delay`` simulated seconds after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise SimulationError(f"timeout delay must be non-negative, got {delay}")
+        super().__init__(sim)
+        self.delay = delay
+        self._triggered = True
+        self.value = value
+        sim._enqueue(self, delay)
+
+
+class Process(Event):
+    """A generator-based coroutine.
+
+    The process is itself an event: it triggers with the generator's return
+    value when the generator finishes, so other processes can ``yield`` it to
+    join on completion.
+    """
+
+    __slots__ = ("generator", "name", "_waiting_on", "_interrupts")
+
+    def __init__(self, sim: "Simulator", generator: Generator, name: str = "") -> None:
+        if not hasattr(generator, "send"):
+            raise SimulationError(f"Process needs a generator, got {type(generator)!r}")
+        super().__init__(sim)
+        self.generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self._waiting_on: Optional[Event] = None
+        self._interrupts: List[Interrupt] = []
+        # Kick off the process at the current simulated instant.
+        bootstrap = Event(sim)
+        bootstrap.callbacks.append(self._resume)
+        bootstrap.succeed()
+
+    @property
+    def is_alive(self) -> bool:
+        return not self._triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current instant."""
+        if not self.is_alive:
+            return
+        self._interrupts.append(Interrupt(cause))
+        wake = Event(self.sim)
+        wake.callbacks.append(self._resume)
+        wake.succeed()
+
+    # -- stepping ------------------------------------------------------------------
+    def _resume(self, event: Event) -> None:
+        if self._triggered:
+            return
+        # Detach from whatever we were waiting on (relevant for interrupts).
+        if self._waiting_on is not None and self._resume in self._waiting_on.callbacks:
+            self._waiting_on.callbacks.remove(self._resume)
+        self._waiting_on = None
+
+        try:
+            if self._interrupts:
+                interrupt = self._interrupts.pop(0)
+                target = self.generator.throw(interrupt)
+            elif event is not None and not event.ok:
+                target = self.generator.throw(event.value)
+            else:
+                target = self.generator.send(event.value if event is not None else None)
+        except StopIteration as stop:
+            self._finish(stop.value)
+            return
+        except Interrupt:
+            # The process chose not to handle the interrupt: terminate it.
+            self._finish(None)
+            return
+
+        if not isinstance(target, Event):
+            raise SimulationError(
+                f"process {self.name!r} yielded {target!r}; processes must yield events"
+            )
+        if target.processed:
+            # The event already happened; resume immediately (this instant).
+            wake = Event(self.sim)
+            wake.callbacks.append(self._resume)
+            if target.ok:
+                wake.succeed(target.value)
+            else:
+                wake.fail(target.value)
+        else:
+            self._waiting_on = target
+            target.callbacks.append(self._resume)
+
+    def _finish(self, value: Any) -> None:
+        if not self._triggered:
+            self._triggered = True
+            self.value = value
+            self.ok = True
+            self.sim._enqueue(self, 0.0)
+
+    def __repr__(self) -> str:
+        return f"Process({self.name!r}, alive={self.is_alive})"
+
+
+class AllOf(Event):
+    """An event that triggers once every child event has triggered."""
+
+    __slots__ = ("_remaining",)
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]) -> None:
+        super().__init__(sim)
+        events = list(events)
+        self._remaining = len(events)
+        if self._remaining == 0:
+            self.succeed([])
+            return
+        self.value = [None] * len(events)
+        for position, event in enumerate(events):
+            callback = self._make_callback(position)
+            if event.processed:
+                callback(event)
+            else:
+                event.callbacks.append(callback)
+
+    def _make_callback(self, position: int):
+        def _on_child(event: Event) -> None:
+            self.value[position] = event.value
+            self._remaining -= 1
+            if self._remaining == 0 and not self._triggered:
+                self._triggered = True
+                self.sim._enqueue(self, 0.0)
+
+        return _on_child
+
+
+class AnyOf(Event):
+    """An event that triggers as soon as any child event triggers."""
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]) -> None:
+        super().__init__(sim)
+        for event in events:
+            if event.processed:
+                self._on_child(event)
+            else:
+                event.callbacks.append(self._on_child)
+
+    def _on_child(self, event: Event) -> None:
+        if not self._triggered:
+            self._triggered = True
+            self.value = event.value
+            self.sim._enqueue(self, 0.0)
+
+
+class Simulator:
+    """The event loop: a clock plus a priority queue of triggered events."""
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._queue: List = []
+        self._sequence = itertools.count()
+        self.events_processed = 0
+
+    # -- clock ----------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def clock(self) -> float:
+        """A zero-argument callable view of the clock (for injection)."""
+        return self._now
+
+    # -- event creation ----------------------------------------------------------------
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, name: str = "") -> Process:
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    # -- scheduling --------------------------------------------------------------------
+    def _enqueue(self, event: Event, delay: float) -> None:
+        heapq.heappush(self._queue, (self._now + delay, next(self._sequence), event))
+
+    def step(self) -> None:
+        """Process the single next event."""
+        if not self._queue:
+            raise SimulationError("no more events to process")
+        time, _, event = heapq.heappop(self._queue)
+        self._now = time
+        event._run_callbacks()
+        self.events_processed += 1
+
+    def run(self, until: Optional[float] = None, max_events: int = 50_000_000) -> float:
+        """Run until the queue empties, ``until`` is reached, or an event budget.
+
+        Returns the simulated time at which the run stopped.
+        """
+        processed = 0
+        while self._queue:
+            next_time = self._queue[0][0]
+            if until is not None and next_time > until:
+                self._now = until
+                return self._now
+            self.step()
+            processed += 1
+            if processed >= max_events:
+                raise SimulationError(
+                    f"simulation exceeded {max_events} events; possible livelock"
+                )
+        if until is not None:
+            self._now = max(self._now, until)
+        return self._now
+
+    def run_until_process(self, process: Process, max_events: int = 50_000_000) -> Any:
+        """Run until a given process completes; returns its return value."""
+        processed = 0
+        while not process.processed:
+            if not self._queue:
+                raise SimulationError(
+                    f"event queue drained before process {process.name!r} completed"
+                )
+            self.step()
+            processed += 1
+            if processed >= max_events:
+                raise SimulationError(
+                    f"simulation exceeded {max_events} events; possible livelock"
+                )
+        return process.value
+
+    def __repr__(self) -> str:
+        return f"Simulator(now={self._now:.6f}, pending={len(self._queue)})"

@@ -1,0 +1,350 @@
+"""Shared resources for simulated processes.
+
+Four resource types cover everything the hardware models need:
+
+* :class:`Resource` — ``capacity`` identical slots with FIFO queueing.  Models
+  CPU cores claimed by data-loading workers and I/O channels.
+* :class:`Store` — an (optionally bounded) FIFO of items.  Models the batch
+  queues between pipeline stages and the consumer-side batch buffer.
+* :class:`Container` — a continuous quantity with bounded capacity.  Models
+  GPU memory (VRAM) occupancy.
+* :class:`ProcessorSharingResource` — jobs submit an amount of *work*; all
+  active jobs progress simultaneously, each at ``capacity / n_active``.  This
+  is how NVIDIA MPS shares streaming multiprocessors among collocated training
+  processes, and how a saturated disk or link divides its bandwidth.
+
+Every resource records a utilization integral so experiments can report
+average utilization over a run (the paper's CPU % and GPU SM activity).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional, Tuple
+
+from repro.simulation.engine import Event, SimulationError, Simulator
+
+
+class _UtilizationIntegrator:
+    """Integrates ``usage/capacity`` over simulated time.
+
+    ``reset()`` restarts the measurement window at the current instant; the
+    collocation runner uses it to exclude the warm-up period from reported
+    utilization, the way the paper's measurements skip ramp-up.
+    """
+
+    def __init__(self, sim: Simulator, capacity: float) -> None:
+        self._sim = sim
+        self._capacity = float(capacity)
+        self._measure_start = sim.now
+        self._last_time = sim.now
+        self._last_usage = 0.0
+        self._busy_integral = 0.0
+
+    def update(self, usage: float) -> None:
+        now = self._sim.now
+        self._busy_integral += self._last_usage * (now - self._last_time)
+        self._last_time = now
+        self._last_usage = float(usage)
+
+    def reset(self) -> None:
+        """Restart the measurement window (keeps the current usage level)."""
+        self._measure_start = self._sim.now
+        self._last_time = self._sim.now
+        self._busy_integral = 0.0
+
+    def utilization(self, since: float = 0.0) -> float:
+        """Average busy fraction in [0, 1] over the current measurement window.
+
+        ``since`` may narrow the window further but can never reach back
+        before the last :meth:`reset`.
+        """
+        now = self._sim.now
+        start = max(since, self._measure_start)
+        elapsed = now - start
+        if elapsed <= 0:
+            return 0.0
+        integral = self._busy_integral + self._last_usage * (now - self._last_time)
+        return min(1.0, integral / (elapsed * self._capacity))
+
+    @property
+    def busy_core_seconds(self) -> float:
+        return self._busy_integral + self._last_usage * (self._sim.now - self._last_time)
+
+
+class Resource:
+    """``capacity`` identical slots with FIFO queueing."""
+
+    def __init__(self, sim: Simulator, capacity: int, name: str = "resource") -> None:
+        if capacity <= 0:
+            raise SimulationError("resource capacity must be positive")
+        self.sim = sim
+        self.capacity = int(capacity)
+        self.name = name
+        self.in_use = 0
+        self._waiters: Deque[Event] = deque()
+        self._usage = _UtilizationIntegrator(sim, capacity)
+
+    # -- acquire / release -----------------------------------------------------------
+    def request(self) -> Event:
+        """An event that triggers when a slot is granted to the caller."""
+        event = self.sim.event()
+        if self.in_use < self.capacity:
+            self.in_use += 1
+            self._usage.update(self.in_use)
+            event.succeed(self)
+        else:
+            self._waiters.append(event)
+        return event
+
+    def release(self) -> None:
+        if self.in_use <= 0:
+            raise SimulationError(f"release on idle resource {self.name!r}")
+        if self._waiters:
+            # Hand the slot directly to the next waiter; occupancy is unchanged.
+            waiter = self._waiters.popleft()
+            waiter.succeed(self)
+        else:
+            self.in_use -= 1
+            self._usage.update(self.in_use)
+
+    def use(self, duration: float):
+        """A process body that holds one slot for ``duration`` seconds."""
+
+        def _body():
+            yield self.request()
+            try:
+                yield self.sim.timeout(duration)
+            finally:
+                self.release()
+
+        return _body()
+
+    # -- accounting ---------------------------------------------------------------------
+    @property
+    def queue_length(self) -> int:
+        return len(self._waiters)
+
+    def utilization(self, since: float = 0.0) -> float:
+        return self._usage.utilization(since)
+
+    def reset_utilization(self) -> None:
+        self._usage.reset()
+
+    @property
+    def busy_core_seconds(self) -> float:
+        return self._usage.busy_core_seconds
+
+    def __repr__(self) -> str:
+        return f"Resource({self.name!r}, {self.in_use}/{self.capacity}, queued={self.queue_length})"
+
+
+class Store:
+    """A FIFO of items with optional capacity, usable from processes via events."""
+
+    def __init__(self, sim: Simulator, capacity: Optional[int] = None, name: str = "store") -> None:
+        if capacity is not None and capacity <= 0:
+            raise SimulationError("store capacity must be positive when given")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self.items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+        self._putters: Deque[Tuple[Event, Any]] = deque()
+        self.total_put = 0
+        self.total_got = 0
+
+    def put(self, item: Any) -> Event:
+        """An event that triggers once the item has been accepted."""
+        event = self.sim.event()
+        if self._getters:
+            getter = self._getters.popleft()
+            getter.succeed(item)
+            self.total_put += 1
+            self.total_got += 1
+            event.succeed(None)
+        elif self.capacity is None or len(self.items) < self.capacity:
+            self.items.append(item)
+            self.total_put += 1
+            event.succeed(None)
+        else:
+            self._putters.append((event, item))
+        return event
+
+    def get(self) -> Event:
+        """An event that triggers with the next item."""
+        event = self.sim.event()
+        if self.items:
+            item = self.items.popleft()
+            self.total_got += 1
+            event.succeed(item)
+            self._admit_waiting_putter()
+        else:
+            self._getters.append(event)
+        return event
+
+    def _admit_waiting_putter(self) -> None:
+        if self._putters and (self.capacity is None or len(self.items) < self.capacity):
+            put_event, item = self._putters.popleft()
+            self.items.append(item)
+            self.total_put += 1
+            put_event.succeed(None)
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    @property
+    def pending_getters(self) -> int:
+        return len(self._getters)
+
+    def __repr__(self) -> str:
+        return f"Store({self.name!r}, items={len(self.items)}, capacity={self.capacity})"
+
+
+class Container:
+    """A continuous quantity (e.g. bytes of VRAM) with a hard capacity."""
+
+    def __init__(self, sim: Simulator, capacity: float, initial: float = 0.0, name: str = "container") -> None:
+        if capacity <= 0:
+            raise SimulationError("container capacity must be positive")
+        if not (0 <= initial <= capacity):
+            raise SimulationError("initial level must lie within [0, capacity]")
+        self.sim = sim
+        self.capacity = float(capacity)
+        self.level = float(initial)
+        self.name = name
+        self.peak_level = self.level
+        self._waiters: List[Tuple[float, Event]] = []
+
+    def put(self, amount: float) -> None:
+        """Add to the level immediately; raises if capacity would be exceeded."""
+        if amount < 0:
+            raise SimulationError("put amount must be non-negative")
+        if self.level + amount > self.capacity + 1e-9:
+            raise SimulationError(
+                f"container {self.name!r} overflow: level {self.level} + {amount} > {self.capacity}"
+            )
+        self.level += amount
+        self.peak_level = max(self.peak_level, self.level)
+
+    def get(self, amount: float) -> None:
+        """Remove from the level immediately; raises if it would go negative."""
+        if amount < 0:
+            raise SimulationError("get amount must be non-negative")
+        if amount > self.level + 1e-9:
+            raise SimulationError(
+                f"container {self.name!r} underflow: requested {amount}, level {self.level}"
+            )
+        self.level -= amount
+
+    @property
+    def available(self) -> float:
+        return self.capacity - self.level
+
+    def __repr__(self) -> str:
+        return f"Container({self.name!r}, level={self.level:.3g}/{self.capacity:.3g})"
+
+
+class ProcessorSharingResource:
+    """Capacity divided evenly among active jobs (MPS-style GPU sharing).
+
+    A job calls :meth:`execute` with an amount of work expressed in seconds of
+    *exclusive* use; the returned event triggers when that work completes.
+    While ``n`` jobs are active each progresses at ``capacity_share / n``.  An
+    optional ``efficiency(n)`` callable models sharing overhead: with
+    efficiency 0.9 at n jobs, total throughput across jobs is 90% of exclusive
+    throughput.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str = "ps-resource",
+        efficiency=None,
+    ) -> None:
+        self.sim = sim
+        self.name = name
+        self._efficiency = efficiency or (lambda n: 1.0)
+        # job id -> [remaining_work, completion_event]
+        self._jobs: Dict[int, List] = {}
+        self._next_job_id = 0
+        self._last_update = sim.now
+        self._wake: Optional[Event] = None
+        self._scheduler_running = False
+        self._usage = _UtilizationIntegrator(sim, 1.0)
+        self.total_work_done = 0.0
+
+    # -- public API ------------------------------------------------------------------
+    def execute(self, work: float) -> Event:
+        """Submit ``work`` seconds of exclusive-use work; returns completion event."""
+        if work < 0:
+            raise SimulationError("work must be non-negative")
+        done = self.sim.event()
+        if work == 0:
+            done.succeed(None)
+            return done
+        self._advance_progress()
+        job_id = self._next_job_id
+        self._next_job_id += 1
+        self._jobs[job_id] = [float(work), done]
+        self._usage.update(1.0 if self._jobs else 0.0)
+        self._reschedule()
+        return done
+
+    @property
+    def active_jobs(self) -> int:
+        return len(self._jobs)
+
+    def utilization(self, since: float = 0.0) -> float:
+        return self._usage.utilization(since)
+
+    def reset_utilization(self) -> None:
+        self._usage.reset()
+
+    # -- internals -----------------------------------------------------------------------
+    def _rate_per_job(self) -> float:
+        n = len(self._jobs)
+        if n == 0:
+            return 0.0
+        return self._efficiency(n) / n
+
+    def _advance_progress(self) -> None:
+        """Apply progress accrued since the last update to every active job."""
+        now = self.sim.now
+        elapsed = now - self._last_update
+        self._last_update = now
+        if elapsed <= 0 or not self._jobs:
+            return
+        rate = self._rate_per_job()
+        progressed = elapsed * rate
+        finished: List[int] = []
+        for job_id, record in self._jobs.items():
+            record[0] -= progressed
+            self.total_work_done += min(progressed, max(record[0] + progressed, 0.0))
+            if record[0] <= 1e-12:
+                finished.append(job_id)
+        for job_id in finished:
+            _, done = self._jobs.pop(job_id)
+            done.succeed(None)
+        self._usage.update(1.0 if self._jobs else 0.0)
+
+    def _reschedule(self) -> None:
+        """(Re)arm a wake-up at the next job completion time."""
+        if not self._jobs:
+            return
+        rate = self._rate_per_job()
+        min_remaining = min(record[0] for record in self._jobs.values())
+        delay = min_remaining / rate if rate > 0 else float("inf")
+        wake = self.sim.timeout(delay)
+        self._wake = wake
+        wake.callbacks.append(self._on_wake)
+
+    def _on_wake(self, event: Event) -> None:
+        if event is not self._wake:
+            # A newer schedule superseded this wake-up; ignore it.
+            return
+        self._advance_progress()
+        self._reschedule()
+
+    def __repr__(self) -> str:
+        return f"ProcessorSharingResource({self.name!r}, active={self.active_jobs})"

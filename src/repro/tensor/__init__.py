@@ -1,0 +1,62 @@
+"""Tensor substrate for the TensorSocket reproduction.
+
+The paper relies on PyTorch tensors: contiguous typed buffers that can live on
+the CPU or a GPU, can be sliced without copying, and whose *handles* (data
+pointer + metadata) can be shipped between processes so a consumer rebuilds the
+tensor without duplicating its bytes.  PyTorch is not available in this
+environment, so this subpackage provides the minimal equivalent on top of
+numpy:
+
+* :class:`~repro.tensor.device.Device` — a placement label ("cpu", "cuda:0",
+  ...) plus helpers for parsing and comparing devices.
+* :class:`~repro.tensor.dtype.DType` — a small fixed catalogue of element
+  types mapping onto numpy dtypes.
+* :class:`~repro.tensor.tensor.Tensor` — a contiguous, device-tagged array
+  with the subset of tensor operations the data-loading path needs (slicing
+  views, concatenation, ``to(device)``, ``pin_memory`` ...).
+* :class:`~repro.tensor.shared_memory.SharedMemoryPool` — reference-counted OS
+  shared-memory segments backing tensors so that separate processes can map the
+  same bytes.
+* :class:`~repro.tensor.payload.TensorPayload` — the pack/unpack handle object
+  (the ~59-line ``TensorPayload`` concept from the paper, Section 5) used by
+  the producer to publish batches and by consumers to rebuild them zero-copy.
+"""
+
+from repro.tensor.device import Device, cpu, cuda
+from repro.tensor.dtype import DType, float32, float16, int64, int32, uint8
+from repro.tensor.errors import (
+    DeviceMismatchError,
+    PayloadError,
+    SharedMemoryError,
+    TensorError,
+)
+from repro.tensor.payload import BatchPayload, TensorPayload
+from repro.tensor.shared_memory import SharedMemoryPool, SharedSegment
+from repro.tensor.tensor import Tensor, cat, empty, from_numpy, full, stack, zeros
+
+__all__ = [
+    "Device",
+    "cpu",
+    "cuda",
+    "DType",
+    "float32",
+    "float16",
+    "int64",
+    "int32",
+    "uint8",
+    "Tensor",
+    "from_numpy",
+    "empty",
+    "zeros",
+    "full",
+    "stack",
+    "cat",
+    "SharedMemoryPool",
+    "SharedSegment",
+    "TensorPayload",
+    "BatchPayload",
+    "TensorError",
+    "DeviceMismatchError",
+    "SharedMemoryError",
+    "PayloadError",
+]

@@ -1,0 +1,102 @@
+"""Device placement labels.
+
+A :class:`Device` mirrors ``torch.device``: a type (``cpu`` or ``cuda``) plus
+an optional index.  Devices are value objects — they carry no resources — and
+are used throughout the repository to tag where a tensor's bytes notionally
+live and to drive the hardware simulator's accounting of host-to-device and
+device-to-device transfers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+_VALID_TYPES = ("cpu", "cuda")
+
+
+@dataclass(frozen=True, order=True)
+class Device:
+    """A placement label such as ``cpu``, ``cuda:0`` or ``cuda:3``.
+
+    Parameters
+    ----------
+    type:
+        Either ``"cpu"`` or ``"cuda"``.  A bare string such as ``"cuda:1"`` may
+        also be given, in which case the index is parsed out of it.
+    index:
+        GPU ordinal.  Must be ``None`` for CPU devices; defaults to ``0`` for
+        CUDA devices when omitted.
+    """
+
+    type: str
+    index: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        dev_type = self.type
+        index = self.index
+        if ":" in dev_type:
+            if index is not None:
+                raise ValueError(
+                    f"device string {dev_type!r} already carries an index; "
+                    f"got explicit index={index} as well"
+                )
+            dev_type, _, idx_text = dev_type.partition(":")
+            try:
+                index = int(idx_text)
+            except ValueError as exc:
+                raise ValueError(f"invalid device index in {self.type!r}") from exc
+        if dev_type not in _VALID_TYPES:
+            raise ValueError(
+                f"unknown device type {dev_type!r}; expected one of {_VALID_TYPES}"
+            )
+        if dev_type == "cpu":
+            if index not in (None, 0):
+                raise ValueError("cpu device does not take an index")
+            index = None
+        elif index is None:
+            index = 0
+        if index is not None and index < 0:
+            raise ValueError(f"device index must be non-negative, got {index}")
+        object.__setattr__(self, "type", dev_type)
+        object.__setattr__(self, "index", index)
+
+    # -- predicates ---------------------------------------------------------
+    @property
+    def is_cpu(self) -> bool:
+        return self.type == "cpu"
+
+    @property
+    def is_cuda(self) -> bool:
+        return self.type == "cuda"
+
+    # -- formatting ---------------------------------------------------------
+    def __str__(self) -> str:
+        if self.index is None:
+            return self.type
+        return f"{self.type}:{self.index}"
+
+    def __repr__(self) -> str:
+        return f"Device({str(self)!r})"
+
+
+DeviceLike = Union[Device, str]
+
+
+def as_device(value: DeviceLike) -> Device:
+    """Coerce a string or :class:`Device` into a :class:`Device`."""
+    if isinstance(value, Device):
+        return value
+    if isinstance(value, str):
+        return Device(value)
+    raise TypeError(f"cannot interpret {value!r} as a device")
+
+
+def cpu() -> Device:
+    """The host device."""
+    return Device("cpu")
+
+
+def cuda(index: int = 0) -> Device:
+    """The GPU device with the given ordinal."""
+    return Device("cuda", index)

@@ -1,0 +1,17 @@
+"""Exception hierarchy for the tensor substrate."""
+
+
+class TensorError(Exception):
+    """Base class for all tensor-substrate errors."""
+
+
+class DeviceMismatchError(TensorError):
+    """Raised when an operation combines tensors on incompatible devices."""
+
+
+class SharedMemoryError(TensorError):
+    """Raised when a shared-memory segment cannot be created, mapped or freed."""
+
+
+class PayloadError(TensorError):
+    """Raised when a :class:`TensorPayload` cannot be packed or unpacked."""

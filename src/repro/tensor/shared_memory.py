@@ -1,0 +1,290 @@
+"""Reference-counted shared-memory segments for zero-copy tensor hand-off.
+
+The producer in TensorSocket stages each prepared batch once and then passes
+*handles* to consumers.  A batch stays alive until every consumer has
+acknowledged it, after which the producer releases it (step 2/6 in Figure 4 of
+the paper).  This module provides the storage side of that protocol:
+
+* :class:`SharedSegment` — a named block of bytes that multiple processes (or
+  threads) can map.  Two backends are supported:
+
+  - ``"posix"`` uses :mod:`multiprocessing.shared_memory` and therefore works
+    across real OS processes (used by the real-mode examples),
+  - ``"inproc"`` uses a plain ``bytearray`` held in a module-level registry,
+    which is enough for threaded runs, tests and the discrete-event simulator
+    and avoids leaking ``/dev/shm`` entries in constrained environments.
+
+* :class:`SharedMemoryPool` — allocates tensors inside segments, tracks a
+  reference count per segment (producer hold + one hold per consumer), and
+  frees the segment once all holds are released.  The pool also exposes
+  accounting (bytes in flight, high-water mark) that Table 3 / Table 4 style
+  experiments read as "extra VRAM held by the producer".
+"""
+
+from __future__ import annotations
+
+import threading
+import uuid
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.tensor.dtype import DTypeLike, as_dtype
+from repro.tensor.device import DeviceLike
+from repro.tensor.errors import SharedMemoryError
+from repro.tensor.tensor import Tensor
+
+try:  # pragma: no cover - availability depends on the platform
+    from multiprocessing import shared_memory as _posix_shm
+
+    _POSIX_AVAILABLE = True
+except ImportError:  # pragma: no cover
+    _posix_shm = None
+    _POSIX_AVAILABLE = False
+
+
+# Registry of in-process segments, keyed by name.  Thread-safe via _REGISTRY_LOCK.
+_INPROC_REGISTRY: Dict[str, bytearray] = {}
+_REGISTRY_LOCK = threading.Lock()
+
+
+def _new_segment_name(prefix: str) -> str:
+    return f"{prefix}-{uuid.uuid4().hex[:12]}"
+
+
+class SharedSegment:
+    """A named, fixed-size block of shareable bytes.
+
+    A segment is created once (``create=True``) by the producer and can be
+    attached to by name from any other party (``create=False``).  The segment
+    exposes a writable memoryview; tensors are laid out inside it by the
+    :class:`SharedMemoryPool`.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        size: int,
+        *,
+        create: bool,
+        backend: str = "inproc",
+    ) -> None:
+        if size <= 0:
+            raise SharedMemoryError(f"segment size must be positive, got {size}")
+        if backend not in ("inproc", "posix"):
+            raise SharedMemoryError(f"unknown shared-memory backend {backend!r}")
+        if backend == "posix" and not _POSIX_AVAILABLE:
+            raise SharedMemoryError("posix shared memory is not available on this platform")
+        self.name = name
+        self.size = int(size)
+        self.backend = backend
+        self._closed = False
+        self._shm = None
+
+        if backend == "posix":
+            if create:
+                self._shm = _posix_shm.SharedMemory(name=name, create=True, size=size)
+            else:
+                self._shm = _posix_shm.SharedMemory(name=name, create=False)
+            self._buffer = self._shm.buf
+        else:
+            with _REGISTRY_LOCK:
+                if create:
+                    if name in _INPROC_REGISTRY:
+                        raise SharedMemoryError(f"segment {name!r} already exists")
+                    _INPROC_REGISTRY[name] = bytearray(size)
+                else:
+                    if name not in _INPROC_REGISTRY:
+                        raise SharedMemoryError(f"segment {name!r} does not exist")
+                self._buffer = memoryview(_INPROC_REGISTRY[name])
+
+    # -- access ---------------------------------------------------------------
+    @property
+    def buffer(self) -> memoryview:
+        if self._closed:
+            raise SharedMemoryError(f"segment {self.name!r} is closed")
+        return memoryview(self._buffer)
+
+    def ndarray(self, shape: Tuple[int, ...], dtype: DTypeLike, offset: int = 0) -> np.ndarray:
+        """A numpy view of part of the segment (no copy)."""
+        dt = as_dtype(dtype)
+        count = int(np.prod(shape)) if shape else 1
+        nbytes = count * dt.itemsize
+        if offset < 0 or offset + nbytes > self.size:
+            raise SharedMemoryError(
+                f"view of {nbytes} bytes at offset {offset} exceeds segment size {self.size}"
+            )
+        flat = np.frombuffer(self.buffer, dtype=dt.numpy_dtype, count=count, offset=offset)
+        return flat.reshape(shape)
+
+    # -- lifecycle --------------------------------------------------------------
+    def close(self) -> None:
+        """Detach this handle from the segment (does not free the memory)."""
+        if self._closed:
+            return
+        self._closed = True
+        if self.backend == "posix" and self._shm is not None:  # pragma: no cover
+            self._shm.close()
+
+    def unlink(self) -> None:
+        """Free the underlying memory.  Only the creator should call this."""
+        if self.backend == "posix":  # pragma: no cover
+            if self._shm is not None:
+                try:
+                    self._shm.close()
+                except Exception:
+                    pass
+                try:
+                    self._shm.unlink()
+                except FileNotFoundError:
+                    pass
+        else:
+            with _REGISTRY_LOCK:
+                _INPROC_REGISTRY.pop(self.name, None)
+        self._closed = True
+
+    def __repr__(self) -> str:
+        return f"SharedSegment(name={self.name!r}, size={self.size}, backend={self.backend!r})"
+
+
+@dataclass
+class _SegmentRecord:
+    segment: SharedSegment
+    refcount: int
+    nbytes: int
+    metadata: dict = field(default_factory=dict)
+
+
+class SharedMemoryPool:
+    """Allocates tensors in shared segments and reference-counts their lifetime.
+
+    The pool implements the producer-side bookkeeping from Figure 4: ``store``
+    a batch (step 2), hand a reference per consumer, and ``release`` when every
+    consumer has acknowledged (step 6).  ``bytes_in_flight`` and
+    ``peak_bytes`` give the memory-overhead numbers reported in Tables 3 and 4.
+    """
+
+    def __init__(self, backend: str = "inproc", name_prefix: str = "tsock") -> None:
+        self._backend = backend
+        self._prefix = name_prefix
+        self._records: Dict[str, _SegmentRecord] = {}
+        self._lock = threading.Lock()
+        self._bytes_in_flight = 0
+        self._peak_bytes = 0
+        self._total_allocated = 0
+        self._total_released = 0
+
+    # -- allocation -------------------------------------------------------------
+    def allocate_tensor(
+        self,
+        shape: Tuple[int, ...],
+        dtype: DTypeLike = "float32",
+        device: DeviceLike = "cpu",
+        *,
+        initial_refcount: int = 1,
+    ) -> Tensor:
+        """Allocate an uninitialized tensor inside a fresh shared segment."""
+        dt = as_dtype(dtype)
+        count = int(np.prod(shape)) if shape else 1
+        nbytes = max(count * dt.itemsize, 1)
+        name = _new_segment_name(self._prefix)
+        segment = SharedSegment(name, nbytes, create=True, backend=self._backend)
+        array = segment.ndarray(tuple(shape), dt, offset=0)
+        with self._lock:
+            self._records[name] = _SegmentRecord(segment, int(initial_refcount), nbytes)
+            self._bytes_in_flight += nbytes
+            self._total_allocated += nbytes
+            self._peak_bytes = max(self._peak_bytes, self._bytes_in_flight)
+        return Tensor(array, device, segment=segment, segment_offset=0)
+
+    def share_tensor(self, tensor: Tensor, *, initial_refcount: int = 1) -> Tensor:
+        """Copy an ordinary tensor into the pool so it can be handed off zero-copy."""
+        shared = self.allocate_tensor(
+            tensor.shape, tensor.dtype, tensor.device, initial_refcount=initial_refcount
+        )
+        shared.numpy()[...] = tensor.numpy()
+        return shared
+
+    # -- refcounting -------------------------------------------------------------
+    def _record_for(self, name: str) -> _SegmentRecord:
+        try:
+            return self._records[name]
+        except KeyError as exc:
+            raise SharedMemoryError(f"unknown segment {name!r}") from exc
+
+    def retain(self, name: str, count: int = 1) -> int:
+        """Add ``count`` holds on a segment; returns the new refcount."""
+        if count <= 0:
+            raise ValueError("retain count must be positive")
+        with self._lock:
+            record = self._record_for(name)
+            record.refcount += count
+            return record.refcount
+
+    def release(self, name: str, count: int = 1) -> int:
+        """Drop ``count`` holds; frees the segment when the count reaches zero."""
+        if count <= 0:
+            raise ValueError("release count must be positive")
+        with self._lock:
+            record = self._record_for(name)
+            if count > record.refcount:
+                raise SharedMemoryError(
+                    f"releasing {count} holds on {name!r} but only {record.refcount} held"
+                )
+            record.refcount -= count
+            remaining = record.refcount
+            if remaining == 0:
+                self._records.pop(name)
+                self._bytes_in_flight -= record.nbytes
+                self._total_released += record.nbytes
+                record.segment.unlink()
+        return remaining
+
+    def refcount(self, name: str) -> int:
+        with self._lock:
+            return self._record_for(name).refcount
+
+    def contains(self, name: str) -> bool:
+        with self._lock:
+            return name in self._records
+
+    def attach(self, name: str, shape: Tuple[int, ...], dtype: DTypeLike,
+               device: DeviceLike = "cpu", offset: int = 0) -> Tensor:
+        """Rebuild a tensor view over an existing segment (consumer side)."""
+        with self._lock:
+            record = self._record_for(name)
+        array = record.segment.ndarray(tuple(shape), as_dtype(dtype), offset=offset)
+        return Tensor(array, device, segment=record.segment, segment_offset=offset)
+
+    # -- accounting ----------------------------------------------------------------
+    @property
+    def bytes_in_flight(self) -> int:
+        return self._bytes_in_flight
+
+    @property
+    def peak_bytes(self) -> int:
+        return self._peak_bytes
+
+    @property
+    def total_allocated_bytes(self) -> int:
+        return self._total_allocated
+
+    @property
+    def live_segments(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+    def shutdown(self) -> None:
+        """Free every live segment regardless of refcount (end-of-run cleanup)."""
+        with self._lock:
+            for record in self._records.values():
+                record.segment.unlink()
+            self._records.clear()
+            self._bytes_in_flight = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"SharedMemoryPool(backend={self._backend!r}, live={self.live_segments}, "
+            f"in_flight={self._bytes_in_flight}B, peak={self._peak_bytes}B)"
+        )

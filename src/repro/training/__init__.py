@@ -1,0 +1,48 @@
+"""Training simulation: model cost profiles, trainer actors and collocation.
+
+The paper's evaluation trains real models (ResNet18, RegNetX, MobileNetV3,
+CLMR, the DALL-E 2 diffusion prior and Qwen2.5-0.5B) on real GPUs.  Neither is
+available here, so this subpackage models a training process as a cost
+profile — GPU-seconds and CPU-seconds per sample, bytes moved per sample,
+VRAM — calibrated from published throughput numbers and the paper's own
+measurements, and runs those processes on the simulated hardware from
+:mod:`repro.hardware`.
+
+* :mod:`~repro.training.model_zoo` — the calibrated profiles (Table 1 models).
+* :mod:`~repro.training.workload` — a workload = model + GPU + batch size +
+  loader workers.
+* :mod:`~repro.training.trainer` — the simulated training-loop actor.
+* :mod:`~repro.training.loading` — loading pipelines: conventional per-process
+  loaders and the TensorSocket shared producer.
+* :mod:`~repro.training.collocation` — the collocation runner used by every
+  experiment driver: build a machine, place workloads, pick a sharing
+  strategy, run, and report throughput / utilization / traffic / cost.
+"""
+
+from repro.training.model_zoo import (
+    MODEL_ZOO,
+    ModelProfile,
+    get_model,
+    list_models,
+)
+from repro.training.workload import TrainingWorkload
+from repro.training.trainer import TrainerStats
+from repro.training.collocation import (
+    CollocationResult,
+    CollocationRunner,
+    SharingStrategy,
+    WorkloadResult,
+)
+
+__all__ = [
+    "ModelProfile",
+    "MODEL_ZOO",
+    "get_model",
+    "list_models",
+    "TrainingWorkload",
+    "TrainerStats",
+    "CollocationRunner",
+    "CollocationResult",
+    "WorkloadResult",
+    "SharingStrategy",
+]

@@ -1,0 +1,127 @@
+"""The simulated training-loop actor and its statistics.
+
+A trainer repeatedly: obtains the next batch from its batch source (which is
+where shared vs. non-shared loading differ), performs the training step on its
+GPU, does a little host-side work, and records progress.  The actor is a
+generator run as a :class:`~repro.simulation.engine.Process`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.hardware.machine import Machine
+from repro.hardware.metrics import GB
+from repro.simulation.engine import Simulator
+from repro.training.workload import TrainingWorkload
+
+
+@dataclass
+class TrainerStats:
+    """Progress counters for one training process."""
+
+    name: str
+    batch_size: int
+    samples: int = 0
+    batches: int = 0
+    started_at: float = 0.0
+    finished_at: float = 0.0
+    warmup_s: float = 0.0
+    warmup_samples: int = 0
+    series_times: List[float] = field(default_factory=list)
+    series_samples: List[int] = field(default_factory=list)
+
+    def record_batch(self, now: float) -> None:
+        self.samples += self.batch_size
+        self.batches += 1
+        self.finished_at = now
+        if now <= self.started_at + self.warmup_s:
+            self.warmup_samples = self.samples
+        self.series_times.append(now)
+        self.series_samples.append(self.samples)
+
+    # -- reporting -----------------------------------------------------------------
+    def samples_per_second(self) -> float:
+        """Steady-state throughput, excluding the warm-up window."""
+        start = self.started_at + self.warmup_s
+        elapsed = self.finished_at - start
+        if elapsed <= 0:
+            return 0.0
+        return (self.samples - self.warmup_samples) / elapsed
+
+    def tokens_per_second(self, tokens_per_sample: int) -> float:
+        return self.samples_per_second() * tokens_per_sample
+
+    def throughput_series(self, window_s: float = 30.0) -> List[Tuple[float, float]]:
+        """(time, samples/s) sampled over trailing windows — Figure 13's series."""
+        points: List[Tuple[float, float]] = []
+        if not self.series_times:
+            return points
+        start_index = 0
+        for index, now in enumerate(self.series_times):
+            while self.series_times[start_index] < now - window_s:
+                start_index += 1
+            window = now - self.series_times[start_index]
+            if window <= 0:
+                continue
+            delta = self.series_samples[index] - self.series_samples[start_index]
+            points.append((now, delta / window))
+        return points
+
+
+def trainer_process(
+    sim: Simulator,
+    machine: Machine,
+    workload: TrainingWorkload,
+    batch_source,
+    stats: TrainerStats,
+    *,
+    duration_s: float,
+    aux_offloaded: bool = False,
+):
+    """Generator body of one training process.
+
+    Parameters
+    ----------
+    batch_source:
+        Object with ``get()`` returning an event that yields a batch ticket,
+        and ``done(ticket)`` to be called once the training step finished.
+    aux_offloaded:
+        When True the auxiliary GPU work attached to data preparation (e.g.
+        CLIP inference for DALL-E 2) runs in the shared producer instead of in
+        this process (paper Section 3.3.4 / Figure 7).
+    """
+    gpu = machine.gpu(workload.gpu_index)
+    pcie = machine.pcie(workload.gpu_index)
+    model = workload.model
+
+    if workload.start_delay_s > 0:
+        yield sim.timeout(workload.start_delay_s)
+
+    gpu.register_process()
+    gpu.allocate(int(model.vram_gb * GB))
+    stats.started_at = sim.now
+
+    gpu_seconds = workload.gpu_seconds_per_batch
+    if not aux_offloaded:
+        gpu_seconds += workload.aux_gpu_seconds_per_batch
+    gpu_seconds = gpu.scale_work(gpu_seconds)
+    host_seconds = workload.batch_size * model.train_cpu_seconds_per_sample
+    background_bytes = workload.batch_size * model.background_pcie_bytes_per_sample
+
+    try:
+        while sim.now < duration_s:
+            ticket = yield batch_source.get()
+            if ticket is None:
+                break
+            if host_seconds > 0:
+                yield from machine.cpu.run(host_seconds)
+            yield gpu.compute(gpu_seconds)
+            if background_bytes > 0:
+                pcie.record_only(background_bytes)
+            batch_source.done(ticket)
+            stats.record_batch(sim.now)
+    finally:
+        gpu.free(int(model.vram_gb * GB))
+        gpu.unregister_process()

@@ -1,0 +1,81 @@
+"""Workload descriptions: what trains where, with which loader resources."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.training.model_zoo import ModelProfile, get_model
+
+
+@dataclass
+class TrainingWorkload:
+    """One training process to be placed on a machine.
+
+    Attributes
+    ----------
+    model:
+        The cost profile of the model being trained.
+    gpu_index:
+        Which GPU of the machine the training process runs on.
+    batch_size:
+        Per-iteration batch size; defaults to the model profile's default.
+    loader_workers:
+        Data-loading workers this process owns under *non-shared* loading.
+        Under shared loading the producer owns the workers instead.
+    name:
+        Label used in results (defaults to ``model.name`` plus an index).
+    start_delay_s:
+        Simulated seconds after the run starts before this process joins —
+        used to exercise late joining / rubberbanding scenarios.
+    """
+
+    model: ModelProfile
+    gpu_index: int = 0
+    batch_size: Optional[int] = None
+    loader_workers: int = 4
+    name: Optional[str] = None
+    start_delay_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if isinstance(self.model, str):
+            self.model = get_model(self.model)
+        if self.batch_size is None:
+            self.batch_size = self.model.default_batch_size
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be positive")
+        if self.loader_workers < 0:
+            raise ValueError("loader_workers must be non-negative")
+        if self.gpu_index < 0:
+            raise ValueError("gpu_index must be non-negative")
+        if self.start_delay_s < 0:
+            raise ValueError("start_delay_s must be non-negative")
+        if self.name is None:
+            self.name = self.model.name
+
+    # -- per-batch costs -----------------------------------------------------------
+    @property
+    def gpu_seconds_per_batch(self) -> float:
+        return self.batch_size * self.model.gpu_seconds_per_sample
+
+    @property
+    def aux_gpu_seconds_per_batch(self) -> float:
+        return self.batch_size * self.model.aux_gpu_seconds_per_sample
+
+    @property
+    def cpu_seconds_per_batch(self) -> float:
+        return self.batch_size * self.model.cpu_seconds_per_sample
+
+    @property
+    def stored_bytes_per_batch(self) -> int:
+        return self.batch_size * self.model.stored_bytes_per_sample
+
+    @property
+    def h2d_bytes_per_batch(self) -> int:
+        return self.batch_size * self.model.h2d_bytes_per_sample
+
+    def __repr__(self) -> str:
+        return (
+            f"TrainingWorkload({self.name!r}, gpu={self.gpu_index}, "
+            f"batch={self.batch_size}, workers={self.loader_workers})"
+        )

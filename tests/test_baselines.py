@@ -1,0 +1,131 @@
+"""Unit tests for the CoorDL and Joader baseline pipelines."""
+
+import pytest
+
+from repro.baselines import ConventionalLoading, CoorDLLoading, JoaderLoading
+from repro.hardware import A100_SERVER, H100_SERVER, Machine
+from repro.simulation import Simulator
+from repro.training import CollocationRunner, SharingStrategy, TrainingWorkload
+
+
+class TestCoorDL:
+    def test_rejects_two_models_on_one_gpu(self):
+        sim = Simulator()
+        machine = Machine(sim, A100_SERVER)
+        pipeline = CoorDLLoading(sim, machine)
+        pipeline.attach(TrainingWorkload(model="resnet18", gpu_index=0, name="a"))
+        with pytest.raises(ValueError):
+            pipeline.attach(TrainingWorkload(model="resnet18", gpu_index=0, name="b"))
+
+    def test_requires_attached_workloads(self):
+        sim = Simulator()
+        machine = Machine(sim, A100_SERVER)
+        with pytest.raises(RuntimeError):
+            CoorDLLoading(sim, machine).start(duration_s=1.0)
+
+    def test_shared_loading_keeps_per_model_throughput(self):
+        def run(strategy, degree):
+            return CollocationRunner(
+                A100_SERVER,
+                strategy=strategy,
+                total_loader_workers=4,
+                duration_s=40,
+                warmup_s=8,
+            ).run(
+                [
+                    TrainingWorkload(model="resnet18", gpu_index=i, batch_size=512, name=f"r{i}")
+                    for i in range(degree)
+                ]
+            )
+
+        single = run(SharingStrategy.COORDL, 1)
+        quad = run(SharingStrategy.COORDL, 4)
+        baseline_quad = run(SharingStrategy.NONE, 4)
+        # CoorDL keeps per-model throughput roughly flat while the baseline
+        # with the same worker budget collapses (Figure 14b).
+        assert quad.per_model_samples_per_second > 0.9 * single.per_model_samples_per_second
+        assert baseline_quad.per_model_samples_per_second < 0.4 * single.per_model_samples_per_second
+
+    def test_cpu_grows_with_collocation_unlike_tensorsocket(self):
+        def run(strategy, degree):
+            return CollocationRunner(
+                A100_SERVER,
+                strategy=strategy,
+                total_loader_workers=4,
+                duration_s=40,
+                warmup_s=8,
+            ).run(
+                [
+                    TrainingWorkload(model="resnet18", gpu_index=i, batch_size=512, name=f"r{i}")
+                    for i in range(degree)
+                ]
+            )
+
+        coordl_ratio = (
+            run(SharingStrategy.COORDL, 4).cpu_utilization_percent
+            / run(SharingStrategy.COORDL, 1).cpu_utilization_percent
+        )
+        ts_ratio = (
+            run(SharingStrategy.TENSORSOCKET, 4).cpu_utilization_percent
+            / run(SharingStrategy.TENSORSOCKET, 1).cpu_utilization_percent
+        )
+        assert coordl_ratio > 1.25
+        assert ts_ratio < 1.15
+        assert coordl_ratio > ts_ratio
+
+
+class TestJoader:
+    def test_requires_attached_workloads(self):
+        sim = Simulator()
+        machine = Machine(sim, H100_SERVER)
+        with pytest.raises(RuntimeError):
+            JoaderLoading(sim, machine).start(duration_s=1.0)
+
+    def test_dispatch_cost_grows_with_job_count(self):
+        def run(degree):
+            return CollocationRunner(
+                H100_SERVER,
+                strategy=SharingStrategy.JOADER,
+                total_loader_workers=8,
+                duration_s=40,
+                warmup_s=8,
+            ).run(
+                [
+                    TrainingWorkload(model="mobilenet_s", gpu_index=0, name=f"m{i}")
+                    for i in range(degree)
+                ]
+            )
+
+        one = run(1).per_model_samples_per_second
+        four = run(4).per_model_samples_per_second
+        eight = run(8).per_model_samples_per_second
+        assert one > four > eight
+        # Fitted shape from Figure 15: roughly 1 / (d0 + d1 * k).
+        assert four == pytest.approx(one * (1 / (0.66 + 0.35 * 4)) / (1 / (0.66 + 0.35)), rel=0.25)
+
+    def test_joader_beats_baseline_but_loses_to_tensorsocket(self):
+        def run(strategy):
+            return CollocationRunner(
+                H100_SERVER,
+                strategy=strategy,
+                total_loader_workers=8,
+                duration_s=40,
+                warmup_s=8,
+            ).run(
+                [
+                    TrainingWorkload(model="mobilenet_s", gpu_index=0, name=f"m{i}")
+                    for i in range(4)
+                ]
+            )
+
+        baseline = run(SharingStrategy.NONE).per_model_samples_per_second
+        joader = run(SharingStrategy.JOADER).per_model_samples_per_second
+        tensorsocket = run(SharingStrategy.TENSORSOCKET).per_model_samples_per_second
+        assert baseline < joader < tensorsocket
+
+
+class TestConventionalAlias:
+    def test_conventional_is_the_training_pipeline_class(self):
+        from repro.training.loading import ConventionalLoading as TrainingConventional
+
+        assert ConventionalLoading is TrainingConventional

@@ -1,0 +1,314 @@
+"""Experiment-driver tests: every figure/table runs and reproduces the paper's
+qualitative shape (who wins, roughly by how much, where crossovers fall)."""
+
+import pytest
+
+from repro.experiments import EXPERIMENTS, format_table
+from repro.experiments.audio_classification import cost_saving_summary, run_figure11
+from repro.experiments.base import ExperimentResult
+from repro.experiments.cloud_catalog import (
+    FIGURE1_GRID,
+    cost_ratio,
+    run_figure1,
+    run_table2,
+    vcpu_gpu_ratio_histogram,
+)
+from repro.experiments.coordl_comparison import run_figure14
+from repro.experiments.collocation_scaling import run_figure9
+from repro.experiments.data_movement import run_table3
+from repro.experiments.flexible_batching import run_figure10
+from repro.experiments.image_classification import run_figure8
+from repro.experiments.image_generation import run_figure12
+from repro.experiments.joader_comparison import run_figure15
+from repro.experiments.llm_finetuning import run_table4
+from repro.experiments.model_selection import run_figure13
+from repro.experiments import (
+    run_ablation_buffer_size,
+    run_ablation_delivery_mode,
+    run_ablation_gpu_sharing,
+    run_ablation_producer_batch,
+    run_ablation_rubberband,
+)
+
+
+class TestExperimentResultHelpers:
+    def test_add_row_column_and_row_where(self):
+        result = ExperimentResult("x", "test")
+        result.add_row(a=1, b="one")
+        result.add_row(a=2, b="two")
+        assert result.column("a") == [1, 2]
+        assert result.row_where(a=2)["b"] == "two"
+        with pytest.raises(KeyError):
+            result.row_where(a=3)
+
+    def test_format_table_and_markdown(self):
+        result = ExperimentResult("x", "test", notes="note")
+        result.add_row(metric=1.234, label="y")
+        text = result.to_markdown()
+        assert "| metric | label |" in text
+        assert "note" in text
+        assert format_table([]) == "(no rows)"
+
+    def test_registry_contains_every_figure_and_table(self):
+        expected = {"fig1", "tab2", "fig8", "tab3", "fig9", "fig10", "fig11", "fig12",
+                    "fig13", "tab4", "fig14", "fig15"}
+        assert expected <= set(EXPERIMENTS)
+
+
+class TestCloudCatalog:
+    def test_figure1_counts(self):
+        result = run_figure1()
+        aws = result.row_where(provider="aws")
+        assert aws["instance_types"] == sum(FIGURE1_GRID["aws"].values())
+        assert 0 < aws["share_at_or_below_12"] <= 1
+
+    def test_ratio_histogram(self):
+        histogram = vcpu_gpu_ratio_histogram("aws")
+        assert sum(histogram.values()) == sum(FIGURE1_GRID["aws"].values())
+        assert all(ratio > 0 for ratio in histogram)
+
+    def test_table2_prices(self):
+        result = run_table2()
+        assert result.row_where(instance="g5.2xlarge")["cost_per_hour"] == pytest.approx(1.212)
+        assert result.row_where(instance="A100 Server")["vcpus_per_gpu"] == 12
+
+    def test_cost_ratio_used_in_cost_claims(self):
+        assert cost_ratio("g5.2xlarge", "g5.8xlarge") == pytest.approx(2.448 / 1.212)
+
+
+class TestFigure8:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_figure8(fast=True)
+
+    def test_sharing_never_hurts(self, result):
+        assert all(row["speedup"] >= 0.97 for row in result.rows)
+
+    def test_mobilenet_small_nearly_doubles(self, result):
+        row = result.row_where(model="MobileNet S")
+        assert row["speedup"] > 1.7
+
+    def test_gpu_bound_model_unaffected(self, result):
+        row = result.row_where(model="MobileNet L")
+        assert row["speedup"] == pytest.approx(1.0, abs=0.1)
+
+    def test_sharing_frees_cpu(self, result):
+        for row in result.rows:
+            assert row["shared_cpu_percent"] < row["non_shared_cpu_percent"]
+        # MobileNet L: the paper says ~70% of the CPU is freed.
+        row = result.row_where(model="MobileNet L")
+        assert row["shared_cpu_percent"] < 0.45 * row["non_shared_cpu_percent"]
+
+    def test_baseline_saturates_cpu_for_small_models(self, result):
+        assert result.row_where(model="MobileNet S")["non_shared_cpu_percent"] > 90
+        assert result.row_where(model="ResNet18")["non_shared_cpu_percent"] > 90
+
+    def test_sharing_raises_gpu_utilization_of_input_bound_models(self, result):
+        row = result.row_where(model="MobileNet S")
+        assert row["shared_gpu_percent"] > row["non_shared_gpu_percent"] + 20
+
+
+class TestTable3:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_table3(fast=True)
+
+    def test_disk_io_drops_with_sharing(self, result):
+        baseline_disk = result.row_where(mode="baseline", gpu=0)["disk_mb_s"]
+        shared_disk = result.row_where(mode="shared", gpu=0)["disk_mb_s"]
+        assert shared_disk < baseline_disk / 3
+
+    def test_consumer_pcie_replaced_by_nvlink(self, result):
+        for gpu in (1, 2, 3):
+            shared = result.row_where(mode="shared", gpu=gpu)
+            baseline = result.row_where(mode="baseline", gpu=gpu)
+            assert shared["pcie_mb_s"] < 0.2 * baseline["pcie_mb_s"]
+            assert shared["nvlink_mb_s"] > 0.5 * baseline["pcie_mb_s"]
+
+    def test_producer_gpu_has_small_vram_overhead(self, result):
+        producer = result.row_where(mode="shared", gpu=0)["vram_gb"]
+        consumer = result.row_where(mode="shared", gpu=1)["vram_gb"]
+        baseline = result.row_where(mode="baseline", gpu=0)["vram_gb"]
+        assert consumer == pytest.approx(baseline, abs=0.5)
+        assert 0.2 < producer - baseline < 2.5
+
+
+class TestFigure9:
+    def test_small_model_needs_sharing_as_degree_grows(self):
+        result = run_figure9(fast=True)
+        small_1x = result.row_where(model="MobileNet S", collocation_degree=1)
+        small_4x = result.row_where(model="MobileNet S", collocation_degree=4)
+        assert small_4x["non_shared_samples_per_s"] < 0.7 * small_1x["non_shared_samples_per_s"]
+        assert small_4x["shared_samples_per_s"] > 0.9 * small_1x["shared_samples_per_s"]
+        large_4x = result.row_where(model="MobileNet L", collocation_degree=4)
+        assert large_4x["speedup"] == pytest.approx(1.0, abs=0.1)
+
+
+class TestFigure10:
+    def test_flexible_batching_sustains_throughput(self):
+        result = run_figure10(fast=True)
+        default = result.row_where(mode="default")
+        flexible = result.row_where(mode="flexible")
+        assert flexible["aggregate_samples_per_s"] > 0.85 * default["aggregate_samples_per_s"]
+        repetition_rows = [row for row in result.rows if row["mode"] == "repetition"]
+        assert repetition_rows
+        assert all(row["repeated_share"] < 0.5 for row in repetition_rows)
+
+
+class TestFigure11:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_figure11(fast=True)
+
+    def test_non_shared_collapses_on_small_instance(self, result):
+        small = result.row_where(instance="g5.2xlarge", strategy="none", gpu_sharing="mps")
+        large = result.row_where(instance="g5.8xlarge", strategy="none", gpu_sharing="mps")
+        assert small["per_model_samples_per_s"] < 0.45 * large["per_model_samples_per_s"]
+
+    def test_shared_is_flat_across_instances(self, result):
+        values = [
+            result.row_where(instance=name, strategy="tensorsocket", gpu_sharing="mps")[
+                "per_model_samples_per_s"
+            ]
+            for name in ("g5.2xlarge", "g5.4xlarge", "g5.8xlarge")
+        ]
+        assert max(values) - min(values) < 0.2 * max(values)
+
+    def test_cost_saving_is_roughly_half(self, result):
+        summary = cost_saving_summary(result)
+        assert summary["throughput_ratio"] > 0.8
+        assert 40 <= summary["cost_saving_percent"] <= 60
+
+
+class TestFigure12:
+    def test_shared_clip_speeds_up_collocated_training(self):
+        result = run_figure12(fast=True)
+        quad = result.row_where(collocation_degree=4)
+        single = result.row_where(collocation_degree=1)
+        assert single["aggregate_speedup"] == pytest.approx(1.0, abs=0.08)
+        assert 1.05 < quad["aggregate_speedup"] < 1.35
+
+
+class TestFigure13:
+    def test_shared_small_instance_matches_large_instances(self):
+        result = run_figure13(fast=True)
+        shared_small = result.row_where(instance="g5.2xlarge", strategy="tensorsocket")
+        nonshared_small = result.row_where(instance="g5.2xlarge", strategy="none")
+        nonshared_large = result.row_where(instance="g5.8xlarge", strategy="none")
+        assert (
+            shared_small["aggregate_samples_per_s"]
+            > 0.9 * nonshared_large["aggregate_samples_per_s"]
+        )
+        assert (
+            nonshared_small["aggregate_samples_per_s"]
+            < 0.8 * nonshared_large["aggregate_samples_per_s"]
+        )
+        # Cost efficiency: the shared small instance buys ~2x the samples per dollar.
+        assert (
+            shared_small["samples_per_dollar"] > 1.6 * nonshared_large["samples_per_dollar"]
+        )
+
+
+class TestTable4:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_table4(fast=True)
+
+    def test_tokens_per_second_unaffected_by_sharing(self, result):
+        baseline = result.row_where(mode="baseline", gpu=0)["tokens_per_s"]
+        shared = result.row_where(mode="shared", role="consumer", gpu=1)["tokens_per_s"]
+        assert shared == pytest.approx(baseline, rel=0.05)
+        assert 6000 < baseline < 9000
+
+    def test_data_traffic_is_negligible(self, result):
+        producer = result.row_where(mode="shared", role="producer")
+        consumer = result.row_where(mode="shared", role="consumer", gpu=1)
+        assert producer["pcie_mb_s"] < 1.0
+        assert consumer["nvlink_kb_s"] < 1024  # well under a MB/s
+        assert consumer["pcie_mb_s"] > 10  # the training's own traffic dominates
+
+    def test_vram_overhead_only_on_producer(self, result):
+        baseline = result.row_where(mode="baseline", gpu=0)["vram_gb"]
+        consumer = result.row_where(mode="shared", role="consumer", gpu=1)["vram_gb"]
+        producer = result.row_where(mode="shared", role="producer")["vram_gb"]
+        assert consumer == pytest.approx(baseline, abs=0.2)
+        assert 0.5 < producer < 3.0
+
+
+class TestFigure14:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_figure14(fast=True)
+
+    def test_baseline_collapses_while_sharing_holds(self, result):
+        row = result.row_where(collocation_degree=4)
+        assert row["baseline_throughput_x"] < 0.35
+        assert row["tensorsocket_throughput_x"] > 0.9
+        assert row["coordl_throughput_x"] > 0.9
+
+    def test_coordl_needs_more_cpu_than_tensorsocket(self, result):
+        row = result.row_where(collocation_degree=4)
+        assert row["coordl_cpu_x"] > 1.25
+        assert row["tensorsocket_cpu_x"] < 1.15
+        assert row["baseline_cpu_x"] == pytest.approx(1.0, abs=0.15)
+
+
+class TestFigure15:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_figure15(fast=True)
+
+    def test_ordering_matches_paper(self, result):
+        for row in result.rows:
+            if row["collocation_degree"] == 1:
+                continue
+            assert (
+                row["baseline_samples_per_s"]
+                < row["joader_samples_per_s"]
+                < row["tensorsocket_samples_per_s"]
+            )
+
+    def test_tensorsocket_holds_throughput_until_high_degrees(self, result):
+        one = result.row_where(collocation_degree=1)["tensorsocket_samples_per_s"]
+        four = result.row_where(collocation_degree=4)["tensorsocket_samples_per_s"]
+        eight = result.row_where(collocation_degree=8)["tensorsocket_samples_per_s"]
+        assert four > 0.9 * one
+        assert 0.55 * one < eight < 0.85 * one
+
+    def test_measured_joader_matches_paper_within_factor(self, result):
+        for row in result.rows:
+            measured = row["joader_samples_per_s"]
+            paper = row["paper_joader"]
+            assert 0.5 * paper < measured < 1.6 * paper
+
+
+class TestAblations:
+    def test_buffer_of_two_is_enough(self):
+        result = run_ablation_buffer_size(fast=True)
+        by_size = {row["buffer_size"]: row["aggregate_samples_per_s"] for row in result.rows}
+        assert by_size[2] >= 0.95 * max(by_size.values())
+
+    def test_mps_beats_multi_stream(self):
+        result = run_ablation_gpu_sharing(fast=True)
+        mps = result.row_where(sharing_mode="mps")["aggregate_samples_per_s"]
+        streams = result.row_where(sharing_mode="multi_stream")["aggregate_samples_per_s"]
+        assert mps >= streams
+
+    def test_pointer_delivery_is_orders_of_magnitude_smaller(self):
+        result = run_ablation_delivery_mode(fast=True)
+        for row in result.rows:
+            assert row["reduction_factor"] > 1000
+
+    def test_producer_batch_guidance_bounds_repetition(self):
+        result = run_ablation_producer_batch(fast=True)
+        for row in result.rows:
+            assert row["bound_holds"]
+            if row["ratio"] >= 2.0:
+                assert row["repeated_share"] <= 0.5
+
+    def test_rubberband_window_admits_early_joiners(self):
+        result = run_ablation_rubberband(fast=True)
+        no_window = result.row_where(window_fraction=0.0, join_after_batches=5)
+        small_window = result.row_where(window_fraction=0.02, join_after_batches=5)
+        assert no_window["batches_until_training_starts"] > 0
+        assert small_window["batches_until_training_starts"] == 0

@@ -1,0 +1,335 @@
+"""Unit tests for the simulated hardware models (CPU, GPU, links, storage, machine)."""
+
+import pytest
+
+from repro.hardware import (
+    AWS_G5_2XLARGE,
+    AWS_G5_8XLARGE,
+    A100_SERVER,
+    CpuPool,
+    Gpu,
+    GpuSharingMode,
+    H100_SERVER,
+    Link,
+    LinkKind,
+    Machine,
+    StorageDevice,
+    machine_catalog,
+)
+from repro.hardware.instances import aws_g5_instances
+from repro.hardware.metrics import GB, Gauge, MetricsRegistry, ThroughputSeries, TrafficMeter
+from repro.simulation import Simulator
+
+
+class TestCpuPool:
+    def test_throughput_limited_by_core_count(self):
+        sim = Simulator()
+        cpu = CpuPool(sim, cores=2, contention_factor=1.0)
+        finished = []
+
+        def worker():
+            yield from cpu.run(1.0)
+            finished.append(sim.now)
+
+        for _ in range(4):
+            sim.process(worker())
+        sim.run()
+        # Four seconds of work on two cores takes two seconds of wall-clock.
+        assert max(finished) == pytest.approx(2.0, rel=1e-6)
+
+    def test_time_slicing_lets_short_tasks_through(self):
+        sim = Simulator()
+        cpu = CpuPool(sim, cores=1, contention_factor=1.0)
+        finish = {}
+
+        def long_task():
+            yield from cpu.run(1.0)
+            finish["long"] = sim.now
+
+        def short_task():
+            yield sim.timeout(0.001)
+            yield from cpu.run(0.01)
+            finish["short"] = sim.now
+
+        sim.process(long_task())
+        sim.process(short_task())
+        sim.run()
+        # Without preemption the short task would finish after the long one.
+        assert finish["short"] < finish["long"]
+
+    def test_utilization_and_busy_core_seconds(self):
+        sim = Simulator()
+        cpu = CpuPool(sim, cores=4, contention_factor=1.0)
+
+        def worker():
+            yield from cpu.run(2.0)
+
+        sim.process(worker())
+        sim.process(worker())
+        sim.run()
+        assert cpu.busy_core_seconds == pytest.approx(4.0, rel=1e-6)
+        assert cpu.utilization() == pytest.approx(0.5, rel=1e-6)
+        assert cpu.utilization_percent() == pytest.approx(50.0, rel=1e-6)
+
+    def test_contention_inflates_work_when_saturated(self):
+        sim = Simulator()
+        cpu = CpuPool(sim, cores=1, contention_factor=1.5, contention_threshold=0.5)
+
+        def worker():
+            yield from cpu.run(1.0)
+
+        sim.process(worker())
+        sim.run()
+        assert sim.now == pytest.approx(1.5, rel=1e-6)
+
+    def test_argument_validation(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            CpuPool(sim, cores=0)
+        with pytest.raises(ValueError):
+            CpuPool(sim, cores=1, contention_factor=0.5)
+        with pytest.raises(ValueError):
+            CpuPool(sim, 1).run(-1)
+
+
+class TestGpu:
+    def test_compute_time_scales_with_relative_speed(self):
+        sim = Simulator()
+        fast = Gpu(sim, "h100", vram_gb=80, relative_compute=2.0)
+        assert fast.scale_work(1.0) == pytest.approx(0.5)
+
+    def test_mps_sharing_splits_throughput(self):
+        sim = Simulator()
+        gpu = Gpu(sim, "a100", vram_gb=40, sharing_mode=GpuSharingMode.MPS)
+        done = []
+
+        def trainer():
+            yield gpu.compute(1.0)
+            done.append(sim.now)
+
+        sim.process(trainer())
+        sim.process(trainer())
+        sim.run()
+        efficiency = 0.995  # MPS at two processes
+        assert done[0] == pytest.approx(2.0 / efficiency, rel=1e-3)
+
+    def test_sharing_mode_efficiency_ordering(self):
+        from repro.hardware.gpu import (
+            _exclusive_efficiency,
+            _mps_efficiency,
+            _multi_stream_efficiency,
+        )
+
+        for n in (2, 4, 8):
+            assert _mps_efficiency(n) >= _multi_stream_efficiency(n) >= _exclusive_efficiency(n)
+            assert 0 < _exclusive_efficiency(n) <= 1.0
+        assert _mps_efficiency(1) == 1.0
+
+    def test_vram_accounting_and_peak(self):
+        sim = Simulator()
+        gpu = Gpu(sim, "a100", vram_gb=40)
+        gpu.register_process()
+        gpu.allocate(int(7 * GB))
+        first_reading = gpu.vram_in_use_gb
+        gpu.allocate(int(1 * GB))
+        gpu.free(int(1 * GB))
+        assert gpu.vram_in_use_gb == pytest.approx(first_reading)
+        assert gpu.vram_peak_gb == pytest.approx(first_reading + 1.0)
+        gpu.free(int(7 * GB))
+        gpu.unregister_process()
+        assert gpu.vram_in_use_gb == pytest.approx(0.0)
+
+    def test_vram_overflow_raises(self):
+        from repro.simulation import SimulationError
+
+        sim = Simulator()
+        gpu = Gpu(sim, "small", vram_gb=1)
+        with pytest.raises(SimulationError):
+            gpu.allocate(int(2 * GB))
+
+    def test_unregister_without_register_raises(self):
+        gpu = Gpu(Simulator(), "a100", vram_gb=40)
+        with pytest.raises(ValueError):
+            gpu.unregister_process()
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            Gpu(Simulator(), "bad", vram_gb=0)
+        with pytest.raises(ValueError):
+            Gpu(Simulator(), "bad", vram_gb=1, relative_compute=0)
+
+
+class TestLinkAndStorage:
+    def test_transfer_time_and_byte_accounting(self):
+        sim = Simulator()
+        link = Link(sim, "pcie", kind=LinkKind.PCIE, bandwidth_bytes_per_s=1e9, latency_s=0.0)
+        done = []
+
+        def mover():
+            yield from link.transfer(500_000_000)
+            done.append(sim.now)
+
+        sim.process(mover())
+        sim.run()
+        assert done == [pytest.approx(0.5)]
+        assert link.total_bytes == 500_000_000
+
+    def test_transfers_queue_on_the_same_link(self):
+        sim = Simulator()
+        link = Link(sim, "pcie", kind=LinkKind.PCIE, bandwidth_bytes_per_s=1e9, latency_s=0.0)
+        done = []
+
+        def mover():
+            yield from link.transfer(1_000_000_000)
+            done.append(sim.now)
+
+        sim.process(mover())
+        sim.process(mover())
+        sim.run()
+        assert done == [pytest.approx(1.0), pytest.approx(2.0)]
+
+    def test_record_only_counts_bytes_without_time(self):
+        sim = Simulator()
+        link = Link(sim, "pcie", kind=LinkKind.PCIE, bandwidth_bytes_per_s=1e9)
+        link.record_only(1234)
+        assert link.total_bytes == 1234
+
+    def test_link_validation(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            Link(sim, "x", kind=LinkKind.PCIE, bandwidth_bytes_per_s=0)
+        link = Link(sim, "x", kind=LinkKind.PCIE, bandwidth_bytes_per_s=1)
+        with pytest.raises(ValueError):
+            link.transfer(-1)
+
+    def test_storage_cache_hits_skip_disk(self):
+        sim = Simulator()
+        storage = StorageDevice(
+            sim, read_bandwidth_bytes_per_s=1e9, cache_bytes=100, working_set_bytes=100
+        )
+
+        def reader():
+            yield from storage.read(1_000_000)
+
+        sim.process(reader())
+        sim.run()
+        assert storage.total_bytes_read == 0
+        assert storage.cache_hits == 1
+
+    def test_storage_misses_cost_bandwidth(self):
+        sim = Simulator()
+        storage = StorageDevice(
+            sim,
+            read_bandwidth_bytes_per_s=1e9,
+            latency_s=0.0,
+            cache_bytes=0,
+            working_set_bytes=1e12,
+        )
+        done = []
+
+        def reader():
+            yield from storage.read(2_000_000_000)
+            done.append(sim.now)
+
+        sim.process(reader())
+        sim.run()
+        assert done == [pytest.approx(2.0)]
+        assert storage.cache_misses == 1
+        assert storage.total_bytes_read == 2_000_000_000
+
+    def test_storage_working_set_update(self):
+        storage = StorageDevice(Simulator(), cache_bytes=50, working_set_bytes=100)
+        assert storage.cache_hit_ratio == pytest.approx(0.5)
+        storage.set_working_set(200)
+        assert storage.cache_hit_ratio == pytest.approx(0.25)
+        with pytest.raises(ValueError):
+            storage.set_working_set(0)
+
+
+class TestMetrics:
+    def test_traffic_meter_rates(self):
+        clock = {"now": 0.0}
+        meter = TrafficMeter("disk", lambda: clock["now"])
+        meter.record(10 * 1024 * 1024)
+        clock["now"] = 10.0
+        assert meter.average_mb_per_second() == pytest.approx(1.0)
+        meter.reset()
+        assert meter.total_bytes == 0
+
+    def test_gauge_time_average_and_peak(self):
+        clock = {"now": 0.0}
+        gauge = Gauge("vram", lambda: clock["now"])
+        gauge.set(10)
+        clock["now"] = 5.0
+        gauge.set(20)
+        clock["now"] = 10.0
+        assert gauge.peak == 20
+        assert gauge.time_average() == pytest.approx(15.0)
+
+    def test_registry_snapshot(self):
+        registry = MetricsRegistry(lambda: 1.0)
+        registry.meter("disk").record(100)
+        registry.gauge("vram").set(3)
+        registry.counter("batches").add(5)
+        snapshot = registry.snapshot()
+        assert snapshot["disk.total_bytes"] == 100
+        assert snapshot["vram.value"] == 3
+        assert snapshot["batches"] == 5
+
+    def test_throughput_series(self):
+        series = ThroughputSeries("agg")
+        series.append(1.0, 100.0)
+        series.append(2.0, 200.0)
+        assert series.mean() == pytest.approx(150.0)
+        assert series.as_rows() == [(1.0, 100.0), (2.0, 200.0)]
+
+
+class TestMachineCatalog:
+    def test_table2_machines_present_with_paper_values(self):
+        catalog = machine_catalog()
+        assert catalog["A100 Server"].vcpus == 48
+        assert catalog["A100 Server"].gpu_count == 4
+        assert catalog["H100 Server"].gpu.vram_gb == 80
+        assert catalog["g5.2xlarge"].cost_per_hour == pytest.approx(1.212)
+        assert catalog["g5.8xlarge"].cost_per_hour == pytest.approx(2.448)
+
+    def test_aws_instances_sorted_by_vcpus(self):
+        vcpus = [spec.vcpus for spec in aws_g5_instances()]
+        assert vcpus == [8, 16, 32]
+
+    def test_vcpus_per_gpu_ratio(self):
+        assert A100_SERVER.vcpus_per_gpu == 12
+        assert AWS_G5_2XLARGE.vcpus_per_gpu == 8
+
+    def test_on_prem_machines_have_no_price(self):
+        with pytest.raises(ValueError):
+            H100_SERVER.hourly_cost()
+
+    def test_machine_assembly_from_spec(self):
+        sim = Simulator()
+        machine = Machine(sim, A100_SERVER)
+        assert len(machine.gpus) == 4
+        assert len(machine.pcie_links) == 4
+        assert machine.has_nvlink
+        assert machine.nvlink(0, 3) is machine.nvlink(3, 0)
+        with pytest.raises(ValueError):
+            machine.nvlink(1, 1)
+
+    def test_single_gpu_machine_has_no_nvlink(self):
+        machine = Machine(Simulator(), AWS_G5_8XLARGE)
+        assert not machine.has_nvlink
+        with pytest.raises(ValueError):
+            machine.nvlink(0, 1)
+
+    def test_machine_reports(self):
+        machine = Machine(Simulator(), AWS_G5_2XLARGE)
+        traffic = machine.traffic_report()
+        assert "disk_read_mb_s" in traffic and "pcie0_mb_s" in traffic
+        utilization = machine.utilization_report()
+        assert utilization["cpu_percent"] == 0.0
+        assert utilization["gpu0_percent"] == 0.0
+
+    def test_set_sharing_mode_propagates(self):
+        machine = Machine(Simulator(), A100_SERVER)
+        machine.set_sharing_mode(GpuSharingMode.MULTI_STREAM)
+        assert all(gpu.sharing_mode is GpuSharingMode.MULTI_STREAM for gpu in machine.gpus)

@@ -1,0 +1,231 @@
+"""Unit tests for the messaging layer (envelopes, hubs, sockets, heartbeats)."""
+
+import pytest
+
+from repro.messaging import (
+    EndpointClosedError,
+    HeartbeatMonitor,
+    HeartbeatSender,
+    InProcHub,
+    Message,
+    MessageKind,
+    MessagingError,
+    PubSocket,
+    PullSocket,
+    PushSocket,
+    RepSocket,
+    ReqSocket,
+    SubSocket,
+    TimeoutError_,
+)
+
+
+class TestMessage:
+    def test_wire_roundtrip(self):
+        message = Message(topic="batches", kind=MessageKind.BATCH, sender="p0", body={"i": 3})
+        decoded = Message.from_bytes(message.to_bytes())
+        assert decoded.topic == "batches"
+        assert decoded.kind is MessageKind.BATCH
+        assert decoded.body == {"i": 3}
+        assert decoded.seq == message.seq
+
+    def test_topic_prefix_matching(self):
+        message = Message(topic="consumer/c1", kind=MessageKind.BATCH, sender="p")
+        assert message.matches_topic("consumer/")
+        assert message.matches_topic("")
+        assert not message.matches_topic("broadcast")
+
+    def test_sequence_numbers_increase(self):
+        first = Message(topic="", kind=MessageKind.ACK, sender="a")
+        second = Message(topic="", kind=MessageKind.ACK, sender="a")
+        assert second.seq > first.seq
+
+
+class TestInProcHub:
+    def test_publish_reaches_all_matching_subscribers(self):
+        hub = InProcHub()
+        pub = PubSocket(hub, "data")
+        sub_all = SubSocket(hub, "data")
+        sub_personal = SubSocket(hub, "data", topics=("consumer/c1",))
+        delivered = pub.send(MessageKind.BATCH, body=1, topic="broadcast")
+        assert delivered == 1
+        assert sub_all.recv(timeout=1).body == 1
+        assert sub_personal.try_recv() is None
+        pub.send(MessageKind.BATCH, body=2, topic="consumer/c1")
+        assert sub_personal.recv(timeout=1).body == 2
+
+    def test_push_requires_bound_pull(self):
+        hub = InProcHub()
+        push = PushSocket(hub, "control")
+        with pytest.raises(MessagingError):
+            push.send(MessageKind.ACK, body={})
+        pull = PullSocket(hub, "control")
+        push.send(MessageKind.ACK, body={"ok": True})
+        assert pull.recv(timeout=1).body == {"ok": True}
+
+    def test_double_bind_rejected(self):
+        hub = InProcHub()
+        PullSocket(hub, "control")
+        with pytest.raises(MessagingError):
+            PullSocket(hub, "control")
+
+    def test_disconnect_stops_delivery(self):
+        hub = InProcHub()
+        pub = PubSocket(hub, "data")
+        sub = SubSocket(hub, "data")
+        sub.close()
+        assert pub.send(MessageKind.BATCH, body=1) == 0
+
+    def test_recv_timeout_raises(self):
+        hub = InProcHub()
+        sub = SubSocket(hub, "data")
+        with pytest.raises(TimeoutError_):
+            sub.recv(timeout=0.01)
+
+    def test_pull_drain_returns_everything_pending(self):
+        hub = InProcHub()
+        pull = PullSocket(hub, "control")
+        push = PushSocket(hub, "control")
+        for index in range(5):
+            push.send(MessageKind.ACK, body=index)
+        drained = pull.drain()
+        assert [m.body for m in drained] == list(range(5))
+        assert pull.drain() == []
+
+    def test_hub_counts_traffic(self):
+        hub = InProcHub()
+        pub = PubSocket(hub, "data")
+        SubSocket(hub, "data")
+        pull = PullSocket(hub, "ack")
+        PushSocket(hub, "ack").send(MessageKind.ACK)
+        pub.send(MessageKind.BATCH)
+        assert hub.messages_published == 1
+        assert hub.messages_pushed == 1
+        assert pull.pending() == 1
+
+
+class TestReqRep:
+    def test_request_reply_roundtrip(self):
+        hub = InProcHub()
+        rep = RepSocket(hub, "status")
+        req = ReqSocket(hub, "status")
+
+        import threading
+
+        def server():
+            request = rep.recv(timeout=2)
+            rep.reply(request, {"echo": request.body["payload"]})
+
+        thread = threading.Thread(target=server)
+        thread.start()
+        reply = req.request({"value": 41}, timeout=2)
+        thread.join()
+        assert reply == {"echo": {"value": 41}}
+
+    def test_serve_pending_handles_queued_requests(self):
+        hub = InProcHub()
+        rep = RepSocket(hub, "status")
+        req_a = ReqSocket(hub, "status", identity="a")
+        req_b = ReqSocket(hub, "status", identity="b")
+        # Queue both requests before serving.
+        hub.push("status", Message(topic="", kind=MessageKind.REQUEST, sender="a",
+                                   body={"reply_to": f"status/reply/a", "payload": 1}))
+        hub.push("status", Message(topic="", kind=MessageKind.REQUEST, sender="b",
+                                   body={"reply_to": f"status/reply/b", "payload": 2}))
+        served = rep.serve_pending(lambda payload: payload * 10)
+        assert served == 2
+
+    def test_reply_requires_reply_to(self):
+        hub = InProcHub()
+        rep = RepSocket(hub, "status")
+        bogus = Message(topic="", kind=MessageKind.REQUEST, sender="x", body={})
+        with pytest.raises(MessagingError):
+            rep.reply(bogus, {})
+
+
+class TestHeartbeats:
+    def test_monitor_tracks_and_detaches_silent_consumers(self):
+        clock = {"now": 0.0}
+        monitor = HeartbeatMonitor(detach_timeout=5.0, clock=lambda: clock["now"])
+        monitor.beat("c1")
+        monitor.beat("c2")
+        clock["now"] = 3.0
+        monitor.beat("c2")
+        clock["now"] = 7.0
+        detached = monitor.sweep()
+        assert detached == ["c1"]
+        assert monitor.live_consumers() == ["c2"]
+        assert monitor.detached_consumers() == ["c1"]
+
+    def test_detached_consumer_can_reregister(self):
+        clock = {"now": 0.0}
+        monitor = HeartbeatMonitor(detach_timeout=1.0, clock=lambda: clock["now"])
+        monitor.beat("c1")
+        clock["now"] = 5.0
+        monitor.sweep()
+        monitor.beat("c1")
+        assert monitor.is_live("c1")
+
+    def test_forget_removes_consumer(self):
+        monitor = HeartbeatMonitor(detach_timeout=1.0)
+        monitor.beat("c1")
+        monitor.forget("c1")
+        assert monitor.live_consumers() == []
+
+    def test_silence_of_unknown_consumer_is_none(self):
+        monitor = HeartbeatMonitor()
+        assert monitor.silence_of("ghost") is None
+
+    def test_invalid_timeout_rejected(self):
+        with pytest.raises(ValueError):
+            HeartbeatMonitor(detach_timeout=0)
+
+    def test_sender_sends_on_interval_only(self):
+        hub = InProcHub()
+        pull = PullSocket(hub, "control")
+        push = PushSocket(hub, "control")
+        clock = {"now": 0.0}
+        sender = HeartbeatSender(push, "c1", interval=1.0, clock=lambda: clock["now"])
+        assert sender.maybe_send() is True
+        assert sender.maybe_send() is False
+        clock["now"] = 1.5
+        assert sender.maybe_send() is True
+        assert sender.beats_sent == 2
+        beats = pull.drain()
+        assert all(m.kind is MessageKind.HEARTBEAT for m in beats)
+        assert all(m.body["consumer_id"] == "c1" for m in beats)
+
+    def test_sender_rejects_bad_interval(self):
+        hub = InProcHub()
+        push = PushSocket(hub, "control")
+        with pytest.raises(ValueError):
+            HeartbeatSender(push, "c1", interval=0)
+
+
+class TestTcpTransport:
+    def test_tcp_pub_sub_and_push_pull_roundtrip(self):
+        from repro.messaging.transport import TcpHub
+        from repro.messaging.sockets import (
+            TcpPubSocket,
+            TcpPullSocket,
+            TcpPushSocket,
+            TcpSubSocket,
+        )
+
+        hub = TcpHub()
+        try:
+            sub = TcpSubSocket(hub.host, hub.port, "data")
+            pull = TcpPullSocket(hub.host, hub.port, "control")
+            pub = TcpPubSocket(hub.host, hub.port, "data")
+            push = TcpPushSocket(hub.host, hub.port, "control")
+            import time
+
+            time.sleep(0.1)  # let the broker register the subscriber
+            pub.send(MessageKind.BATCH, body={"n": 1}, topic="broadcast")
+            push.send(MessageKind.ACK, body={"n": 2})
+            assert sub.recv(timeout=5).body == {"n": 1}
+            assert pull.recv(timeout=5).body == {"n": 2}
+            for sock in (sub, pull, pub, push):
+                sock.close()
+        finally:
+            hub.close()

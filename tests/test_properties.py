@@ -1,0 +1,277 @@
+"""Property-based tests (hypothesis) on the core data structures and invariants."""
+
+import numpy as np
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core import AckLedger, BatchBuffer, plan_slices
+from repro.core.flexible_batch import recommend_producer_batch_size
+from repro.core.rubberband import JoinDecision, RubberbandPolicy
+from repro.data import BatchSampler, RandomSampler, SyntheticImageDataset
+from repro.data.samplers import SequentialSampler
+from repro.simulation import Simulator, Store
+from repro.tensor import BatchPayload, SharedMemoryPool, TensorPayload, from_numpy
+from repro.tensor.dtype import all_dtypes
+
+
+# ---------------------------------------------------------------------------
+# Flexible batching (Section 3.2.6): coverage, repetition bound, slice sizes.
+# ---------------------------------------------------------------------------
+
+@given(
+    producer_batch=st.integers(min_value=1, max_value=512),
+    consumer_batch=st.integers(min_value=1, max_value=512),
+    offset=st.integers(min_value=0, max_value=1024),
+)
+@settings(max_examples=200, deadline=None)
+def test_plan_slices_invariants(producer_batch, consumer_batch, offset):
+    assume(consumer_batch <= producer_batch)
+    plan = plan_slices(producer_batch, consumer_batch, offset=offset)
+    # Every slice is exactly the consumer's batch size.
+    assert all(spec.length == consumer_batch for spec in plan.slices)
+    # Every producer-batch row is served at least once.
+    assert plan.covered_rows().tolist() == list(range(producer_batch))
+    # Repetition is bounded by consumer_batch - 1 (the paper's bound).
+    assert 0 <= plan.repeated_rows <= consumer_batch - 1
+    # Rows served = slices * batch size.
+    assert plan.rows_served == len(plan.slices) * consumer_batch
+
+
+@given(
+    producer_batch=st.integers(min_value=2, max_value=512),
+    consumer_batch=st.integers(min_value=1, max_value=512),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+@settings(max_examples=100, deadline=None)
+def test_shuffled_plan_is_a_permutation_of_the_ordered_plan(producer_batch, consumer_batch, seed):
+    assume(consumer_batch <= producer_batch)
+    ordered = plan_slices(producer_batch, consumer_batch)
+    shuffled = plan_slices(producer_batch, consumer_batch, shuffle_seed=seed)
+    assert sorted(s.start for s in ordered.slices) == sorted(s.start for s in shuffled.slices)
+    assert shuffled.repeated_rows == ordered.repeated_rows
+
+
+@given(batch_sizes=st.lists(st.integers(min_value=1, max_value=1024), min_size=1, max_size=6))
+@settings(max_examples=100, deadline=None)
+def test_recommended_producer_batch_bounds_repetition_below_half(batch_sizes):
+    producer_batch = recommend_producer_batch_size(batch_sizes)
+    assert producer_batch >= 2 * max(batch_sizes)
+    for batch_size in batch_sizes:
+        plan = plan_slices(producer_batch, batch_size)
+        assert plan.repeated_share <= 0.5
+
+
+# ---------------------------------------------------------------------------
+# Payload round-trips: packing never corrupts data, handles stay small.
+# ---------------------------------------------------------------------------
+
+_dtype_names = st.sampled_from([dt.name for dt in all_dtypes() if dt.name != "bool"])
+
+
+@given(
+    rows=st.integers(min_value=1, max_value=16),
+    cols=st.integers(min_value=1, max_value=16),
+    dtype=_dtype_names,
+    seed=st.integers(min_value=0, max_value=1000),
+)
+@settings(max_examples=80, deadline=None)
+def test_shared_payload_roundtrip_preserves_values(rows, cols, dtype, seed):
+    rng = np.random.default_rng(seed)
+    array = (rng.random((rows, cols)) * 100).astype(dtype)
+    pool = SharedMemoryPool()
+    try:
+        shared = pool.share_tensor(from_numpy(array))
+        payload = TensorPayload.from_shared(shared)
+        rebuilt = payload.unpack(pool)
+        np.testing.assert_array_equal(rebuilt.numpy(), array)
+        assert payload.payload_nbytes <= 1024
+    finally:
+        pool.shutdown()
+
+
+@given(
+    rows=st.integers(min_value=1, max_value=16),
+    dtype=_dtype_names,
+    seed=st.integers(min_value=0, max_value=1000),
+)
+@settings(max_examples=80, deadline=None)
+def test_inline_payload_roundtrip_preserves_values(rows, dtype, seed):
+    rng = np.random.default_rng(seed)
+    array = (rng.random(rows) * 100).astype(dtype)
+    payload = TensorPayload.inline(from_numpy(array))
+    restored = TensorPayload.from_dict(payload.to_dict())
+    np.testing.assert_array_equal(restored.unpack().numpy(), array)
+
+
+# ---------------------------------------------------------------------------
+# Acknowledgement ledger: memory is released exactly once, only when all
+# consumers acknowledged, regardless of the ack order.
+# ---------------------------------------------------------------------------
+
+@given(
+    n_consumers=st.integers(min_value=1, max_value=6),
+    n_batches=st.integers(min_value=1, max_value=10),
+    order_seed=st.integers(min_value=0, max_value=10_000),
+)
+@settings(max_examples=100, deadline=None)
+def test_ledger_releases_every_batch_exactly_once(n_consumers, n_batches, order_seed):
+    released = []
+    ledger = AckLedger(release_callback=lambda record: released.append(record.key))
+    consumers = [f"c{i}" for i in range(n_consumers)]
+    acks = []
+    for index in range(n_batches):
+        ledger.publish((0, index), consumers, nbytes=1)
+        acks.extend((consumer, (0, index)) for consumer in consumers)
+    rng = np.random.default_rng(order_seed)
+    rng.shuffle(acks)
+    for consumer, key in acks:
+        ledger.acknowledge(consumer, key)
+    assert sorted(released) == [(0, index) for index in range(n_batches)]
+    assert ledger.pending_batches == 0
+    assert ledger.acks_received == n_consumers * n_batches
+
+
+@given(
+    n_consumers=st.integers(min_value=2, max_value=6),
+    drop_index=st.integers(min_value=0, max_value=5),
+)
+@settings(max_examples=50, deadline=None)
+def test_ledger_drop_consumer_never_leaves_stuck_batches(n_consumers, drop_index):
+    ledger = AckLedger()
+    consumers = [f"c{i}" for i in range(n_consumers)]
+    ledger.publish((0, 0), consumers)
+    dropped = consumers[drop_index % n_consumers]
+    for consumer in consumers:
+        if consumer != dropped:
+            ledger.acknowledge(consumer, (0, 0))
+    ledger.drop_consumer(dropped)
+    assert ledger.pending_batches == 0
+
+
+# ---------------------------------------------------------------------------
+# Batch buffer: drift never exceeds the configured capacity.
+# ---------------------------------------------------------------------------
+
+@given(
+    capacity=st.integers(min_value=1, max_value=8),
+    operations=st.lists(st.booleans(), min_size=1, max_size=200),
+)
+@settings(max_examples=100, deadline=None)
+def test_batch_buffer_never_exceeds_capacity(capacity, operations):
+    pool = SharedMemoryPool()
+    try:
+        buffer = BatchBuffer(capacity)
+        counter = 0
+        for is_put in operations:
+            if is_put:
+                if buffer.has_room:
+                    tensor = pool.share_tensor(from_numpy(np.zeros(1, dtype=np.float32)))
+                    buffer.put(BatchPayload.pack({"x": tensor}, batch_index=counter, epoch=0))
+                    counter += 1
+            else:
+                buffer.get()
+            assert 0 <= len(buffer) <= capacity
+            assert buffer.high_water_mark <= capacity
+    finally:
+        pool.shutdown()
+
+
+# ---------------------------------------------------------------------------
+# Samplers: random sampling is a permutation; batch sampler partitions it.
+# ---------------------------------------------------------------------------
+
+@given(
+    size=st.integers(min_value=1, max_value=200),
+    seed=st.integers(min_value=0, max_value=1000),
+    batch_size=st.integers(min_value=1, max_value=64),
+)
+@settings(max_examples=100, deadline=None)
+def test_batch_sampler_partitions_the_permutation(size, seed, batch_size):
+    dataset = SyntheticImageDataset(size, payload_bytes=8)
+    sampler = RandomSampler(dataset, seed=seed, reseed_each_epoch=False)
+    batches = list(BatchSampler(sampler, batch_size))
+    flattened = [index for batch in batches for index in batch]
+    assert sorted(flattened) == list(range(size))
+    assert all(len(batch) == batch_size for batch in batches[:-1])
+    assert 1 <= len(batches[-1]) <= batch_size
+
+
+@given(size=st.integers(min_value=1, max_value=100))
+@settings(max_examples=50, deadline=None)
+def test_sequential_sampler_is_identity(size):
+    dataset = SyntheticImageDataset(size, payload_bytes=8)
+    assert list(SequentialSampler(dataset)) == list(range(size))
+
+
+# ---------------------------------------------------------------------------
+# Rubberband policy: decisions are consistent with the window definition.
+# ---------------------------------------------------------------------------
+
+@given(
+    window=st.floats(min_value=0.0, max_value=0.5),
+    batches_per_epoch=st.integers(min_value=10, max_value=5000),
+    join_at=st.integers(min_value=0, max_value=5000),
+)
+@settings(max_examples=150, deadline=None)
+def test_rubberband_decision_consistency(window, batches_per_epoch, join_at):
+    assume(join_at <= batches_per_epoch)
+    policy = RubberbandPolicy(window, batches_per_epoch)
+    decision = policy.decide("consumer", join_at)
+    if join_at == 0:
+        assert decision is JoinDecision.IMMEDIATE
+    elif window > 0 and join_at <= policy.window_batches:
+        assert decision is JoinDecision.CATCH_UP
+        assert policy.halting
+    else:
+        assert decision is JoinDecision.WAIT_FOR_NEXT_EPOCH
+        assert not policy.halting
+
+
+# ---------------------------------------------------------------------------
+# Shared memory pool: retain/release sequences never release early or leak.
+# ---------------------------------------------------------------------------
+
+@given(extra_holds=st.integers(min_value=0, max_value=10))
+@settings(max_examples=50, deadline=None)
+def test_pool_refcounting_exactness(extra_holds):
+    pool = SharedMemoryPool()
+    try:
+        tensor = pool.allocate_tensor((4,), initial_refcount=1)
+        name = tensor.segment.name
+        if extra_holds:
+            pool.retain(name, extra_holds)
+        for _ in range(extra_holds):
+            assert pool.release(name) > 0
+            assert pool.contains(name)
+        assert pool.release(name) == 0
+        assert not pool.contains(name)
+        assert pool.bytes_in_flight == 0
+    finally:
+        pool.shutdown()
+
+
+# ---------------------------------------------------------------------------
+# Simulation store: FIFO order is preserved for arbitrary interleavings.
+# ---------------------------------------------------------------------------
+
+@given(items=st.lists(st.integers(), min_size=1, max_size=50))
+@settings(max_examples=50, deadline=None)
+def test_store_preserves_fifo_order(items):
+    sim = Simulator()
+    store = Store(sim)
+    received = []
+
+    def producer():
+        for item in items:
+            yield store.put(item)
+            yield sim.timeout(0.1)
+
+    def consumer():
+        for _ in items:
+            value = yield store.get()
+            received.append(value)
+
+    sim.process(producer())
+    sim.process(consumer())
+    sim.run()
+    assert received == items

@@ -1,0 +1,429 @@
+"""Unit tests for the discrete-event kernel and its resources."""
+
+import pytest
+
+from repro.simulation import (
+    Container,
+    Interrupt,
+    ProcessorSharingResource,
+    Resource,
+    SimulationError,
+    Simulator,
+    Store,
+)
+
+
+class TestEngine:
+    def test_timeouts_advance_the_clock_in_order(self):
+        sim = Simulator()
+        log = []
+
+        def proc(delay, label):
+            yield sim.timeout(delay)
+            log.append((sim.now, label))
+
+        sim.process(proc(2.0, "b"))
+        sim.process(proc(1.0, "a"))
+        sim.run()
+        assert log == [(1.0, "a"), (2.0, "b")]
+
+    def test_same_time_events_fire_in_schedule_order(self):
+        sim = Simulator()
+        log = []
+
+        def proc(label):
+            yield sim.timeout(1.0)
+            log.append(label)
+
+        for label in "abc":
+            sim.process(proc(label))
+        sim.run()
+        assert log == ["a", "b", "c"]
+
+    def test_negative_timeout_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.timeout(-1)
+
+    def test_process_return_value_and_join(self):
+        sim = Simulator()
+
+        def child():
+            yield sim.timeout(3)
+            return "done"
+
+        def parent(results):
+            value = yield sim.process(child())
+            results.append((sim.now, value))
+
+        results = []
+        sim.process(parent(results))
+        sim.run()
+        assert results == [(3.0, "done")]
+
+    def test_run_until_stops_the_clock(self):
+        sim = Simulator()
+
+        def forever():
+            while True:
+                yield sim.timeout(1.0)
+
+        sim.process(forever())
+        assert sim.run(until=10.5) == 10.5
+        assert sim.now == 10.5
+
+    def test_run_until_process(self):
+        sim = Simulator()
+
+        def work():
+            yield sim.timeout(4)
+            return 42
+
+        process = sim.process(work())
+        assert sim.run_until_process(process) == 42
+
+    def test_yielding_non_event_is_an_error(self):
+        sim = Simulator()
+
+        def bad():
+            yield 5
+
+        sim.process(bad())
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_event_success_and_failure_propagation(self):
+        sim = Simulator()
+        observed = []
+
+        def waiter(event):
+            try:
+                value = yield event
+                observed.append(("ok", value))
+            except RuntimeError as exc:
+                observed.append(("err", str(exc)))
+
+        good = sim.event()
+        bad = sim.event()
+        sim.process(waiter(good))
+        sim.process(waiter(bad))
+        good.succeed("payload")
+        bad.fail(RuntimeError("nope"))
+        sim.run()
+        assert ("ok", "payload") in observed
+        assert ("err", "nope") in observed
+
+    def test_event_cannot_trigger_twice(self):
+        sim = Simulator()
+        event = sim.event()
+        event.succeed()
+        with pytest.raises(SimulationError):
+            event.succeed()
+
+    def test_waiting_on_already_processed_event(self):
+        sim = Simulator()
+        event = sim.event()
+        event.succeed("early")
+        sim.run()
+        collected = []
+
+        def late_waiter():
+            value = yield event
+            collected.append(value)
+
+        sim.process(late_waiter())
+        sim.run()
+        assert collected == ["early"]
+
+    def test_interrupt_wakes_a_sleeping_process(self):
+        sim = Simulator()
+        log = []
+
+        def sleeper():
+            try:
+                yield sim.timeout(100)
+            except Interrupt as interrupt:
+                log.append(("interrupted", sim.now, interrupt.cause))
+
+        def interrupter(target):
+            yield sim.timeout(5)
+            target.interrupt("wake up")
+
+        target = sim.process(sleeper())
+        sim.process(interrupter(target))
+        sim.run()
+        assert log == [("interrupted", 5.0, "wake up")]
+
+    def test_all_of_and_any_of(self):
+        sim = Simulator()
+        results = {}
+
+        def waiter():
+            both = yield sim.all_of([sim.timeout(1, "a"), sim.timeout(2, "b")])
+            results["all"] = (sim.now, both)
+            first = yield sim.any_of([sim.timeout(5, "x"), sim.timeout(3, "y")])
+            results["any"] = (sim.now, first)
+
+        sim.process(waiter())
+        sim.run()
+        assert results["all"] == (2.0, ["a", "b"])
+        assert results["any"] == (5.0, "y")
+
+    def test_step_without_events_raises(self):
+        with pytest.raises(SimulationError):
+            Simulator().step()
+
+    def test_event_budget_guards_against_livelock(self):
+        sim = Simulator()
+
+        def spin():
+            while True:
+                yield sim.timeout(0)
+
+        sim.process(spin())
+        with pytest.raises(SimulationError):
+            sim.run(max_events=1000)
+
+
+class TestResource:
+    def test_capacity_limits_concurrency(self):
+        sim = Simulator()
+        resource = Resource(sim, capacity=2)
+        finish_times = []
+
+        def worker():
+            yield resource.request()
+            yield sim.timeout(1.0)
+            resource.release()
+            finish_times.append(sim.now)
+
+        for _ in range(4):
+            sim.process(worker())
+        sim.run()
+        assert finish_times == [1.0, 1.0, 2.0, 2.0]
+
+    def test_release_without_request_is_an_error(self):
+        sim = Simulator()
+        resource = Resource(sim, capacity=1)
+        with pytest.raises(SimulationError):
+            resource.release()
+
+    def test_use_helper_and_utilization(self):
+        sim = Simulator()
+        resource = Resource(sim, capacity=1)
+        sim.process(resource.use(2.0))
+        sim.process(resource.use(2.0))
+        sim.run()
+        assert sim.now == 4.0
+        assert resource.utilization() == pytest.approx(1.0)
+        assert resource.busy_core_seconds == pytest.approx(4.0)
+
+    def test_reset_utilization_restarts_window(self):
+        sim = Simulator()
+        resource = Resource(sim, capacity=1)
+        sim.process(resource.use(2.0))
+        sim.run()
+        resource.reset_utilization()
+
+        def idle():
+            yield sim.timeout(2.0)
+
+        sim.process(idle())
+        sim.run()
+        assert resource.utilization() == pytest.approx(0.0)
+
+    def test_invalid_capacity(self):
+        with pytest.raises(SimulationError):
+            Resource(Simulator(), 0)
+
+
+class TestStore:
+    def test_fifo_ordering(self):
+        sim = Simulator()
+        store = Store(sim)
+        received = []
+
+        def producer():
+            for index in range(3):
+                yield store.put(index)
+                yield sim.timeout(1)
+
+        def consumer():
+            for _ in range(3):
+                item = yield store.get()
+                received.append(item)
+
+        sim.process(producer())
+        sim.process(consumer())
+        sim.run()
+        assert received == [0, 1, 2]
+
+    def test_bounded_store_blocks_producer(self):
+        sim = Simulator()
+        store = Store(sim, capacity=1)
+        timeline = []
+
+        def producer():
+            for index in range(3):
+                yield store.put(index)
+                timeline.append(("put", index, sim.now))
+
+        def consumer():
+            for _ in range(3):
+                yield sim.timeout(2)
+                item = yield store.get()
+                timeline.append(("got", item, sim.now))
+
+        sim.process(producer())
+        sim.process(consumer())
+        sim.run()
+        puts = [entry for entry in timeline if entry[0] == "put"]
+        # The second put can only complete once the consumer freed a slot at t=2.
+        assert puts[0][2] == 0.0
+        assert puts[1][2] == 2.0
+
+    def test_get_blocks_until_item_available(self):
+        sim = Simulator()
+        store = Store(sim)
+        arrival = []
+
+        def consumer():
+            item = yield store.get()
+            arrival.append((item, sim.now))
+
+        def producer():
+            yield sim.timeout(5)
+            yield store.put("late")
+
+        sim.process(consumer())
+        sim.process(producer())
+        sim.run()
+        assert arrival == [("late", 5.0)]
+
+    def test_counters(self):
+        sim = Simulator()
+        store = Store(sim)
+
+        def flow():
+            yield store.put(1)
+            yield store.put(2)
+            yield store.get()
+
+        sim.process(flow())
+        sim.run()
+        assert store.total_put == 2
+        assert store.total_got == 1
+        assert len(store) == 1
+
+    def test_invalid_capacity(self):
+        with pytest.raises(SimulationError):
+            Store(Simulator(), capacity=0)
+
+
+class TestContainer:
+    def test_put_get_and_peak(self):
+        sim = Simulator()
+        container = Container(sim, capacity=100)
+        container.put(60)
+        container.put(30)
+        container.get(50)
+        assert container.level == 40
+        assert container.peak_level == 90
+        assert container.available == 60
+
+    def test_overflow_and_underflow_rejected(self):
+        sim = Simulator()
+        container = Container(sim, capacity=10)
+        with pytest.raises(SimulationError):
+            container.put(11)
+        with pytest.raises(SimulationError):
+            container.get(1)
+
+    def test_initial_level_validation(self):
+        with pytest.raises(SimulationError):
+            Container(Simulator(), capacity=10, initial=20)
+
+
+class TestProcessorSharing:
+    def test_single_job_runs_at_full_speed(self):
+        sim = Simulator()
+        ps = ProcessorSharingResource(sim)
+        done = []
+
+        def job():
+            yield ps.execute(3.0)
+            done.append(sim.now)
+
+        sim.process(job())
+        sim.run()
+        assert done == [3.0]
+
+    def test_two_equal_jobs_share_capacity(self):
+        sim = Simulator()
+        ps = ProcessorSharingResource(sim)
+        done = []
+
+        def job():
+            yield ps.execute(1.0)
+            done.append(sim.now)
+
+        sim.process(job())
+        sim.process(job())
+        sim.run()
+        assert done == [pytest.approx(2.0), pytest.approx(2.0)]
+
+    def test_late_arrival_slows_remaining_work(self):
+        sim = Simulator()
+        ps = ProcessorSharingResource(sim)
+        done = {}
+
+        def job(name, work, delay):
+            yield sim.timeout(delay)
+            yield ps.execute(work)
+            done[name] = sim.now
+
+        sim.process(job("first", 2.0, 0.0))
+        sim.process(job("second", 1.0, 1.0))
+        sim.run()
+        # First runs alone for 1s (1s of work done), then shares: remaining 1s
+        # of work takes 2s, finishing at t=3; second's 1s also takes 2s.
+        assert done["first"] == pytest.approx(3.0)
+        assert done["second"] == pytest.approx(3.0)
+
+    def test_efficiency_curve_reduces_aggregate_throughput(self):
+        sim = Simulator()
+        ps = ProcessorSharingResource(sim, efficiency=lambda n: 0.5 if n > 1 else 1.0)
+        done = []
+
+        def job():
+            yield ps.execute(1.0)
+            done.append(sim.now)
+
+        sim.process(job())
+        sim.process(job())
+        sim.run()
+        assert done == [pytest.approx(4.0), pytest.approx(4.0)]
+
+    def test_zero_work_completes_immediately(self):
+        sim = Simulator()
+        ps = ProcessorSharingResource(sim)
+        event = ps.execute(0.0)
+        assert event.triggered
+
+    def test_negative_work_rejected(self):
+        with pytest.raises(SimulationError):
+            ProcessorSharingResource(Simulator()).execute(-1.0)
+
+    def test_utilization_reflects_busy_time(self):
+        sim = Simulator()
+        ps = ProcessorSharingResource(sim)
+        done = []
+
+        def job():
+            yield ps.execute(2.0)
+            done.append(sim.now)
+            yield sim.timeout(2.0)
+
+        sim.process(job())
+        sim.run()
+        assert ps.utilization() == pytest.approx(0.5)

@@ -1,0 +1,254 @@
+"""Unit tests for the tensor substrate (device, dtype, Tensor)."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import (
+    DeviceMismatchError,
+    Device,
+    Tensor,
+    cat,
+    cpu,
+    cuda,
+    from_numpy,
+    full,
+    stack,
+    zeros,
+)
+from repro.tensor.device import as_device
+from repro.tensor.dtype import all_dtypes, as_dtype
+from repro.tensor.tensor import arange, empty
+
+
+class TestDevice:
+    def test_cpu_device_has_no_index(self):
+        assert cpu().type == "cpu"
+        assert cpu().index is None
+
+    def test_cuda_device_defaults_to_index_zero(self):
+        assert cuda().index == 0
+        assert cuda(3).index == 3
+
+    def test_device_parses_string_with_index(self):
+        device = Device("cuda:2")
+        assert device.type == "cuda"
+        assert device.index == 2
+
+    def test_device_rejects_unknown_type(self):
+        with pytest.raises(ValueError):
+            Device("tpu")
+
+    def test_device_rejects_cpu_with_index(self):
+        with pytest.raises(ValueError):
+            Device("cpu", 1)
+
+    def test_device_rejects_negative_index(self):
+        with pytest.raises(ValueError):
+            Device("cuda", -1)
+
+    def test_device_rejects_double_index(self):
+        with pytest.raises(ValueError):
+            Device("cuda:1", 2)
+
+    def test_device_string_roundtrip(self):
+        assert str(Device("cuda:1")) == "cuda:1"
+        assert str(cpu()) == "cpu"
+
+    def test_as_device_coerces_strings_and_passthrough(self):
+        assert as_device("cuda:1") == cuda(1)
+        device = cuda(2)
+        assert as_device(device) is device
+
+    def test_as_device_rejects_other_types(self):
+        with pytest.raises(TypeError):
+            as_device(42)
+
+    def test_devices_are_comparable_and_hashable(self):
+        assert cuda(0) == Device("cuda:0")
+        assert len({cuda(0), Device("cuda", 0), cpu()}) == 2
+
+    def test_is_cuda_and_is_cpu(self):
+        assert cuda().is_cuda and not cuda().is_cpu
+        assert cpu().is_cpu and not cpu().is_cuda
+
+
+class TestDType:
+    def test_as_dtype_from_string(self):
+        assert as_dtype("float32").itemsize == 4
+        assert as_dtype("int64").itemsize == 8
+
+    def test_as_dtype_from_numpy(self):
+        assert as_dtype(np.float16).name == "float16"
+        assert as_dtype(np.dtype("uint8")).name == "uint8"
+
+    def test_as_dtype_rejects_unsupported(self):
+        with pytest.raises(TypeError):
+            as_dtype("complex128")
+
+    def test_floating_point_flag(self):
+        assert as_dtype("float32").is_floating_point
+        assert not as_dtype("int32").is_floating_point
+
+    def test_all_dtypes_are_roundtrippable(self):
+        for dtype in all_dtypes():
+            assert as_dtype(dtype.name) == dtype
+            assert np.dtype(dtype.name).itemsize == dtype.itemsize
+
+
+class TestTensorBasics:
+    def test_from_numpy_wraps_without_copy(self):
+        array = np.arange(12, dtype=np.float32)
+        tensor = from_numpy(array)
+        assert tensor.shape == (12,)
+        assert tensor.numpy() is array
+
+    def test_constructor_rejects_non_arrays(self):
+        with pytest.raises(TypeError):
+            Tensor([1, 2, 3])
+
+    def test_zeros_full_empty_and_arange(self):
+        assert zeros((2, 3)).numpy().sum() == 0
+        assert full((2, 2), 7, dtype="int32").numpy().tolist() == [[7, 7], [7, 7]]
+        assert empty((4,)).shape == (4,)
+        assert arange(5).tolist() == [0, 1, 2, 3, 4]
+
+    def test_shape_metadata(self):
+        tensor = zeros((4, 3, 2))
+        assert tensor.ndim == 3
+        assert tensor.numel() == 24
+        assert tensor.nbytes == 24 * 4
+        assert len(tensor) == 4
+
+    def test_len_of_scalar_raises(self):
+        scalar = from_numpy(np.asarray(3.0))
+        with pytest.raises(TypeError):
+            len(scalar)
+
+    def test_negative_shape_rejected(self):
+        with pytest.raises(ValueError):
+            zeros((-1, 2))
+
+    def test_reshape_and_flatten_are_views(self):
+        tensor = arange(12, dtype="float32")
+        reshaped = tensor.reshape(3, 4)
+        assert reshaped.shape == (3, 4)
+        assert reshaped.shares_memory_with(tensor)
+        assert tensor.flatten().shape == (12,)
+
+    def test_clone_copies_data(self):
+        tensor = arange(4, dtype="float32")
+        clone = tensor.clone()
+        clone.numpy()[0] = 99
+        assert tensor.numpy()[0] == 0
+
+    def test_astype_changes_dtype(self):
+        tensor = arange(4, dtype="int64").astype("float32")
+        assert tensor.dtype.name == "float32"
+
+
+class TestTensorViews:
+    def test_getitem_row_is_view(self):
+        tensor = from_numpy(np.arange(20, dtype=np.float32).reshape(4, 5))
+        row = tensor[1]
+        assert row.shape == (5,)
+        assert row.shares_memory_with(tensor)
+
+    def test_slice_rows_is_zero_copy(self):
+        tensor = from_numpy(np.arange(40, dtype=np.float32).reshape(8, 5))
+        part = tensor.slice_rows(2, 6)
+        assert part.shape == (4, 5)
+        assert part.shares_memory_with(tensor)
+        np.testing.assert_array_equal(part.numpy(), tensor.numpy()[2:6])
+
+    def test_slice_rows_bounds_checked(self):
+        tensor = zeros((4, 2))
+        with pytest.raises(IndexError):
+            tensor.slice_rows(2, 6)
+
+    def test_slice_rows_on_scalar_raises(self):
+        scalar = from_numpy(np.asarray(1.0))
+        from repro.tensor.errors import TensorError
+
+        with pytest.raises(TensorError):
+            scalar.slice_rows(0, 1)
+
+    def test_fancy_indexing_materializes_copy(self):
+        tensor = from_numpy(np.arange(10, dtype=np.float32))
+        picked = tensor[[0, 3, 7]]
+        assert picked.shape == (3,)
+        assert not picked.shares_memory_with(tensor)
+
+
+class TestTensorDevices:
+    def test_to_same_device_returns_self(self):
+        tensor = zeros((2,))
+        assert tensor.to("cpu") is tensor
+
+    def test_to_cuda_copies_and_tags(self):
+        tensor = zeros((2,))
+        moved = tensor.cuda(1)
+        assert moved.device == cuda(1)
+        assert not moved.shares_memory_with(tensor)
+
+    def test_pin_memory_only_on_cpu(self):
+        pinned = zeros((2,)).pin_memory()
+        assert pinned.is_pinned
+        from repro.tensor.errors import TensorError
+
+        with pytest.raises(TensorError):
+            zeros((2,)).cuda().pin_memory()
+
+    def test_arithmetic_requires_same_device(self):
+        a = zeros((2,))
+        b = zeros((2,)).cuda()
+        with pytest.raises(DeviceMismatchError):
+            _ = a + b
+
+
+class TestTensorMath:
+    def test_elementwise_operations(self):
+        a = from_numpy(np.asarray([1.0, 2.0], dtype=np.float32))
+        b = from_numpy(np.asarray([3.0, 4.0], dtype=np.float32))
+        assert (a + b).tolist() == [4.0, 6.0]
+        assert (b - a).tolist() == [2.0, 2.0]
+        assert (a * 2).tolist() == [2.0, 4.0]
+        assert (b / 2).tolist() == [1.5, 2.0]
+
+    def test_reductions(self):
+        tensor = from_numpy(np.asarray([[1.0, 2.0], [3.0, 4.0]], dtype=np.float32))
+        assert tensor.sum() == 10.0
+        assert tensor.mean() == 2.5
+        assert tensor.max() == 4.0
+        assert tensor.min() == 1.0
+
+    def test_equal_and_allclose(self):
+        a = from_numpy(np.asarray([1.0, 2.0], dtype=np.float32))
+        b = from_numpy(np.asarray([1.0, 2.0], dtype=np.float32))
+        c = from_numpy(np.asarray([1.0, 2.0 + 1e-9], dtype=np.float32))
+        assert a.equal(b)
+        assert a.allclose(c)
+        assert not a.equal(from_numpy(np.asarray([1.0], dtype=np.float32)))
+
+
+class TestStackAndCat:
+    def test_stack_adds_leading_dimension(self):
+        parts = [from_numpy(np.full((3,), i, dtype=np.float32)) for i in range(4)]
+        stacked = stack(parts)
+        assert stacked.shape == (4, 3)
+        assert stacked.numpy()[2, 0] == 2
+
+    def test_cat_concatenates_rows(self):
+        a = zeros((2, 3))
+        b = zeros((3, 3))
+        assert cat([a, b]).shape == (5, 3)
+
+    def test_cat_along_other_dimension(self):
+        a = zeros((2, 3))
+        b = zeros((2, 1))
+        assert cat([a, b], dim=1).shape == (2, 4)
+
+    def test_stack_rejects_empty_and_mixed_devices(self):
+        with pytest.raises(ValueError):
+            stack([])
+        with pytest.raises(DeviceMismatchError):
+            stack([zeros((2,)), zeros((2,)).cuda()])

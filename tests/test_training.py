@@ -1,0 +1,347 @@
+"""Unit tests for the model zoo, workloads, trainer stats and loading pipelines."""
+
+import pytest
+
+from repro.hardware import A100_SERVER, AWS_G5_2XLARGE, H100_SERVER, Machine
+from repro.hardware.metrics import GB
+from repro.simulation import Simulator
+from repro.training import (
+    MODEL_ZOO,
+    CollocationRunner,
+    SharingStrategy,
+    TrainerStats,
+    TrainingWorkload,
+    get_model,
+    list_models,
+)
+from repro.training.loading import (
+    BatchSource,
+    BatchTicket,
+    ConventionalLoading,
+    TensorSocketLoading,
+)
+from repro.training.model_zoo import PAPER_NAMES
+from repro.training.trainer import trainer_process
+
+
+class TestModelZoo:
+    def test_all_paper_models_present(self):
+        expected = {
+            "resnet18",
+            "regnetx_002",
+            "regnetx_004",
+            "mobilenet_s",
+            "mobilenet_l",
+            "clmr",
+            "dalle2_prior",
+            "qwen25_05b",
+        }
+        assert expected == set(MODEL_ZOO)
+
+    def test_lookup_by_paper_display_name(self):
+        assert get_model("MobileNet S").name == "mobilenet_s"
+        assert get_model("Qwen2.5 0.5B").name == "qwen25_05b"
+        assert get_model("resnet18").name == "resnet18"
+        with pytest.raises(KeyError):
+            get_model("AlexNet")
+
+    def test_every_paper_name_resolves(self):
+        for display_name in PAPER_NAMES:
+            assert get_model(display_name) is not None
+
+    def test_list_models_by_family(self):
+        assert "clmr" in list_models("audio_classification")
+        assert set(list_models()) == set(MODEL_ZOO)
+
+    def test_image_models_are_input_bound_at_12_cores(self):
+        # The premise of Figure 8: with 12 vCPUs per GPU the small image models
+        # cannot be fed by their own loader.
+        for name in ("mobilenet_s", "regnetx_002", "resnet18"):
+            assert get_model(name).is_input_bound(cores=12)
+        assert not get_model("mobilenet_l").is_input_bound(cores=12)
+
+    def test_llm_is_gpu_bound(self):
+        qwen = get_model("qwen25_05b")
+        assert not qwen.is_input_bound(cores=8)
+        assert qwen.tokens_per_sample > 0
+
+    def test_gpu_bound_throughput_ordering_matches_model_size(self):
+        # Smaller models have higher GPU-bound throughput ceilings.
+        assert (
+            get_model("mobilenet_s").gpu_bound_samples_per_second()
+            > get_model("resnet18").gpu_bound_samples_per_second()
+            > get_model("mobilenet_l").gpu_bound_samples_per_second()
+        )
+
+    def test_dalle_has_auxiliary_gpu_work(self):
+        dalle = get_model("dalle2_prior")
+        assert dalle.aux_gpu_seconds_per_sample > 0
+        assert dalle.gpu_bound_samples_per_second() < 1.0 / dalle.gpu_seconds_per_sample
+
+    def test_with_batch_size_returns_new_profile(self):
+        model = get_model("resnet18")
+        resized = model.with_batch_size(512)
+        assert resized.default_batch_size == 512
+        assert model.default_batch_size == 128
+
+
+class TestWorkload:
+    def test_defaults_and_per_batch_costs(self):
+        workload = TrainingWorkload(model=get_model("resnet18"), gpu_index=1)
+        assert workload.batch_size == 128
+        assert workload.name == "resnet18"
+        assert workload.cpu_seconds_per_batch == pytest.approx(
+            128 * get_model("resnet18").cpu_seconds_per_sample
+        )
+        assert workload.h2d_bytes_per_batch == 128 * get_model("resnet18").h2d_bytes_per_sample
+
+    def test_accepts_model_by_name(self):
+        workload = TrainingWorkload(model="mobilenet_s")
+        assert workload.model.name == "mobilenet_s"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TrainingWorkload(model="resnet18", batch_size=0)
+        with pytest.raises(ValueError):
+            TrainingWorkload(model="resnet18", gpu_index=-1)
+        with pytest.raises(ValueError):
+            TrainingWorkload(model="resnet18", start_delay_s=-1)
+
+
+class TestTrainerStats:
+    def test_throughput_excludes_warmup(self):
+        stats = TrainerStats(name="t", batch_size=10, warmup_s=10.0)
+        stats.started_at = 0.0
+        for t in range(1, 21):
+            # one batch per second for 20 seconds
+            stats.finished_at = float(t)
+            stats.samples += 10
+            stats.batches += 1
+            if t <= 10:
+                stats.warmup_samples = stats.samples
+            stats.series_times.append(float(t))
+            stats.series_samples.append(stats.samples)
+        assert stats.samples_per_second() == pytest.approx(10.0)
+
+    def test_record_batch_and_series(self):
+        stats = TrainerStats(name="t", batch_size=4, warmup_s=0.0)
+        stats.started_at = 0.0
+        for t in (1.0, 2.0, 3.0):
+            stats.record_batch(t)
+        assert stats.samples == 12
+        series = stats.throughput_series(window_s=10.0)
+        assert series and series[-1][1] > 0
+
+    def test_tokens_per_second(self):
+        stats = TrainerStats(name="t", batch_size=8, warmup_s=0.0)
+        stats.started_at = 0.0
+        stats.record_batch(1.0)
+        stats.record_batch(2.0)
+        assert stats.tokens_per_second(100) == pytest.approx(stats.samples_per_second() * 100)
+
+
+class TestLoadingPipelines:
+    def _machine(self, spec=AWS_G5_2XLARGE):
+        sim = Simulator()
+        return sim, Machine(sim, spec)
+
+    def test_batch_ticket_release_callback_fires_once(self):
+        released = []
+        ticket = BatchTicket(nbytes=10, refs_remaining=2, on_release=lambda: released.append(1))
+        ticket.release_one()
+        assert released == []
+        ticket.release_one()
+        assert released == [1]
+
+    def test_conventional_loading_produces_batches(self):
+        sim, machine = self._machine()
+        pipeline = ConventionalLoading(sim, machine)
+        workload = TrainingWorkload(model="mobilenet_s", gpu_index=0, loader_workers=2)
+        source = pipeline.attach(workload)
+        pipeline.start(duration_s=5.0)
+        received = []
+
+        def consumer():
+            for _ in range(3):
+                ticket = yield source.get()
+                received.append(ticket)
+                source.done(ticket)
+
+        sim.process(consumer())
+        sim.run(until=5.0)
+        assert len(received) == 3
+        assert machine.storage.total_bytes_read > 0
+        assert machine.pcie(0).total_bytes > 0
+
+    def test_tensorsocket_loading_shares_one_stream(self):
+        sim, machine = self._machine()
+        pipeline = TensorSocketLoading(sim, machine, loader_workers=4, buffer_size=2)
+        workloads = [
+            TrainingWorkload(model="mobilenet_s", gpu_index=0, name=f"m{i}") for i in range(3)
+        ]
+        sources = [pipeline.attach(w) for w in workloads]
+        pipeline.start(duration_s=5.0)
+        consumed = {i: 0 for i in range(3)}
+
+        def consumer(index):
+            source = sources[index]
+            while True:
+                ticket = yield source.get()
+                consumed[index] += 1
+                source.done(ticket)
+
+        for index in range(3):
+            sim.process(consumer(index))
+        sim.run(until=5.0)
+        # Every consumer observed (nearly) every produced batch.
+        assert min(consumed.values()) >= pipeline.batches_produced - pipeline.buffer_size - 1
+        # Staged batch memory was reference-counted back down: the remaining VRAM
+        # is the producer overhead plus at most the in-flight buffered batches.
+        in_flight_bound = (
+            TensorSocketLoading.PRODUCER_VRAM_OVERHEAD_GB * GB
+            + machine.gpu(0).context_overhead_bytes
+            + machine.gpu(0).base_overhead_bytes
+            + 4 * workloads[0].h2d_bytes_per_batch * (pipeline.buffer_size + 2)
+        )
+        assert machine.gpu(0).vram_in_use <= in_flight_bound
+
+    def test_tensorsocket_requires_attached_workloads(self):
+        sim, machine = self._machine()
+        pipeline = TensorSocketLoading(sim, machine)
+        with pytest.raises(RuntimeError):
+            pipeline.start(duration_s=1.0)
+
+    def test_nvlink_used_for_cross_gpu_consumers(self):
+        sim = Simulator()
+        machine = Machine(sim, A100_SERVER)
+        pipeline = TensorSocketLoading(sim, machine, producer_gpu=0, loader_workers=8)
+        workloads = [
+            TrainingWorkload(model="mobilenet_l", gpu_index=i, name=f"m{i}") for i in range(2)
+        ]
+        sources = [pipeline.attach(w) for w in workloads]
+        pipeline.start(duration_s=3.0)
+
+        def consumer(source):
+            while True:
+                ticket = yield source.get()
+                source.done(ticket)
+
+        for source in sources:
+            sim.process(consumer(source))
+        sim.run(until=3.0)
+        assert machine.nvlink(0, 1).total_bytes > 0
+        assert machine.pcie(1).total_bytes == 0
+
+
+class TestTrainerProcess:
+    def test_trainer_consumes_and_records(self):
+        sim = Simulator()
+        machine = Machine(sim, H100_SERVER)
+        workload = TrainingWorkload(model="mobilenet_s", gpu_index=0)
+        source = BatchSource(sim, capacity=4, name="feed")
+        stats = TrainerStats(name="t", batch_size=workload.batch_size, warmup_s=0.0)
+
+        def feeder():
+            while True:
+                yield source.put(BatchTicket(nbytes=1, refs_remaining=1))
+
+        sim.process(feeder())
+        sim.process(
+            trainer_process(sim, machine, workload, source, stats, duration_s=2.0)
+        )
+        sim.run(until=2.0)
+        assert stats.batches > 0
+        assert stats.samples == stats.batches * workload.batch_size
+        assert machine.gpu(0).utilization() > 0.5
+
+    def test_start_delay_defers_training(self):
+        sim = Simulator()
+        machine = Machine(sim, H100_SERVER)
+        workload = TrainingWorkload(model="mobilenet_s", gpu_index=0, start_delay_s=1.5)
+        source = BatchSource(sim, capacity=4, name="feed")
+        stats = TrainerStats(name="t", batch_size=workload.batch_size, warmup_s=0.0)
+
+        def feeder():
+            while True:
+                yield source.put(BatchTicket(nbytes=1, refs_remaining=1))
+
+        sim.process(feeder())
+        sim.process(trainer_process(sim, machine, workload, source, stats, duration_s=3.0))
+        sim.run(until=3.0)
+        assert stats.started_at == pytest.approx(1.5)
+
+
+class TestCollocationRunner:
+    def test_runner_validates_inputs(self):
+        runner = CollocationRunner(AWS_G5_2XLARGE, duration_s=30, warmup_s=5)
+        with pytest.raises(ValueError):
+            runner.run([])
+        with pytest.raises(ValueError):
+            runner.run([TrainingWorkload(model="clmr", gpu_index=3)])
+        with pytest.raises(ValueError):
+            CollocationRunner(AWS_G5_2XLARGE, duration_s=10, warmup_s=20)
+
+    def test_worker_budget_split_for_non_shared(self):
+        runner = CollocationRunner(
+            H100_SERVER,
+            strategy=SharingStrategy.NONE,
+            total_loader_workers=8,
+            duration_s=30,
+            warmup_s=5,
+        )
+        workloads = [
+            TrainingWorkload(model="mobilenet_s", gpu_index=0, name=f"m{i}") for i in range(3)
+        ]
+        result = runner.run(workloads)
+        assert sorted(result.loader_workers.values(), reverse=True) == [3, 3, 2]
+
+    def test_shared_strategy_gets_whole_worker_budget(self):
+        runner = CollocationRunner(
+            H100_SERVER,
+            strategy=SharingStrategy.TENSORSOCKET,
+            total_loader_workers=8,
+            duration_s=30,
+            warmup_s=5,
+        )
+        result = runner.run(
+            [TrainingWorkload(model="mobilenet_s", gpu_index=0, name=f"m{i}") for i in range(2)]
+        )
+        assert result.loader_workers == {"__shared__": 8}
+
+    def test_sharing_raises_throughput_for_input_bound_models(self):
+        def run(strategy):
+            return CollocationRunner(
+                H100_SERVER,
+                strategy=strategy,
+                total_loader_workers=8,
+                duration_s=40,
+                warmup_s=8,
+            ).run(
+                [
+                    TrainingWorkload(model="mobilenet_s", gpu_index=0, name=f"m{i}")
+                    for i in range(4)
+                ]
+            )
+
+        baseline = run(SharingStrategy.NONE)
+        shared = run(SharingStrategy.TENSORSOCKET)
+        assert shared.per_model_samples_per_second > 2 * baseline.per_model_samples_per_second
+        assert shared.aggregate_samples_per_second == pytest.approx(
+            sum(w.samples_per_second for w in shared.workloads)
+        )
+
+    def test_result_helpers(self):
+        runner = CollocationRunner(
+            AWS_G5_2XLARGE,
+            strategy=SharingStrategy.TENSORSOCKET,
+            total_loader_workers=8,
+            duration_s=30,
+            warmup_s=5,
+        )
+        result = runner.run([TrainingWorkload(model="clmr", gpu_index=0, name="clmr-0")])
+        assert result.result_for("clmr-0").model == "clmr"
+        with pytest.raises(KeyError):
+            result.result_for("missing")
+        row = result.summary_row()
+        assert row["strategy"] == "tensorsocket"
+        assert result.samples_per_dollar() is not None
