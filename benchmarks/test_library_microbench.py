@@ -7,7 +7,7 @@ the in-process producer/consumer protocol end to end.
 
 import numpy as np
 
-from repro.core import ConsumerConfig, ProducerConfig, SharedLoaderSession
+import repro
 from repro.data import DataLoader, SyntheticImageDataset
 from repro.data.transforms import Compose, DecodeJpeg, Normalize, ToTensor
 from repro.tensor import BatchPayload, SharedMemoryPool, from_numpy
@@ -28,17 +28,18 @@ def test_payload_pack_unpack_throughput(benchmark):
 
 
 def test_shared_loader_end_to_end_throughput(benchmark):
-    """One epoch through producer + consumer on the in-process transport."""
+    """One epoch through serve() + attach() on the inproc:// transport."""
 
     def one_epoch():
         dataset = SyntheticImageDataset(64, image_size=16, payload_bytes=32)
         pipeline = Compose([DecodeJpeg(height=16, width=16), Normalize(), ToTensor()])
         loader = DataLoader(dataset, batch_size=16, transform=pipeline)
-        session = SharedLoaderSession(
-            loader, producer_config=ProducerConfig(epochs=1, poll_interval=0.002)
+        session = repro.serve(
+            loader, address="inproc://microbench", epochs=1, poll_interval=0.002
         )
-        session.start()
-        consumer = session.consumer(ConsumerConfig(max_epochs=1, receive_timeout=20))
+        consumer = repro.attach(
+            "inproc://microbench", max_epochs=1, receive_timeout=20
+        )
         batches = sum(1 for _ in consumer)
         consumer.close()
         session.shutdown()

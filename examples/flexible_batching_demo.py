@@ -14,15 +14,17 @@ Run with::
 import threading
 from collections import Counter
 
-from repro.core import ConsumerConfig, ProducerConfig, SharedLoaderSession
+import repro
 from repro.core.flexible_batch import FlexibleBatcher, recommend_producer_batch_size
 from repro.data import DataLoader, SyntheticImageDataset
 from repro.data.transforms import Compose, DecodeJpeg, Normalize, ToTensor
 
+ADDRESS = "inproc://flexible-demo"
 
-def consume(session, name, batch_size, observations):
-    consumer = session.consumer(
-        ConsumerConfig(consumer_id=name, batch_size=batch_size, max_epochs=1)
+
+def consume(name, batch_size, observations):
+    consumer = repro.attach(
+        ADDRESS, consumer_id=name, batch_size=batch_size, max_epochs=1
     )
     sizes = Counter()
     rows = 0
@@ -51,19 +53,21 @@ def main() -> None:
         print(f"  {consumer}: {len(plan.slices)} slices per producer batch, "
               f"repeated share {share:.1%}")
 
-    session = SharedLoaderSession(
+    # Bind the address first (start=False) so both consumers can attach by
+    # URI before the producer fixes the batch geometry for the epoch.
+    session = repro.serve(
         loader,
-        producer_config=ProducerConfig(
-            epochs=1,
-            flexible_batching=True,
-            producer_batch_size=producer_batch,
-            consumer_offsets=True,
-            shuffle_slices=True,
-        ),
+        address=ADDRESS,
+        epochs=1,
+        flexible_batching=True,
+        producer_batch_size=producer_batch,
+        consumer_offsets=True,
+        shuffle_slices=True,
+        start=False,
     )
     observations: dict = {}
     threads = [
-        threading.Thread(target=consume, args=(session, name, size, observations))
+        threading.Thread(target=consume, args=(name, size, observations))
         for name, size in consumer_batches.items()
     ]
     for thread in threads:

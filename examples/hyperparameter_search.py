@@ -16,9 +16,11 @@ import threading
 
 import numpy as np
 
-from repro.core import ConsumerConfig, ProducerConfig, SharedLoaderSession
+import repro
 from repro.data import DataLoader, Dataset
 from repro.data.transforms import Lambda, Compose, ToTensor
+
+ADDRESS = "inproc://hyperparameter-search"
 
 
 class GaussianBlobsDataset(Dataset):
@@ -69,8 +71,8 @@ class SoftmaxRegression:
         return float((predictions == labels).mean())
 
 
-def train_candidate(session, name, learning_rate, dataset, results):
-    consumer = session.consumer(ConsumerConfig(consumer_id=name, max_epochs=3))
+def train_candidate(name, learning_rate, dataset, results):
+    consumer = repro.attach(ADDRESS, consumer_id=name, max_epochs=3)
     model = SoftmaxRegression(dataset.dim, dataset.num_classes, learning_rate)
     last_loss = float("nan")
     for batch in consumer:
@@ -94,20 +96,21 @@ def main() -> None:
     dataset = GaussianBlobsDataset()
     pipeline = Compose([Lambda(lambda item: item, nominal_cpu_seconds=1e-4), ToTensor()])
     loader = DataLoader(dataset, batch_size=64, transform=pipeline, shuffle=True, num_workers=2)
-    session = SharedLoaderSession(loader, producer_config=ProducerConfig(epochs=3))
+    # One shared loader served by address; each candidate attaches by URI.
+    session = repro.serve(loader, address=ADDRESS, epochs=3, start=False)
 
     learning_rates = [0.5, 0.05, 0.005]
     results: dict = {}
-    session.start()
     threads = [
         threading.Thread(
             target=train_candidate,
-            args=(session, f"lr-{rate}", rate, dataset, results),
+            args=(f"lr-{rate}", rate, dataset, results),
         )
         for rate in learning_rates
     ]
     for thread in threads:
         thread.start()
+    session.start()
     for thread in threads:
         thread.join()
     session.shutdown()

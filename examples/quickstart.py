@@ -1,8 +1,9 @@
 """Quickstart: share one data loader between two training consumers.
 
-This is the reproduction of the paper's Figure 3 in runnable form: a standard
-training script's ``DataLoader`` is wrapped in a producer, and the training
-loops become consumers that receive zero-copy batch handles.
+This is the reproduction of the paper's Figure 3 in runnable form, using the
+URI-addressed API: a standard training script's ``DataLoader`` is served at an
+address with :func:`repro.serve`, and each training loop becomes a consumer
+that attaches by that address alone — no hub or pool objects change hands.
 
 Run with::
 
@@ -12,9 +13,11 @@ Run with::
 import threading
 import time
 
-from repro.core import ConsumerConfig, ProducerConfig, SharedLoaderSession
+import repro
 from repro.data import DataLoader, SyntheticImageDataset
 from repro.data.transforms import Compose, DecodeJpeg, Normalize, ToTensor
+
+ADDRESS = "inproc://quickstart"
 
 
 def build_loader() -> DataLoader:
@@ -24,9 +27,8 @@ def build_loader() -> DataLoader:
     return DataLoader(dataset, batch_size=32, transform=pipeline, num_workers=2)
 
 
-def train(session: SharedLoaderSession, name: str, stats: dict) -> None:
+def train(consumer, name: str, stats: dict) -> None:
     """A 'training process': iterate the consumer exactly like a data loader."""
-    consumer = session.consumer(ConsumerConfig(consumer_id=name, max_epochs=2))
     samples = 0
     checksum = 0.0
     started = time.perf_counter()
@@ -46,18 +48,22 @@ def train(session: SharedLoaderSession, name: str, stats: dict) -> None:
 
 
 def main() -> None:
-    session = SharedLoaderSession(
-        build_loader(),
-        producer_config=ProducerConfig(epochs=2, buffer_size=2),
+    # Serve the loader at its address; start=False keeps the producer idle
+    # until both trainers have attached, so they see identical epochs.
+    session = repro.serve(
+        build_loader(), address=ADDRESS, epochs=2, buffer_size=2, start=False
     )
     stats: dict = {}
-    session.start()
 
-    trainers = [
-        threading.Thread(target=train, args=(session, f"trainer-{i}", stats)) for i in range(2)
-    ]
+    trainers = []
+    for i in range(2):
+        consumer = repro.attach(ADDRESS, consumer_id=f"trainer-{i}", max_epochs=2)
+        trainers.append(
+            threading.Thread(target=train, args=(consumer, f"trainer-{i}", stats))
+        )
     for trainer in trainers:
         trainer.start()
+    session.start()
     for trainer in trainers:
         trainer.join()
     session.shutdown()

@@ -1,27 +1,47 @@
 """Reproduction of *TensorSocket: Shared Data Loading for Deep Learning Training*.
 
+The front door is two calls that make the paper's "one-line swap" literal —
+serve a data loader at a URI address, then attach any number of trainers to it
+by that address alone::
+
+    import repro
+
+    session = repro.serve(loader, address="inproc://cifar", epochs=2)
+
+    for batch in repro.attach("inproc://cifar"):   # from any thread
+        ...  # training step
+
+Addresses resolve through a pluggable transport registry
+(:mod:`repro.messaging.endpoint`): each URI scheme maps to a transport that
+knows how to bind (serve) and connect (attach) an address.  ``inproc://`` is
+built in; ``mp://`` and ``tcp://`` transports plug into the same registry
+without touching producer or consumer code.  Explicit ``hub=`` / ``pool=``
+object wiring remains supported everywhere for tests and embedded uses.
+
 The package is organised as the paper's system plus every substrate it relies
-on (see ``DESIGN.md`` at the repository root for the full inventory):
+on:
 
 * :mod:`repro.tensor` — numpy-backed tensors, shared-memory pools and the
   ``TensorPayload`` zero-copy handle mechanism.
 * :mod:`repro.messaging` — the ZeroMQ-style PUB/SUB, PUSH/PULL and heartbeat
-  channels the producer and consumers communicate over.
+  channels, plus the URI endpoint layer and transport registry.
 * :mod:`repro.data` — datasets, samplers, transforms and the multi-worker
   ``DataLoader`` the producer wraps.
 * :mod:`repro.core` — TensorSocket itself: ``TensorProducer``,
-  ``TensorConsumer`` and the policies (batch buffer, flexible batching,
-  rubberbanding, acknowledgement ledger).
+  ``TensorConsumer``, the addressable ``SharedLoaderSession`` and the policies
+  (batch buffer, flexible batching, rubberbanding, acknowledgement ledger).
 * :mod:`repro.simulation` / :mod:`repro.hardware` — the discrete-event
   hardware models (GPUs, NVLink/PCIe, vCPUs, storage, cloud instances) used
   to reproduce the paper's multi-GPU and cloud experiments.
 * :mod:`repro.training` — calibrated model cost profiles and the simulated
-  training loop / collocation runner.
+  training loop / collocation runner; simulated pipelines are served at
+  ``sim://`` addresses through the same registry.
 * :mod:`repro.baselines` — conventional per-process loading, CoorDL and
   Joader re-implementations.
 * :mod:`repro.experiments` — one driver per figure/table of the evaluation.
 """
 
+from repro.api import DEFAULT_ADDRESS, attach, serve
 from repro.core import (
     ConsumerConfig,
     ProducerConfig,
@@ -30,12 +50,15 @@ from repro.core import (
     TensorProducer,
 )
 from repro.data import DataLoader
-from repro.messaging import InProcHub
+from repro.messaging import InProcHub, available_schemes, register_transport
 from repro.tensor import SharedMemoryPool, Tensor
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "serve",
+    "attach",
+    "DEFAULT_ADDRESS",
     "TensorProducer",
     "TensorConsumer",
     "ProducerConfig",
@@ -45,5 +68,7 @@ __all__ = [
     "InProcHub",
     "SharedMemoryPool",
     "Tensor",
+    "register_transport",
+    "available_schemes",
     "__version__",
 ]

@@ -1,0 +1,107 @@
+"""The ergonomic top-level API: ``repro.serve()`` and ``repro.attach()``.
+
+These two calls make the paper's "one-line swap" literal.  A training script
+that used to build its own loader::
+
+    loader = DataLoader(dataset, batch_size=32, transform=pipeline)
+    for batch in loader: ...
+
+becomes a consumer of a shared loader served at an address::
+
+    repro.serve(loader, address="inproc://cifar")          # once, anywhere
+
+    for batch in repro.attach("inproc://cifar"): ...       # each trainer
+
+Addresses are URIs resolved through the pluggable transport registry in
+:mod:`repro.messaging.endpoint` (``inproc://`` today; ``mp://`` / ``tcp://``
+transports register the same way).  Nobody passes hub or pool objects around:
+``serve`` binds the address, ``attach`` resolves it — from the live-session
+directory when the producer runs in this process, falling back to a raw
+endpoint connect otherwise.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.config import ConsumerConfig, ProducerConfig
+from repro.core.consumer import TensorConsumer
+from repro.core.session import SharedLoaderSession
+from repro.messaging.endpoint import is_uri, parse_address
+
+#: Where ``serve()`` puts a loader when the caller does not name an address.
+DEFAULT_ADDRESS = "inproc://shared-loader"
+
+
+def serve(
+    data_loader,
+    *,
+    address: Optional[str] = None,
+    producer_config: Optional[ProducerConfig] = None,
+    start: bool = True,
+    **config_kwargs,
+) -> SharedLoaderSession:
+    """Serve ``data_loader`` at ``address`` and return the running session.
+
+    When ``address`` is omitted it falls back to the address inside an
+    explicitly passed ``producer_config`` (if it is a URI), then to
+    :data:`DEFAULT_ADDRESS`.  Keyword arguments other than
+    ``producer_config``/``start`` are forwarded to
+    :class:`~repro.core.config.ProducerConfig` (``epochs=2``,
+    ``flexible_batching=True``, ...).  Pass ``start=False`` to bind the
+    address — making it attachable — without starting the producer loop yet
+    (useful when consumers should all register before the first batch).
+    """
+    if address is None:
+        if producer_config is not None and is_uri(producer_config.address):
+            address = producer_config.address
+        else:
+            address = DEFAULT_ADDRESS
+    parse_address(address)  # catch typos like "inproc:/x" before serving silently
+    if producer_config is not None and config_kwargs:
+        raise TypeError("pass either producer_config= or ProducerConfig kwargs, not both")
+    if producer_config is None:
+        producer_config = ProducerConfig(address=address, **config_kwargs)
+    session = SharedLoaderSession(
+        data_loader, address=address, producer_config=producer_config
+    )
+    if start:
+        session.start()
+    return session
+
+
+def attach(
+    address: Optional[str] = None,
+    *,
+    consumer_config: Optional[ConsumerConfig] = None,
+    **config_kwargs,
+) -> TensorConsumer:
+    """Attach to the shared loader served at ``address``.
+
+    Returns a :class:`~repro.core.consumer.TensorConsumer` — an iterable of
+    batches, drop-in for a data loader.  Keyword arguments other than
+    ``consumer_config`` are forwarded to
+    :class:`~repro.core.config.ConsumerConfig` (``consumer_id=...``,
+    ``batch_size=...``, ``max_epochs=...``).
+
+    When the serving session lives in this process the consumer is created
+    through it (so the session also closes it at shutdown); otherwise the
+    address is resolved through the transport registry directly.  When
+    ``address`` is omitted it falls back to the address inside an explicitly
+    passed ``consumer_config`` (if it is a URI), then to
+    :data:`DEFAULT_ADDRESS`.
+    """
+    if address is None:
+        if consumer_config is not None and is_uri(consumer_config.address):
+            address = consumer_config.address
+        else:
+            address = DEFAULT_ADDRESS
+    parse_address(address)
+    if consumer_config is not None and config_kwargs:
+        raise TypeError("pass either consumer_config= or ConsumerConfig kwargs, not both")
+    if consumer_config is None:
+        consumer_config = ConsumerConfig(address=address, **config_kwargs)
+    session = SharedLoaderSession.at(address)
+    if session is not None:
+        return session.consumer(consumer_config)
+    return TensorConsumer(address=address, config=consumer_config)

@@ -19,8 +19,13 @@ experiments and the baselines reuse them:
 * :class:`~repro.core.producer.TensorProducer` /
   :class:`~repro.core.consumer.TensorConsumer` — the runnable, threaded /
   multi-process implementation used by the examples and integration tests.
-* :class:`~repro.core.session.SharedLoaderSession` — convenience wrapper that
-  hosts a producer thread and hands out connected consumers.
+* :class:`~repro.core.session.SharedLoaderSession` — the addressable
+  long-lived server: hosts a producer thread at a URI address and hands out
+  connected consumers (directly or via :func:`repro.attach`).
+
+Producers, consumers and sessions are constructed either from an ``address``
+URI alone (resolved through :mod:`repro.messaging.endpoint`) or from explicit
+``hub=`` / ``pool=`` objects; the two styles interoperate.
 """
 
 from repro.core.ack_ledger import AckLedger, BatchRecord

@@ -16,13 +16,15 @@ with BYE.
 
 from __future__ import annotations
 
+import dataclasses
 import time
 import uuid
 from typing import Dict, Iterator, Optional
 
 from repro.core.batch_buffer import BatchBuffer
 from repro.core.config import ConsumerConfig
-from repro.messaging.errors import MessagingError, TimeoutError_
+from repro.messaging import endpoint as endpoints
+from repro.messaging.errors import DuplicateConsumerError, MessagingError, TimeoutError_
 from repro.messaging.heartbeat import HeartbeatSender
 from repro.messaging.message import Message, MessageKind
 from repro.messaging.sockets import PushSocket, SubSocket
@@ -41,15 +43,32 @@ class TensorConsumer:
 
     def __init__(
         self,
+        address: Optional[str] = None,
         *,
-        hub: InProcHub,
+        hub: Optional[InProcHub] = None,
         pool: Optional[SharedMemoryPool] = None,
         config: Optional[ConsumerConfig] = None,
     ) -> None:
         self.config = config or ConsumerConfig()
+        if address is not None and address != self.config.address:
+            self.config = dataclasses.replace(self.config, address=address)
+        # URI addresses resolve hub and pool through the transport registry;
+        # explicit hub=/pool= arguments override the endpoint's resources.
+        if hub is None:
+            if not endpoints.is_uri(self.config.address):
+                raise MessagingError(
+                    "TensorConsumer needs either an explicit hub= or a URI address "
+                    f"(e.g. 'inproc://demo'); got address={self.config.address!r}"
+                )
+            resolved = endpoints.connect(self.config.address)
+            hub = resolved.hub
+            pool = pool or resolved.pool
         self.consumer_id = self.config.consumer_id or f"consumer-{uuid.uuid4().hex[:8]}"
         self.pool = pool
         self.hub = hub
+        #: Unique per consumer *instance*: lets the producer tell a HELLO retry
+        #: from this consumer apart from another consumer reusing its id.
+        self._token = uuid.uuid4().hex
 
         self._sub = SubSocket(
             hub,
@@ -88,6 +107,7 @@ class TensorConsumer:
                 MessageKind.HELLO,
                 body={
                     "consumer_id": self.consumer_id,
+                    "token": self._token,
                     "batch_size": self.config.batch_size,
                     "buffer_size": self.config.buffer_size,
                 },
@@ -111,6 +131,13 @@ class TensorConsumer:
         if message.kind is MessageKind.REPLY:
             body = message.body or {}
             if body.get("consumer_id") == self.consumer_id:
+                token = body.get("token")
+                if token is not None and token != self._token:
+                    # Addressed to a different instance that shares our id
+                    # (e.g. the producer rejecting a duplicate registration).
+                    return None
+                if body.get("error"):
+                    raise DuplicateConsumerError(body["error"])
                 self._admitted_epoch = int(body.get("admitted_epoch", 0))
             return None
         if message.kind is MessageKind.SHUTDOWN:
@@ -234,7 +261,10 @@ class TensorConsumer:
         self._closed = True
         self._heartbeat.stop()
         try:
-            self._push.send(MessageKind.BYE, body={"consumer_id": self.consumer_id})
+            self._push.send(
+                MessageKind.BYE,
+                body={"consumer_id": self.consumer_id, "token": self._token},
+            )
         except Exception:
             pass
         self._sub.close()

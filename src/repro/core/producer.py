@@ -20,6 +20,7 @@ the paper's ``producer.py`` example::
 
 from __future__ import annotations
 
+import dataclasses
 import time
 import uuid
 from dataclasses import dataclass, field
@@ -29,6 +30,7 @@ from repro.core.ack_ledger import AckLedger
 from repro.core.config import ProducerConfig
 from repro.core.flexible_batch import FlexibleBatcher, recommend_producer_batch_size
 from repro.core.rubberband import JoinDecision, RubberbandPolicy
+from repro.messaging import endpoint as endpoints
 from repro.messaging.heartbeat import HeartbeatMonitor
 from repro.messaging.message import Message, MessageKind
 from repro.messaging.sockets import PubSocket, PullSocket
@@ -49,6 +51,10 @@ class ConsumerState:
     admitted_epoch: int = 0
     joined_at: float = field(default_factory=time.monotonic)
     batches_sent: int = 0
+    #: Registration token from the consumer's HELLO; lets the producer tell a
+    #: retry of the same consumer apart from a different consumer trying to
+    #: squat on an id that is already registered.
+    token: Optional[str] = None
 
 
 class _SkipEpoch(Exception):
@@ -62,12 +68,23 @@ class TensorProducer:
         self,
         data_loader,
         *,
+        address: Optional[str] = None,
         hub: Optional[InProcHub] = None,
         config: Optional[ProducerConfig] = None,
         pool: Optional[SharedMemoryPool] = None,
     ) -> None:
         self.loader = data_loader
         self.config = config or ProducerConfig()
+        if address is not None and address != self.config.address:
+            self.config = dataclasses.replace(self.config, address=address)
+        # URI addresses resolve hub and pool through the transport registry
+        # (binding the address so consumers can attach by string); explicit
+        # hub=/pool= arguments override the endpoint's resources.
+        self._endpoint: Optional[endpoints.Endpoint] = None
+        if hub is None and endpoints.is_uri(self.config.address):
+            self._endpoint = endpoints.bind(self.config.address)
+            hub = self._endpoint.hub
+            pool = pool or self._endpoint.pool
         self.hub = hub or InProcHub()
         self.pool = pool or SharedMemoryPool()
         self.identity = f"producer-{uuid.uuid4().hex[:8]}"
@@ -100,6 +117,16 @@ class TensorProducer:
 
     # ------------------------------------------------------------------ registration
     @property
+    def address(self) -> str:
+        """The address this producer serves (a URI when endpoint-resolved)."""
+        return self.config.address
+
+    @property
+    def owns_address(self) -> bool:
+        """Whether this producer bound its address in the transport registry."""
+        return self._endpoint is not None and not self._endpoint.released
+
+    @property
     def consumers(self) -> Dict[str, ConsumerState]:
         return dict(self._consumers)
 
@@ -108,10 +135,48 @@ class TensorProducer:
 
     def _register_consumer(self, body: Mapping) -> None:
         consumer_id = body["consumer_id"]
+        token = body.get("token")
+        existing = self._consumers.get(consumer_id)
+        if existing is not None:
+            if existing.token != token:
+                # A *different* consumer is trying to register an id that is
+                # already live.  Accepting it would corrupt the ack ledger
+                # (two parties acknowledging under one key), so reject it on
+                # its personal topic; the rightful owner filters the reply
+                # out by token.
+                self._pub.send(
+                    MessageKind.REPLY,
+                    body={
+                        "consumer_id": consumer_id,
+                        "token": token,
+                        "error": (
+                            f"consumer_id {consumer_id!r} is already registered with "
+                            f"this producer; choose a unique consumer_id"
+                        ),
+                    },
+                    topic=f"consumer/{consumer_id}",
+                )
+                return
+            # The same consumer re-sent HELLO (e.g. a registration retry):
+            # re-announce its admission without re-running the join decision.
+            self._heartbeats.beat(consumer_id)
+            self._pub.send(
+                MessageKind.REPLY,
+                body={
+                    "consumer_id": consumer_id,
+                    "token": token,
+                    "admitted_epoch": existing.admitted_epoch,
+                    "decision": "already-registered",
+                    "flexible_batching": self.config.flexible_batching,
+                },
+                topic=f"consumer/{consumer_id}",
+            )
+            return
         state = ConsumerState(
             consumer_id=consumer_id,
             batch_size=body.get("batch_size"),
             buffer_size=int(body.get("buffer_size", self.config.buffer_size)),
+            token=token,
         )
         decision = self.rubberband.decide(consumer_id, self._batches_published_this_epoch) \
             if self.rubberband.batches_per_epoch is not None else (
@@ -134,6 +199,7 @@ class TensorProducer:
             MessageKind.REPLY,
             body={
                 "consumer_id": consumer_id,
+                "token": token,
                 "admitted_epoch": state.admitted_epoch,
                 "decision": str(decision),
                 "flexible_batching": self.config.flexible_batching,
@@ -203,7 +269,13 @@ class TensorProducer:
         elif message.kind is MessageKind.ACK:
             self._handle_ack(consumer_id, (int(body["epoch"]), int(body["batch_index"])))
         elif message.kind is MessageKind.BYE:
-            self._drop_consumer(consumer_id, reason="bye")
+            # A rejected duplicate also says BYE when it closes; its token
+            # does not match the registered consumer's, and dropping the
+            # rightful owner on its behalf would corrupt the ack ledger.
+            state = self._consumers.get(consumer_id)
+            token = body.get("token")
+            if state is None or token is None or state.token == token:
+                self._drop_consumer(consumer_id, reason="bye")
         elif message.kind is MessageKind.HEARTBEAT:
             pass  # the beat above is all that is needed
         # REQUEST/REPLY traffic is handled by auxiliary tooling, not here.
@@ -491,6 +563,12 @@ class TensorProducer:
         self._clear_window_cache()
         self._control.close()
         self._pub.close()
+        self.close_endpoint()
+
+    def close_endpoint(self) -> None:
+        """Release the bound address so it can be served again (idempotent)."""
+        if self._endpoint is not None:
+            self._endpoint.release()
 
     # ------------------------------------------------------------------ introspection
     def status(self) -> Dict[str, object]:

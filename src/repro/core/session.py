@@ -1,22 +1,40 @@
-"""Convenience wrapper hosting a producer thread and handing out consumers.
+"""Run a producer as an addressable, long-lived service inside this process.
 
-The paper deploys the producer as a long-lived server process (Section 3.3.1).
-In-process users — the examples, tests and notebooks — usually want the same
-thing without managing threads by hand: :class:`SharedLoaderSession` runs the
-producer loop on a background thread, exposes a factory for connected
-consumers, and tears everything down cleanly.
+The paper deploys the producer as a long-lived server that trainers reach by
+address (Section 3.3.1).  :class:`SharedLoaderSession` is that server in
+in-process form: it binds the session's URI address through the transport
+registry (:mod:`repro.messaging.endpoint`), runs the producer loop on a
+background thread, and registers itself in a process-wide directory so that
+consumers in *other* threads can attach with nothing but the address string::
+
+    session = repro.serve(loader, address="inproc://cifar")   # producer side
+
+    consumer = repro.attach("inproc://cifar")                  # any thread
+    for batch in consumer:
+        ...
+
+Explicit ``hub=`` / ``pool=`` arguments (and non-URI addresses) keep working
+as before for callers that prefer to wire objects together by hand; in that
+mode the session is simply not discoverable by address.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import threading
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from repro.core.config import ConsumerConfig, ProducerConfig
 from repro.core.consumer import TensorConsumer
 from repro.core.producer import TensorProducer
+from repro.messaging import endpoint as endpoints
 from repro.messaging.transport import InProcHub
 from repro.tensor.shared_memory import SharedMemoryPool
+
+# Directory of live sessions keyed by URI address, so repro.attach() can hand
+# out consumers without the caller holding the session object.
+_SESSIONS: Dict[str, "SharedLoaderSession"] = {}
+_SESSIONS_LOCK = threading.Lock()
 
 
 class SharedLoaderSession:
@@ -26,25 +44,48 @@ class SharedLoaderSession:
         self,
         data_loader,
         *,
+        address: Optional[str] = None,
         producer_config: Optional[ProducerConfig] = None,
         hub: Optional[InProcHub] = None,
         pool: Optional[SharedMemoryPool] = None,
     ) -> None:
-        self.hub = hub or InProcHub()
-        self.pool = pool or SharedMemoryPool()
         self.producer = TensorProducer(
             data_loader,
-            hub=self.hub,
+            address=address,
+            hub=hub,
             config=producer_config or ProducerConfig(),
-            pool=self.pool,
+            pool=pool,
         )
+        self.hub = self.producer.hub
+        self.pool = self.producer.pool
+        self.address = self.producer.address
         self._thread: Optional[threading.Thread] = None
         self._consumers: List[TensorConsumer] = []
         self._producer_error: Optional[BaseException] = None
+        self._shutdown = False
+        if self.producer.owns_address:
+            # The producer's endpoint bind guarantees the address was free, so
+            # this cannot clobber another live session.  Sessions wired from
+            # an explicit hub= never bound the address and stay out of the
+            # directory even when their config names a URI.
+            with _SESSIONS_LOCK:
+                _SESSIONS[self.address] = self
+
+    # -- discovery ---------------------------------------------------------------------
+    @classmethod
+    def at(cls, address: str) -> Optional["SharedLoaderSession"]:
+        """The live session serving ``address`` in this process, if any."""
+        with _SESSIONS_LOCK:
+            return _SESSIONS.get(address)
 
     # -- lifecycle ---------------------------------------------------------------------
     def start(self) -> "SharedLoaderSession":
         """Start the producer loop on a daemon thread."""
+        if self._shutdown:
+            raise RuntimeError(
+                f"session at {self.address!r} has been shut down; "
+                f"create a new session to serve again"
+            )
         if self._thread is not None:
             raise RuntimeError("session already started")
         self._thread = threading.Thread(target=self._run_producer, daemon=True, name="producer")
@@ -61,9 +102,22 @@ class SharedLoaderSession:
 
     def consumer(self, config: Optional[ConsumerConfig] = None) -> TensorConsumer:
         """Create a consumer connected to this session's producer."""
+        if self._shutdown:
+            raise RuntimeError(
+                f"session at {self.address!r} has been shut down; its producer is "
+                f"stopped and cannot serve new consumers"
+            )
+        config = config or ConsumerConfig()
+        if config.address != self.address:
+            # Consumers created through the session always speak to this
+            # session's channels, whatever their config said.
+            config = dataclasses.replace(config, address=self.address)
         consumer = TensorConsumer(hub=self.hub, pool=self.pool, config=config)
         self._consumers.append(consumer)
         return consumer
+
+    # Alias matching the module-level repro.attach() vocabulary.
+    attach = consumer
 
     def raise_producer_error(self) -> None:
         """Re-raise any exception the producer thread died with."""
@@ -71,14 +125,40 @@ class SharedLoaderSession:
             raise self._producer_error
 
     def shutdown(self, timeout: float = 10.0) -> None:
-        """Stop the producer, close consumers and release shared memory."""
-        self.producer.stop()
-        for consumer in self._consumers:
-            consumer.close()
-        if self._thread is not None:
-            self._thread.join(timeout=timeout)
-        self.pool.shutdown()
+        """Stop the producer, close consumers and release shared memory.
+
+        Exception-safe: every teardown step runs even if an earlier one
+        raises (a consumer ``close()`` failing must not leak the pool or the
+        address registration).  The first consumer-close error — and any error
+        the producer thread died with — is re-raised at the end.
+        """
+        if self._shutdown:
+            return
+        self._shutdown = True
+        close_error: Optional[BaseException] = None
+        try:
+            self.producer.stop()
+            for consumer in self._consumers:
+                try:
+                    consumer.close()
+                except BaseException as exc:
+                    if close_error is None:
+                        close_error = exc
+            if self._thread is not None:
+                self._thread.join(timeout=timeout)
+        finally:
+            with _SESSIONS_LOCK:
+                if _SESSIONS.get(self.address) is self:
+                    del _SESSIONS[self.address]
+            try:
+                self.pool.shutdown()
+            finally:
+                # Normally released by the producer thread's join(); covers
+                # producers that errored out before reaching it.
+                self.producer.close_endpoint()
         self.raise_producer_error()
+        if close_error is not None:
+            raise close_error
 
     def __enter__(self) -> "SharedLoaderSession":
         return self.start()
@@ -89,3 +169,10 @@ class SharedLoaderSession:
     @property
     def is_running(self) -> bool:
         return self._thread is not None and self._thread.is_alive()
+
+    def __repr__(self) -> str:
+        state = "shutdown" if self._shutdown else ("running" if self.is_running else "idle")
+        return (
+            f"SharedLoaderSession(address={self.address!r}, state={state}, "
+            f"consumers={len(self._consumers)})"
+        )

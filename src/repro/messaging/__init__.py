@@ -17,9 +17,36 @@ the same patterns:
   wrappers.
 * :class:`~repro.messaging.heartbeat.HeartbeatMonitor` — per-peer liveness
   tracking with the detach-after-timeout behaviour the producer relies on.
+* :mod:`~repro.messaging.endpoint` — URI-addressed endpoints: a process-wide
+  registry mapping schemes (``inproc://`` today; ``mp://``/``tcp://`` plug in
+  the same way) to transports, so producers serve and consumers attach by
+  address string instead of by shared hub/pool objects.
 """
 
-from repro.messaging.errors import MessagingError, EndpointClosedError, TimeoutError_
+from repro.messaging.endpoint import (
+    InProcTransport,
+    LocalObjectTransport,
+    Transport,
+    TransportRegistry,
+    available_schemes,
+    bind,
+    connect,
+    default_registry,
+    is_uri,
+    parse_address,
+    register_transport,
+)
+from repro.messaging.errors import (
+    AddressError,
+    AddressInUseError,
+    AddressNotServedError,
+    DuplicateConsumerError,
+    EndpointClosedError,
+    EndpointError,
+    MessagingError,
+    TimeoutError_,
+    UnknownSchemeError,
+)
 from repro.messaging.message import Message, MessageKind
 from repro.messaging.transport import Endpoint, InProcHub, TcpHub
 from repro.messaging.sockets import (
@@ -49,4 +76,22 @@ __all__ = [
     "MessagingError",
     "EndpointClosedError",
     "TimeoutError_",
+    # URI endpoint layer
+    "Transport",
+    "TransportRegistry",
+    "InProcTransport",
+    "LocalObjectTransport",
+    "register_transport",
+    "available_schemes",
+    "default_registry",
+    "parse_address",
+    "is_uri",
+    "bind",
+    "connect",
+    "EndpointError",
+    "AddressError",
+    "UnknownSchemeError",
+    "AddressInUseError",
+    "AddressNotServedError",
+    "DuplicateConsumerError",
 ]

@@ -1,0 +1,339 @@
+"""URI-addressed endpoints: serve and attach by address instead of by object.
+
+The paper deploys the producer as a long-lived server that trainers reach by
+address (Section 3.3.1); the systems it compares against — CoorDL's MinIO
+cache, Joader's shared-loader server — are likewise reached by endpoint, not
+by handing Python objects around.  This module is the connection layer that
+makes that literal for the reproduction:
+
+* :func:`parse_address` — split ``scheme://locator`` URIs.
+* :class:`Transport` — one entry per scheme: knows how to *bind* (serve) and
+  *connect* (attach) a locator, producing a resolved :class:`Endpoint`.
+* :class:`TransportRegistry` — a process-wide, thread-safe mapping from URI
+  scheme to transport, with ``inproc`` registered by default.  New schemes
+  (``mp://`` for multiprocess transports, ``tcp://`` for remote consumers)
+  plug in through :func:`register_transport` without touching producer or
+  consumer code.
+* :class:`InProcTransport` — the first transport: every bound locator owns a
+  fresh :class:`~repro.messaging.transport.InProcHub` and
+  :class:`~repro.tensor.shared_memory.SharedMemoryPool`, shared by everyone
+  who connects to the same address from any thread in the process.
+* :class:`LocalObjectTransport` — a generic transport serving arbitrary
+  Python objects at addresses; the simulation layer registers it under
+  ``sim://`` so simulated loading pipelines are attached by URI too.
+
+Typical flow (what :func:`repro.serve` / :func:`repro.attach` do internally)::
+
+    endpoint = bind("inproc://demo")          # producer side: hub + pool created
+    producer = TensorProducer(loader, hub=endpoint.hub, pool=endpoint.pool)
+
+    endpoint = connect("inproc://demo")       # consumer side, any thread
+    consumer = TensorConsumer(hub=endpoint.hub, pool=endpoint.pool)
+
+``TensorProducer(loader, address="inproc://demo")`` and
+``TensorConsumer(address="inproc://demo")`` run exactly this resolution when
+no explicit ``hub=``/``pool=`` override is passed.
+
+.. note::
+   This module's :class:`Endpoint` (a resolved URI address) is distinct from
+   :class:`repro.messaging.transport.Endpoint` (a hub-level receive queue,
+   the one ``repro.messaging`` re-exports as ``Endpoint`` for backward
+   compatibility).  Import this one as ``repro.messaging.endpoint.Endpoint``.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+from abc import ABC, abstractmethod
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.messaging.errors import (
+    AddressError,
+    AddressInUseError,
+    AddressNotServedError,
+    UnknownSchemeError,
+)
+from repro.messaging.transport import InProcHub
+
+_SCHEME_RE = re.compile(r"^[a-z][a-z0-9+.-]*$")
+
+
+def parse_address(address: str) -> Tuple[str, str]:
+    """Split a ``scheme://locator`` URI; raises :class:`AddressError` if malformed."""
+    if not isinstance(address, str) or "://" not in address:
+        raise AddressError(
+            f"address {address!r} is not a URI; expected '<scheme>://<locator>' "
+            f"such as 'inproc://demo'"
+        )
+    scheme, _, locator = address.partition("://")
+    if not _SCHEME_RE.match(scheme):
+        raise AddressError(f"invalid scheme {scheme!r} in address {address!r}")
+    if not locator:
+        raise AddressError(f"address {address!r} has an empty locator")
+    return scheme, locator
+
+
+def is_uri(address: str) -> bool:
+    """Whether a string looks like a URI address (as opposed to a bare channel name)."""
+    try:
+        parse_address(address)
+    except AddressError:
+        return False
+    return True
+
+
+class Endpoint:
+    """A resolved address: the transport resources living behind a URI.
+
+    ``hub`` and ``pool`` are set by messaging transports (``inproc``); object
+    transports (``sim``) populate ``resource`` instead.  Bind-side endpoints
+    own the address registration and release it with :meth:`release`;
+    connect-side endpoints are passive references and release is a no-op.
+    """
+
+    def __init__(
+        self,
+        address: str,
+        *,
+        transport: "Transport",
+        role: str,
+        hub: Optional[InProcHub] = None,
+        pool: Optional[Any] = None,
+        resource: Optional[Any] = None,
+    ) -> None:
+        if role not in ("bind", "connect"):
+            raise ValueError(f"endpoint role must be 'bind' or 'connect', got {role!r}")
+        self.address = address
+        self.scheme, self.locator = parse_address(address)
+        self.transport = transport
+        self.role = role
+        self.hub = hub
+        self.pool = pool
+        self.resource = resource
+        self._released = False
+
+    @property
+    def released(self) -> bool:
+        return self._released
+
+    def release(self) -> None:
+        """Unregister a bind-side endpoint from its transport (idempotent)."""
+        if self._released:
+            return
+        self._released = True
+        if self.role == "bind":
+            self.transport.release(self.locator)
+
+    def __enter__(self) -> "Endpoint":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.release()
+
+    def __repr__(self) -> str:
+        return f"Endpoint({self.address!r}, role={self.role!r})"
+
+
+class Transport(ABC):
+    """One URI scheme's way of turning locators into endpoints."""
+
+    #: The scheme this transport serves (informational; the registry key wins).
+    scheme: str = ""
+
+    @abstractmethod
+    def bind(self, address: str, resource: Optional[Any] = None) -> Endpoint:
+        """Serve ``address``; raises :class:`AddressInUseError` on collision."""
+
+    @abstractmethod
+    def connect(self, address: str) -> Endpoint:
+        """Attach to a served ``address``; raises :class:`AddressNotServedError`."""
+
+    def release(self, locator: str) -> None:
+        """Stop serving ``locator`` (called by bind-side :meth:`Endpoint.release`)."""
+
+    def locators(self) -> List[str]:
+        """Locators currently served (for introspection and error messages)."""
+        return []
+
+
+class InProcTransport(Transport):
+    """``inproc://`` — shared loaders reachable from any thread in this process.
+
+    Binding a locator creates a fresh hub (message broker) and shared-memory
+    pool; connecting returns the same pair, so producer and consumers rendezvous
+    purely by address string.
+    """
+
+    scheme = "inproc"
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._served: Dict[str, Tuple[InProcHub, Any]] = {}
+
+    def bind(self, address: str, resource: Optional[Any] = None) -> Endpoint:
+        from repro.tensor.shared_memory import SharedMemoryPool
+
+        _, locator = parse_address(address)
+        if resource is not None:
+            raise AddressError("inproc:// endpoints create their own hub and pool")
+        with self._lock:
+            if locator in self._served:
+                raise AddressInUseError(
+                    f"address {address!r} is already being served; shut the existing "
+                    f"session down (or pick another address) before serving it again"
+                )
+            hub, pool = InProcHub(), SharedMemoryPool()
+            self._served[locator] = (hub, pool)
+        return Endpoint(address, transport=self, role="bind", hub=hub, pool=pool)
+
+    def connect(self, address: str) -> Endpoint:
+        _, locator = parse_address(address)
+        with self._lock:
+            pair = self._served.get(locator)
+            known = sorted(self._served)
+        if pair is None:
+            served = ", ".join(known) or "none"
+            raise AddressNotServedError(
+                f"nothing is serving {address!r} (served inproc addresses: {served}); "
+                f"call repro.serve(loader, address={address!r}) first"
+            )
+        hub, pool = pair
+        return Endpoint(address, transport=self, role="connect", hub=hub, pool=pool)
+
+    def release(self, locator: str) -> None:
+        with self._lock:
+            self._served.pop(locator, None)
+
+    def locators(self) -> List[str]:
+        with self._lock:
+            return sorted(self._served)
+
+
+class LocalObjectTransport(Transport):
+    """Serve arbitrary Python objects at URI addresses inside this process.
+
+    Generic glue for layers whose "server" is not a hub/pool pair: the
+    simulation layer registers an instance under ``sim://`` so that simulated
+    loading pipelines (TensorSocket, CoorDL, Joader) can be attached by
+    address, mirroring how the real systems are reached by endpoint.
+    """
+
+    def __init__(self, scheme: str) -> None:
+        self.scheme = scheme
+        self._lock = threading.Lock()
+        self._served: Dict[str, Any] = {}
+
+    def bind(self, address: str, resource: Optional[Any] = None) -> Endpoint:
+        _, locator = parse_address(address)
+        if resource is None:
+            raise AddressError(
+                f"{self.scheme}:// endpoints serve an existing object; pass resource="
+            )
+        with self._lock:
+            if locator in self._served:
+                raise AddressInUseError(f"address {address!r} is already being served")
+            self._served[locator] = resource
+        return Endpoint(address, transport=self, role="bind", resource=resource)
+
+    def connect(self, address: str) -> Endpoint:
+        _, locator = parse_address(address)
+        with self._lock:
+            if locator not in self._served:
+                served = ", ".join(sorted(self._served)) or "none"
+                raise AddressNotServedError(
+                    f"nothing is serving {address!r} "
+                    f"(served {self.scheme} addresses: {served})"
+                )
+            resource = self._served[locator]
+        return Endpoint(address, transport=self, role="connect", resource=resource)
+
+    def release(self, locator: str) -> None:
+        with self._lock:
+            self._served.pop(locator, None)
+
+    def locators(self) -> List[str]:
+        with self._lock:
+            return sorted(self._served)
+
+
+class TransportRegistry:
+    """Thread-safe mapping from URI scheme to :class:`Transport`."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._transports: Dict[str, Transport] = {}
+
+    def register(self, scheme: str, transport: Transport, *, replace: bool = False) -> None:
+        if not _SCHEME_RE.match(scheme):
+            raise AddressError(f"invalid scheme {scheme!r}")
+        with self._lock:
+            if scheme in self._transports and not replace:
+                raise AddressInUseError(
+                    f"scheme {scheme!r} already has a registered transport; "
+                    f"pass replace=True to override it"
+                )
+            self._transports[scheme] = transport
+
+    def unregister(self, scheme: str) -> None:
+        with self._lock:
+            self._transports.pop(scheme, None)
+
+    def registered(self, scheme: str) -> bool:
+        with self._lock:
+            return scheme in self._transports
+
+    def get(self, scheme: str) -> Transport:
+        with self._lock:
+            transport = self._transports.get(scheme)
+        if transport is None:
+            known = ", ".join(sorted(self.schemes())) or "none"
+            raise UnknownSchemeError(
+                f"no transport registered for scheme {scheme!r} "
+                f"(registered schemes: {known})"
+            )
+        return transport
+
+    def schemes(self) -> List[str]:
+        with self._lock:
+            return sorted(self._transports)
+
+    # -- address-level helpers ---------------------------------------------------------
+    def bind(self, address: str, resource: Optional[Any] = None) -> Endpoint:
+        scheme, _ = parse_address(address)
+        return self.get(scheme).bind(address, resource=resource)
+
+    def connect(self, address: str) -> Endpoint:
+        scheme, _ = parse_address(address)
+        return self.get(scheme).connect(address)
+
+    def __repr__(self) -> str:
+        return f"TransportRegistry(schemes={self.schemes()})"
+
+
+#: The process-wide registry every address resolves against by default.
+_default_registry = TransportRegistry()
+_default_registry.register("inproc", InProcTransport())
+
+
+def default_registry() -> TransportRegistry:
+    return _default_registry
+
+
+def register_transport(scheme: str, transport: Transport, *, replace: bool = False) -> None:
+    """Register a transport for ``scheme`` in the process-wide registry."""
+    _default_registry.register(scheme, transport, replace=replace)
+
+
+def available_schemes() -> List[str]:
+    return _default_registry.schemes()
+
+
+def bind(address: str, resource: Optional[Any] = None) -> Endpoint:
+    """Serve ``address`` through the process-wide registry."""
+    return _default_registry.bind(address, resource=resource)
+
+
+def connect(address: str) -> Endpoint:
+    """Attach to a served ``address`` through the process-wide registry."""
+    return _default_registry.connect(address)

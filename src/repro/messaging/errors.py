@@ -16,3 +16,27 @@ class TimeoutError_(MessagingError):
     :class:`TimeoutError`; it still subclasses :class:`MessagingError` so
     callers can catch messaging failures uniformly.
     """
+
+
+class EndpointError(MessagingError):
+    """Base class for URI endpoint-resolution failures."""
+
+
+class AddressError(EndpointError):
+    """A malformed endpoint address (not ``scheme://locator``)."""
+
+
+class UnknownSchemeError(EndpointError):
+    """No transport is registered for the address's URI scheme."""
+
+
+class AddressInUseError(EndpointError):
+    """Binding an address (or registering a scheme) that is already taken."""
+
+
+class AddressNotServedError(EndpointError):
+    """Connecting to an address nothing is currently serving."""
+
+
+class DuplicateConsumerError(MessagingError):
+    """A consumer tried to register an id another live consumer already holds."""
