@@ -8,6 +8,8 @@ the in-process producer/consumer protocol end to end.
 import numpy as np
 
 import repro
+from repro.core import ConsumerConfig
+from repro.core.consumer import TensorConsumer
 from repro.data import DataLoader, SyntheticImageDataset
 from repro.data.transforms import Compose, DecodeJpeg, Normalize, ToTensor
 from repro.tensor import BatchPayload, SharedMemoryPool, from_numpy
@@ -40,6 +42,37 @@ def test_shared_loader_end_to_end_throughput(benchmark):
         consumer = repro.attach(
             "inproc://microbench", max_epochs=1, receive_timeout=20
         )
+        batches = sum(1 for _ in consumer)
+        consumer.close()
+        session.shutdown()
+        return batches
+
+    batches = benchmark.pedantic(one_epoch, rounds=3, iterations=1)
+    assert batches == 4
+
+
+def test_shared_loader_tcp_end_to_end_throughput(benchmark):
+    """The same epoch over the tcp:// transport, for comparison with the
+    inproc:// number above: envelopes cross a real loopback socket through the
+    broker while tensor bytes stay in posix shared memory.
+
+    The consumer is built directly (not via ``repro.attach``) so it dials the
+    broker instead of taking the same-process session shortcut.
+    """
+
+    def one_epoch():
+        dataset = SyntheticImageDataset(64, image_size=16, payload_bytes=32)
+        pipeline = Compose([DecodeJpeg(height=16, width=16), Normalize(), ToTensor()])
+        loader = DataLoader(dataset, batch_size=16, transform=pipeline)
+        session = repro.serve(
+            loader, address="tcp://127.0.0.1:0", epochs=1, poll_interval=0.002,
+            start=False,
+        )
+        consumer = TensorConsumer(
+            address=session.address,
+            config=ConsumerConfig(max_epochs=1, receive_timeout=20),
+        )
+        session.start()
         batches = sum(1 for _ in consumer)
         consumer.close()
         session.shutdown()

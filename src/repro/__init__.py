@@ -13,10 +13,12 @@ by that address alone::
 
 Addresses resolve through a pluggable transport registry
 (:mod:`repro.messaging.endpoint`): each URI scheme maps to a transport that
-knows how to bind (serve) and connect (attach) an address.  ``inproc://`` is
-built in; ``mp://`` and ``tcp://`` transports plug into the same registry
-without touching producer or consumer code.  Explicit ``hub=`` / ``pool=``
-object wiring remains supported everywhere for tests and embedded uses.
+knows how to bind (serve) and connect (attach) an address.  ``inproc://``
+(threads of one process) and ``tcp://`` (separate OS processes: a broker
+thread for the message envelopes, posix shared memory for zero-copy tensor
+hand-off) are built in; new transports plug into the same registry without
+touching producer or consumer code.  Explicit ``hub=`` / ``pool=`` object
+wiring remains supported everywhere for tests and embedded uses.
 
 The package is organised as the paper's system plus every substrate it relies
 on:

@@ -13,11 +13,14 @@ becomes a consumer of a shared loader served at an address::
     for batch in repro.attach("inproc://cifar"): ...       # each trainer
 
 Addresses are URIs resolved through the pluggable transport registry in
-:mod:`repro.messaging.endpoint` (``inproc://`` today; ``mp://`` / ``tcp://``
-transports register the same way).  Nobody passes hub or pool objects around:
-``serve`` binds the address, ``attach`` resolves it — from the live-session
-directory when the producer runs in this process, falling back to a raw
-endpoint connect otherwise.
+:mod:`repro.messaging.endpoint`.  ``inproc://`` serves threads of this
+process; ``tcp://`` serves **other OS processes** — serving starts a broker
+thread plus a posix shared-memory pool (``tcp://host:0`` auto-assigns a port,
+surfaced via ``session.address``), and attaching dials the broker while
+tensors stay zero-copy in shared memory.  New schemes register the same way.
+Nobody passes hub or pool objects around: ``serve`` binds the address,
+``attach`` resolves it — from the live-session directory when the producer
+runs in this process, falling back to a transport connect otherwise.
 """
 
 from __future__ import annotations
@@ -31,6 +34,29 @@ from repro.messaging.endpoint import is_uri, parse_address
 
 #: Where ``serve()`` puts a loader when the caller does not name an address.
 DEFAULT_ADDRESS = "inproc://shared-loader"
+
+
+def _resolve_address_and_config(address, config, config_param, config_cls, kwargs):
+    """Shared serve()/attach() plumbing: address fallback and config merge.
+
+    Falls back to the config's address (when it is a URI) then to
+    :data:`DEFAULT_ADDRESS`, validates the address early (catching typos like
+    ``inproc:/x`` before serving silently), and builds a config from kwargs
+    unless an explicit one was passed.
+    """
+    if address is None:
+        if config is not None and is_uri(config.address):
+            address = config.address
+        else:
+            address = DEFAULT_ADDRESS
+    parse_address(address)
+    if config is not None and kwargs:
+        raise TypeError(
+            f"pass either {config_param}= or {config_cls.__name__} kwargs, not both"
+        )
+    if config is None:
+        config = config_cls(address=address, **kwargs)
+    return address, config
 
 
 def serve(
@@ -51,17 +77,14 @@ def serve(
     ``flexible_batching=True``, ...).  Pass ``start=False`` to bind the
     address — making it attachable — without starting the producer loop yet
     (useful when consumers should all register before the first batch).
+
+    For ``tcp://host:0`` addresses the OS assigns the port at bind time; read
+    the resolved address back from ``session.address`` (equivalently
+    ``session.producer.address``) and hand it to the consumer processes.
     """
-    if address is None:
-        if producer_config is not None and is_uri(producer_config.address):
-            address = producer_config.address
-        else:
-            address = DEFAULT_ADDRESS
-    parse_address(address)  # catch typos like "inproc:/x" before serving silently
-    if producer_config is not None and config_kwargs:
-        raise TypeError("pass either producer_config= or ProducerConfig kwargs, not both")
-    if producer_config is None:
-        producer_config = ProducerConfig(address=address, **config_kwargs)
+    address, producer_config = _resolve_address_and_config(
+        address, producer_config, "producer_config", ProducerConfig, config_kwargs
+    )
     session = SharedLoaderSession(
         data_loader, address=address, producer_config=producer_config
     )
@@ -91,16 +114,9 @@ def attach(
     passed ``consumer_config`` (if it is a URI), then to
     :data:`DEFAULT_ADDRESS`.
     """
-    if address is None:
-        if consumer_config is not None and is_uri(consumer_config.address):
-            address = consumer_config.address
-        else:
-            address = DEFAULT_ADDRESS
-    parse_address(address)
-    if consumer_config is not None and config_kwargs:
-        raise TypeError("pass either consumer_config= or ConsumerConfig kwargs, not both")
-    if consumer_config is None:
-        consumer_config = ConsumerConfig(address=address, **config_kwargs)
+    address, consumer_config = _resolve_address_and_config(
+        address, consumer_config, "consumer_config", ConsumerConfig, config_kwargs
+    )
     session = SharedLoaderSession.at(address)
     if session is not None:
         return session.consumer(consumer_config)

@@ -74,6 +74,21 @@ class AckLedger:
         self.batches_published += 1
         return record
 
+    def add_waiter(self, key: BatchKey, consumer_id: str) -> BatchRecord:
+        """Add a consumer to an already-published batch's waiting set.
+
+        Used when a rubberbanded late joiner is replayed a batch that other
+        consumers are still working on.  Keeps the per-consumer outstanding
+        index consistent with the record's ``waiting_on`` set, which direct
+        mutation of the record would not.
+        """
+        record = self._records.get(key)
+        if record is None:
+            raise KeyError(f"batch {key} is not pending (published and released?)")
+        record.waiting_on.add(consumer_id)
+        self._outstanding_by_consumer.setdefault(consumer_id, set()).add(key)
+        return record
+
     # -- acknowledgements -------------------------------------------------------------
     def acknowledge(self, consumer_id: str, key: BatchKey) -> Optional[BatchRecord]:
         """Record an ack; returns the record if this ack fully released the batch."""

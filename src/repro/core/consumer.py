@@ -54,15 +54,16 @@ class TensorConsumer:
             self.config = dataclasses.replace(self.config, address=address)
         # URI addresses resolve hub and pool through the transport registry;
         # explicit hub=/pool= arguments override the endpoint's resources.
+        self._endpoint: Optional[endpoints.Endpoint] = None
         if hub is None:
             if not endpoints.is_uri(self.config.address):
                 raise MessagingError(
                     "TensorConsumer needs either an explicit hub= or a URI address "
                     f"(e.g. 'inproc://demo'); got address={self.config.address!r}"
                 )
-            resolved = endpoints.connect(self.config.address)
-            hub = resolved.hub
-            pool = pool or resolved.pool
+            self._endpoint = endpoints.connect(self.config.address)
+            hub = self._endpoint.hub
+            pool = pool or self._endpoint.pool
         self.consumer_id = self.config.consumer_id or f"consumer-{uuid.uuid4().hex[:8]}"
         self.pool = pool
         self.hub = hub
@@ -70,16 +71,24 @@ class TensorConsumer:
         #: from this consumer apart from another consumer reusing its id.
         self._token = uuid.uuid4().hex
 
-        self._sub = SubSocket(
-            hub,
-            self.config.data_address,
-            topics=("broadcast", f"consumer/{self.consumer_id}"),
-            identity=self.consumer_id,
-        )
-        self._push = PushSocket(hub, self.config.control_address, identity=self.consumer_id)
-        self._heartbeat = HeartbeatSender(
-            self._push, self.consumer_id, interval=self.config.heartbeat_interval
-        )
+        try:
+            self._sub = SubSocket(
+                hub,
+                self.config.data_address,
+                topics=("broadcast", f"consumer/{self.consumer_id}"),
+                identity=self.consumer_id,
+            )
+            self._push = PushSocket(hub, self.config.control_address, identity=self.consumer_id)
+            self._heartbeat = HeartbeatSender(
+                self._push, self.consumer_id, interval=self.config.heartbeat_interval
+            )
+        except BaseException:
+            # A socket failing mid-construction (e.g. the broker died after
+            # the endpoint connected) must not leak the endpoint's client
+            # connections, reader threads, or attach pool.
+            if self._endpoint is not None:
+                self._endpoint.release()
+            raise
         self._buffer = BatchBuffer(self.config.buffer_size)
         self._admitted_epoch: Optional[int] = None
         self._epochs_ended = 0
@@ -269,6 +278,10 @@ class TensorConsumer:
             pass
         self._sub.close()
         self._push.close()
+        if self._endpoint is not None:
+            # Connect-side release: a no-op for inproc://, but tcp:// closes
+            # this consumer's broker connections and attach handles.
+            self._endpoint.release()
 
     def __enter__(self) -> "TensorConsumer":
         return self

@@ -83,21 +83,32 @@ class TensorProducer:
         self._endpoint: Optional[endpoints.Endpoint] = None
         if hub is None and endpoints.is_uri(self.config.address):
             self._endpoint = endpoints.bind(self.config.address)
+            if self._endpoint.address != self.config.address:
+                # The transport resolved the address (tcp://host:0 picked a
+                # real port); surface it so consumers can attach to it.
+                self.config = dataclasses.replace(self.config, address=self._endpoint.address)
             hub = self._endpoint.hub
             pool = pool or self._endpoint.pool
-        self.hub = hub or InProcHub()
-        self.pool = pool or SharedMemoryPool()
-        self.identity = f"producer-{uuid.uuid4().hex[:8]}"
-
-        self._pub = PubSocket(self.hub, self.config.data_address, identity=self.identity)
-        self._control = PullSocket(self.hub, self.config.control_address, identity=self.identity)
-        self._heartbeats = HeartbeatMonitor(detach_timeout=self.config.heartbeat_timeout)
-        self.ledger = AckLedger()
-        self.rubberband = RubberbandPolicy(self.config.rubberband_fraction)
         try:
-            self.rubberband.set_epoch_length(len(data_loader))
-        except TypeError:
-            pass
+            self.hub = hub or InProcHub()
+            self.pool = pool or SharedMemoryPool()
+            self.identity = f"producer-{uuid.uuid4().hex[:8]}"
+
+            self._pub = PubSocket(self.hub, self.config.data_address, identity=self.identity)
+            self._control = PullSocket(self.hub, self.config.control_address, identity=self.identity)
+            self._heartbeats = HeartbeatMonitor(detach_timeout=self.config.heartbeat_timeout)
+            self.ledger = AckLedger()
+            self.rubberband = RubberbandPolicy(self.config.rubberband_fraction)
+            try:
+                self.rubberband.set_epoch_length(len(data_loader))
+            except TypeError:
+                pass
+        except BaseException:
+            # A failure after the bind (e.g. a socket refusing its channel)
+            # must not leave the address registered — or, for tcp://, the
+            # broker thread running — with no owner to release it.
+            self.close_endpoint()
+            raise
 
         self._consumers: Dict[str, ConsumerState] = {}
         self.epoch = 0
@@ -217,10 +228,8 @@ class TensorProducer:
             for name in payload.segment_names:
                 self.pool.retain(name)
             key = payload.key()
-            record = self.ledger.record_for(key)
-            if record is not None:
-                record.waiting_on.add(state.consumer_id)
-                self.ledger._outstanding_by_consumer.setdefault(state.consumer_id, set()).add(key)
+            if self.ledger.record_for(key) is not None:
+                self.ledger.add_waiter(key, state.consumer_id)
             else:
                 self.ledger.publish(
                     key,
@@ -263,7 +272,12 @@ class TensorProducer:
     def _handle_control_message(self, message: Message) -> None:
         body = message.body or {}
         consumer_id = body.get("consumer_id", message.sender)
-        self._heartbeats.beat(consumer_id)
+        # Only registered consumers count as live peers.  An unconditional
+        # beat here would track rejected duplicate-id HELLOs and stray
+        # senders forever; _register_consumer beats accepted registrations
+        # itself.
+        if message.kind is not MessageKind.HELLO and consumer_id in self._consumers:
+            self._heartbeats.beat(consumer_id)
         if message.kind is MessageKind.HELLO:
             self._register_consumer(body)
         elif message.kind is MessageKind.ACK:
@@ -472,7 +486,6 @@ class TensorProducer:
                 if state.batch_size:
                     self._flexible.add_consumer(consumer_id, int(state.batch_size))
         staged = self._stage_batch(producer_batch)
-        released_producer_hold = False
         for consumer_id in active:
             if not self._flexible.has_consumer(consumer_id):
                 continue
@@ -493,7 +506,6 @@ class TensorProducer:
         for tensor in staged.values():
             if tensor.segment is not None and self.pool.contains(tensor.segment.name):
                 self.pool.release(tensor.segment.name)
-            released_producer_hold = True
         self._batches_published_this_epoch = index + 1
 
     # ------------------------------------------------------------------ top-level iteration
@@ -508,6 +520,9 @@ class TensorProducer:
         epoch_limit = self.config.epochs
         while not self._stopped and (epoch_limit is None or self.epoch < epoch_limit):
             self._batches_published_this_epoch = 0
+            # Flexible-mode slice numbering restarts every epoch; without the
+            # reset, batch indices drift upward epoch over epoch.
+            self._publish_seq = 0
             self._window_cache.clear()
             runner = (
                 self._run_epoch_flexible() if self.config.flexible_batching

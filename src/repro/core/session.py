@@ -1,17 +1,22 @@
 """Run a producer as an addressable, long-lived service inside this process.
 
 The paper deploys the producer as a long-lived server that trainers reach by
-address (Section 3.3.1).  :class:`SharedLoaderSession` is that server in
-in-process form: it binds the session's URI address through the transport
-registry (:mod:`repro.messaging.endpoint`), runs the producer loop on a
-background thread, and registers itself in a process-wide directory so that
-consumers in *other* threads can attach with nothing but the address string::
+address (Section 3.3.1).  :class:`SharedLoaderSession` is that server: it
+binds the session's URI address through the transport registry
+(:mod:`repro.messaging.endpoint`), runs the producer loop on a background
+thread, and registers itself in a process-wide directory so that consumers in
+*other* threads can attach with nothing but the address string::
 
     session = repro.serve(loader, address="inproc://cifar")   # producer side
 
     consumer = repro.attach("inproc://cifar")                  # any thread
     for batch in consumer:
         ...
+
+Serving a ``tcp://`` address makes the same session reachable from other OS
+processes: the transport runs a broker thread behind the address and stages
+batches in posix shared memory, so ``repro.attach(session.address)`` works
+from a ``multiprocessing.Process`` (or any separate script) unchanged.
 
 Explicit ``hub=`` / ``pool=`` arguments (and non-URI addresses) keep working
 as before for callers that prefer to wire objects together by hand; in that
@@ -21,6 +26,7 @@ mode the session is simply not discoverable by address.
 from __future__ import annotations
 
 import dataclasses
+import os
 import threading
 from typing import Dict, List, Optional
 
@@ -63,6 +69,7 @@ class SharedLoaderSession:
         self._consumers: List[TensorConsumer] = []
         self._producer_error: Optional[BaseException] = None
         self._shutdown = False
+        self._owner_pid = os.getpid()
         if self.producer.owns_address:
             # The producer's endpoint bind guarantees the address was free, so
             # this cannot clobber another live session.  Sessions wired from
@@ -76,7 +83,14 @@ class SharedLoaderSession:
     def at(cls, address: str) -> Optional["SharedLoaderSession"]:
         """The live session serving ``address`` in this process, if any."""
         with _SESSIONS_LOCK:
-            return _SESSIONS.get(address)
+            session = _SESSIONS.get(address)
+        if session is not None and session._owner_pid != os.getpid():
+            # A fork()ed child inherits the parent's directory, but not its
+            # producer thread: the entry is stale here.  Attaching must fall
+            # through to a real transport connect (e.g. tcp:// back to the
+            # parent's broker) instead of a dead in-process hub.
+            return None
+        return session
 
     # -- lifecycle ---------------------------------------------------------------------
     def start(self) -> "SharedLoaderSession":

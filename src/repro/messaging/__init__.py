@@ -11,21 +11,25 @@ the same patterns:
 * :class:`~repro.messaging.transport.InProcHub` — an in-process broker with
   named endpoints, used by threaded runs, tests and the simulator.
 * :class:`~repro.messaging.transport.TcpHub` — the same API over TCP sockets
-  for true multi-process runs.
+  for true multi-process runs, with
+  :class:`~repro.messaging.transport.TcpServerHub` /
+  :class:`~repro.messaging.transport.TcpHubClient` adapters so the regular
+  socket wrappers run unchanged on either side of the broker.
 * :mod:`~repro.messaging.sockets` — ``PubSocket`` / ``SubSocket``,
   ``PushSocket`` / ``PullSocket`` and ``ReqSocket`` / ``RepSocket`` pattern
   wrappers.
 * :class:`~repro.messaging.heartbeat.HeartbeatMonitor` — per-peer liveness
   tracking with the detach-after-timeout behaviour the producer relies on.
 * :mod:`~repro.messaging.endpoint` — URI-addressed endpoints: a process-wide
-  registry mapping schemes (``inproc://`` today; ``mp://``/``tcp://`` plug in
-  the same way) to transports, so producers serve and consumers attach by
-  address string instead of by shared hub/pool objects.
+  registry mapping schemes (``inproc://`` and ``tcp://`` built in; new
+  schemes plug in the same way) to transports, so producers serve and
+  consumers attach by address string instead of by shared hub/pool objects.
 """
 
 from repro.messaging.endpoint import (
     InProcTransport,
     LocalObjectTransport,
+    TcpTransport,
     Transport,
     TransportRegistry,
     available_schemes,
@@ -48,7 +52,14 @@ from repro.messaging.errors import (
     UnknownSchemeError,
 )
 from repro.messaging.message import Message, MessageKind
-from repro.messaging.transport import Endpoint, InProcHub, TcpHub
+from repro.messaging.transport import (
+    Endpoint,
+    InProcHub,
+    TcpHub,
+    TcpHubClient,
+    TcpServerHub,
+    channel_key,
+)
 from repro.messaging.sockets import (
     PubSocket,
     PullSocket,
@@ -65,6 +76,9 @@ __all__ = [
     "Endpoint",
     "InProcHub",
     "TcpHub",
+    "TcpHubClient",
+    "TcpServerHub",
+    "channel_key",
     "PubSocket",
     "SubSocket",
     "PushSocket",
@@ -80,6 +94,7 @@ __all__ = [
     "Transport",
     "TransportRegistry",
     "InProcTransport",
+    "TcpTransport",
     "LocalObjectTransport",
     "register_transport",
     "available_schemes",

@@ -10,14 +10,18 @@ makes that literal for the reproduction:
 * :class:`Transport` — one entry per scheme: knows how to *bind* (serve) and
   *connect* (attach) a locator, producing a resolved :class:`Endpoint`.
 * :class:`TransportRegistry` — a process-wide, thread-safe mapping from URI
-  scheme to transport, with ``inproc`` registered by default.  New schemes
-  (``mp://`` for multiprocess transports, ``tcp://`` for remote consumers)
-  plug in through :func:`register_transport` without touching producer or
-  consumer code.
-* :class:`InProcTransport` — the first transport: every bound locator owns a
-  fresh :class:`~repro.messaging.transport.InProcHub` and
+  scheme to transport, with ``inproc`` and ``tcp`` registered by default.
+  New schemes plug in through :func:`register_transport` without touching
+  producer or consumer code.
+* :class:`InProcTransport` — every bound locator owns a fresh
+  :class:`~repro.messaging.transport.InProcHub` and
   :class:`~repro.tensor.shared_memory.SharedMemoryPool`, shared by everyone
   who connects to the same address from any thread in the process.
+* :class:`TcpTransport` — the cross-process transport: binding starts a
+  :class:`~repro.messaging.transport.TcpHub` broker (port 0 auto-assigns) and
+  a ``posix`` shared-memory pool; connecting from any OS process dials the
+  broker and attaches the producer's segments by name, so batches stay
+  zero-copy while only the small pointer envelopes cross the socket.
 * :class:`LocalObjectTransport` — a generic transport serving arbitrary
   Python objects at addresses; the simulation layer registers it under
   ``sim://`` so simulated loading pipelines are attached by URI too.
@@ -46,15 +50,16 @@ from __future__ import annotations
 import re
 import threading
 from abc import ABC, abstractmethod
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.messaging.errors import (
     AddressError,
     AddressInUseError,
     AddressNotServedError,
+    MessagingError,
     UnknownSchemeError,
 )
-from repro.messaging.transport import InProcHub
+from repro.messaging.transport import InProcHub, TcpHub, TcpHubClient, TcpServerHub
 
 _SCHEME_RE = re.compile(r"^[a-z][a-z0-9+.-]*$")
 
@@ -98,9 +103,10 @@ class Endpoint:
         *,
         transport: "Transport",
         role: str,
-        hub: Optional[InProcHub] = None,
+        hub: Optional[Any] = None,
         pool: Optional[Any] = None,
         resource: Optional[Any] = None,
+        closer: Optional[Callable[[], None]] = None,
     ) -> None:
         if role not in ("bind", "connect"):
             raise ValueError(f"endpoint role must be 'bind' or 'connect', got {role!r}")
@@ -111,6 +117,7 @@ class Endpoint:
         self.hub = hub
         self.pool = pool
         self.resource = resource
+        self._closer = closer
         self._released = False
 
     @property
@@ -118,12 +125,20 @@ class Endpoint:
         return self._released
 
     def release(self) -> None:
-        """Unregister a bind-side endpoint from its transport (idempotent)."""
+        """Unregister a bind-side endpoint from its transport (idempotent).
+
+        Connect-side endpoints holding per-attachment resources (e.g. a TCP
+        client connection) close them here instead.
+        """
         if self._released:
             return
         self._released = True
-        if self.role == "bind":
-            self.transport.release(self.locator)
+        try:
+            if self.role == "bind":
+                self.transport.release(self.locator)
+        finally:
+            if self._closer is not None:
+                self._closer()
 
     def __enter__(self) -> "Endpoint":
         return self
@@ -204,6 +219,104 @@ class InProcTransport(Transport):
     def release(self, locator: str) -> None:
         with self._lock:
             self._served.pop(locator, None)
+
+    def locators(self) -> List[str]:
+        with self._lock:
+            return sorted(self._served)
+
+
+def _split_host_port(address: str) -> Tuple[str, int]:
+    """Split a ``tcp://host:port`` locator; raises :class:`AddressError`."""
+    _, locator = parse_address(address)
+    host, sep, port_text = locator.rpartition(":")
+    if not sep or not host:
+        raise AddressError(
+            f"address {address!r} needs a 'tcp://<host>:<port>' locator "
+            f"(port 0 binds an OS-assigned port)"
+        )
+    try:
+        port = int(port_text)
+    except ValueError as exc:
+        raise AddressError(f"invalid port {port_text!r} in address {address!r}") from exc
+    if not (0 <= port <= 65535):
+        raise AddressError(f"port {port} out of range in address {address!r}")
+    return host, port
+
+
+class TcpTransport(Transport):
+    """``tcp://`` — shared loaders reachable from other OS processes.
+
+    Binding spins up a :class:`~repro.messaging.transport.TcpHub` broker
+    thread on the locator's host:port (port ``0`` picks a free port; the
+    endpoint's ``address`` carries the resolved one) plus a ``posix``-backed
+    shared-memory pool, so message envelopes travel over TCP while tensor
+    bytes are handed off zero-copy through OS shared memory — mirroring the
+    paper's ZeroMQ + shared-memory deployment.  Connecting dials the broker
+    and opens an attach-by-name pool that maps the producer's segments into
+    this process.
+    """
+
+    scheme = "tcp"
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._served: Dict[str, TcpHub] = {}
+
+    def bind(self, address: str, resource: Optional[Any] = None) -> Endpoint:
+        from repro.tensor.shared_memory import SharedMemoryPool
+
+        if resource is not None:
+            raise AddressError("tcp:// endpoints create their own broker and pool")
+        host, port = _split_host_port(address)
+        try:
+            tcp_hub = TcpHub(host, port)
+        except OSError as exc:
+            raise AddressInUseError(f"cannot bind {address!r}: {exc}") from exc
+        locator = f"{tcp_hub.host}:{tcp_hub.port}"
+        with self._lock:
+            self._served[locator] = tcp_hub
+        return Endpoint(
+            f"tcp://{locator}",
+            transport=self,
+            role="bind",
+            hub=TcpServerHub(tcp_hub),
+            pool=SharedMemoryPool(backend="posix"),
+        )
+
+    def connect(self, address: str) -> Endpoint:
+        from repro.tensor.shared_memory import SharedMemoryPool
+
+        host, port = _split_host_port(address)
+        if port == 0:
+            raise AddressError(f"cannot connect to port 0 ({address!r}); use the "
+                               f"resolved address the serving side reports")
+        try:
+            client = TcpHubClient(host, port)
+        except (OSError, MessagingError) as exc:
+            raise AddressNotServedError(
+                f"nothing is serving {address!r} ({exc}); start the producer with "
+                f"repro.serve(loader, address={address!r}) first"
+            ) from exc
+        pool = SharedMemoryPool(backend="posix", attach_by_name=True)
+
+        def close_client() -> None:
+            client.close()
+            pool.close_attached()
+
+        return Endpoint(
+            address,
+            transport=self,
+            role="connect",
+            hub=client,
+            pool=pool,
+            closer=close_client,
+        )
+
+    def release(self, locator: str) -> None:
+        with self._lock:
+            tcp_hub = self._served.pop(locator, None)
+        if tcp_hub is not None:
+            tcp_hub.close()
 
     def locators(self) -> List[str]:
         with self._lock:
@@ -314,6 +427,7 @@ class TransportRegistry:
 #: The process-wide registry every address resolves against by default.
 _default_registry = TransportRegistry()
 _default_registry.register("inproc", InProcTransport())
+_default_registry.register("tcp", TcpTransport())
 
 
 def default_registry() -> TransportRegistry:

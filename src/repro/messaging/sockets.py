@@ -11,8 +11,12 @@ Three patterns are provided, matching the channels TensorSocket uses:
 * **REQ/REP** — a small synchronous control channel used by utilities (e.g.
   querying producer status from a monitoring script).
 
-All sockets work over either an :class:`~repro.messaging.transport.InProcHub`
-or a TCP broker through :class:`~repro.messaging.transport.TcpClientEndpoint`.
+All sockets work over anything with the hub surface
+(``bind/connect/publish/push``): an
+:class:`~repro.messaging.transport.InProcHub`, the broker-owning process's
+:class:`~repro.messaging.transport.TcpServerHub`, or a remote process's
+:class:`~repro.messaging.transport.TcpHubClient`, which routes through a
+:class:`~repro.messaging.transport.TcpHub` broker over TCP.
 """
 
 from __future__ import annotations
@@ -86,9 +90,9 @@ class SubSocket(_HubSocket):
         identity: Optional[str] = None,
     ) -> None:
         super().__init__(hub, address, identity)
-        self._endpoint = hub.connect(address, name=self.identity)
-        for topic in topics:
-            self._endpoint.subscribe(topic)
+        # Subscriptions are applied atomically at connect time so no publish
+        # can slip between the connect and a half-applied topic filter.
+        self._endpoint = hub.connect(address, name=self.identity, subscriptions=tuple(topics))
 
     def subscribe(self, prefix: str) -> None:
         self._endpoint.subscribe(prefix)
@@ -207,7 +211,7 @@ class TcpPubSocket:
     def __init__(self, host: str, port: int, address: str, identity: Optional[str] = None) -> None:
         self.identity = identity or f"sock-{uuid.uuid4().hex[:8]}"
         self._address = address
-        self._client = TcpClientEndpoint(host, port, op="connect", address=f"{address}/pub-shadow")
+        self._client = TcpClientEndpoint(host, port, op="open")
 
     def send(self, kind: MessageKind, body=None, topic: str = "") -> None:
         message = Message(topic=topic, kind=kind, sender=self.identity, body=body)
@@ -249,7 +253,7 @@ class TcpPushSocket:
     def __init__(self, host: str, port: int, address: str, identity: Optional[str] = None) -> None:
         self.identity = identity or f"sock-{uuid.uuid4().hex[:8]}"
         self._address = address
-        self._client = TcpClientEndpoint(host, port, op="connect", address=f"{address}/push-shadow")
+        self._client = TcpClientEndpoint(host, port, op="open")
 
     def send(self, kind: MessageKind, body=None, topic: str = "") -> None:
         message = Message(topic=topic, kind=kind, sender=self.identity, body=body)

@@ -27,8 +27,9 @@ import queue
 import socket
 import struct
 import threading
+import time
 import uuid
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.messaging.errors import EndpointClosedError, MessagingError, TimeoutError_
 from repro.messaging.message import Message
@@ -117,11 +118,38 @@ class InProcHub:
             self._bound[address] = endpoint
             return endpoint
 
-    def connect(self, address: str, name: Optional[str] = None) -> Endpoint:
+    def connect(
+        self,
+        address: str,
+        name: Optional[str] = None,
+        subscriptions: Optional[Iterable[str]] = None,
+    ) -> Endpoint:
         with self._lock:
             endpoint = Endpoint(name or f"conn-{uuid.uuid4().hex[:8]}", address)
+            # Applied before the endpoint becomes reachable, so a publish can
+            # never observe a half-subscribed endpoint.
+            for prefix in subscriptions or ():
+                endpoint.subscribe(prefix)
+            self._prune_closed_locked(address)
             self._connected.setdefault(address, []).append(endpoint)
             return endpoint
+
+    def _prune_closed_locked(self, address: str) -> List[Endpoint]:
+        """Drop endpoints that were closed without a disconnect() call.
+
+        A long-lived hub would otherwise keep one dead queue per departed
+        consumer forever.  Returns the surviving endpoints for the address.
+        """
+        peers = self._connected.get(address)
+        if not peers:
+            return []
+        live = [ep for ep in peers if not ep.closed]
+        if len(live) != len(peers):
+            if live:
+                self._connected[address] = live
+            else:
+                del self._connected[address]
+        return live
 
     def disconnect(self, endpoint: Endpoint) -> None:
         with self._lock:
@@ -139,7 +167,7 @@ class InProcHub:
         Returns the number of endpoints the message was delivered to.
         """
         with self._lock:
-            targets = [ep for ep in self._connected.get(address, []) if not ep.closed]
+            targets = self._prune_closed_locked(address)
         delivered = 0
         for endpoint in targets:
             if endpoint.accepts(message):
@@ -230,13 +258,22 @@ class TcpHub:
         self._server.listen(64)
         self.host, self.port = self._server.getsockname()
         self._inner = InProcHub()
-        self._remote_endpoints: Dict[str, Tuple[Endpoint, socket.socket]] = {}
         self._running = True
-        self._threads: List[threading.Thread] = []
+        self._clients: List[socket.socket] = []
+        # Endpoints with a live _forward_loop — the only queues close() can
+        # meaningfully wait on when draining final deliveries.
+        self._forwarded: List[Endpoint] = []
+        self._clients_lock = threading.Lock()
         self._accept_thread = threading.Thread(
             target=self._accept_loop, name="tcp-hub-accept", daemon=True
         )
         self._accept_thread.start()
+
+    @property
+    def inner_hub(self) -> InProcHub:
+        """The broker's routing hub; the serving process's sockets attach here
+        directly (via :class:`TcpServerHub`) so its traffic skips the loopback."""
+        return self._inner
 
     # -- server side -----------------------------------------------------------------
     def _accept_loop(self) -> None:
@@ -245,40 +282,67 @@ class TcpHub:
                 client, _ = self._server.accept()
             except OSError:
                 break
-            thread = threading.Thread(
+            with self._clients_lock:
+                self._clients.append(client)
+            threading.Thread(
                 target=self._serve_client, args=(client,), daemon=True
-            )
-            thread.start()
-            self._threads.append(thread)
+            ).start()
 
     def _serve_client(self, client: socket.socket) -> None:
         endpoint: Optional[Endpoint] = None
-        forwarder: Optional[threading.Thread] = None
         try:
             while self._running:
                 frame = pickle.loads(_recv_frame(client))
                 op = frame["op"]
                 if op in ("bind", "connect"):
                     address = frame["address"]
-                    if op == "bind":
-                        endpoint = self._inner.bind(address)
-                    else:
-                        endpoint = self._inner.connect(address)
-                        for prefix in frame.get("subscriptions", []):
-                            endpoint.subscribe(prefix)
-                    forwarder = threading.Thread(
+                    try:
+                        if op == "bind":
+                            new_endpoint = self._inner.bind(address)
+                        else:
+                            # Subscriptions go through connect() so the
+                            # endpoint is never reachable in a catch-all
+                            # (no-subscription) state.
+                            new_endpoint = self._inner.connect(
+                                address, subscriptions=frame.get("subscriptions")
+                            )
+                    except MessagingError as exc:
+                        # A broker-side failure (e.g. the address is already
+                        # bound) must travel back as an error reply — raising
+                        # here would kill this thread and leave the client
+                        # waiting on a reply that never comes.
+                        _send_frame(
+                            client, pickle.dumps({"ok": False, "error": str(exc)})
+                        )
+                        continue
+                    endpoint = new_endpoint
+                    # Reply before starting the forwarder so a delivery can
+                    # never overtake the registration acknowledgement.
+                    _send_frame(client, pickle.dumps({"ok": True}))
+                    with self._clients_lock:
+                        self._forwarded.append(endpoint)
+                    threading.Thread(
                         target=self._forward_loop, args=(endpoint, client), daemon=True
-                    )
-                    forwarder.start()
+                    ).start()
+                elif op == "open":
+                    # A send-only channel (publish/push source, no endpoint).
                     _send_frame(client, pickle.dumps({"ok": True}))
                 elif op == "subscribe" and endpoint is not None:
                     endpoint.subscribe(frame["prefix"])
                 elif op == "publish":
                     message = Message.from_bytes(frame["message"])
-                    self._inner.publish(frame["address"], message)
+                    try:
+                        self._inner.publish(frame["address"], message)
+                    except MessagingError:
+                        pass
                 elif op == "push":
                     message = Message.from_bytes(frame["message"])
-                    self._inner.push(frame["address"], message)
+                    try:
+                        self._inner.push(frame["address"], message)
+                    except MessagingError:
+                        # Nothing bound at the address (e.g. the producer is
+                        # gone); pushes are fire-and-forget over TCP.
+                        pass
                 elif op == "close":
                     break
         except (ConnectionError, EOFError, OSError):
@@ -290,6 +354,11 @@ class TcpHub:
                 client.close()
             except OSError:
                 pass
+            with self._clients_lock:
+                if client in self._clients:
+                    self._clients.remove(client)
+                if endpoint is not None and endpoint in self._forwarded:
+                    self._forwarded.remove(endpoint)
 
     def _forward_loop(self, endpoint: Endpoint, client: socket.socket) -> None:
         """Push every message delivered to a server-side endpoint down to the client."""
@@ -307,13 +376,44 @@ class TcpHub:
             except OSError:
                 break
 
+    def _pending_forwarded(self) -> int:
+        with self._clients_lock:
+            return sum(ep.pending() for ep in self._forwarded if not ep.closed)
+
     # -- lifecycle ---------------------------------------------------------------------
-    def close(self) -> None:
+    def close(self, drain_timeout: float = 1.0) -> None:
+        """Stop the broker: close the listening socket (releasing the port)
+        and every client connection so serve/forward threads exit promptly.
+
+        Waits up to ``drain_timeout`` for the forwarders to flush queued
+        deliveries first, so a final SHUTDOWN/EPOCH_END broadcast is not cut
+        off mid-flight.  Only forwarded (remote-client) endpoints are waited
+        on: a local subscriber's unread queue has no forwarder to empty it.
+        """
+        deadline = time.monotonic() + max(0.0, drain_timeout)
+        while self._pending_forwarded() and time.monotonic() < deadline:
+            time.sleep(0.01)
         self._running = False
+        try:
+            # close() alone does not release the port while the accept thread
+            # is blocked inside accept(); shutdown() wakes it so the listening
+            # socket actually dies and the port is immediately rebindable.
+            self._server.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
         try:
             self._server.close()
         except OSError:
             pass
+        self._accept_thread.join(timeout=2.0)
+        with self._clients_lock:
+            clients = list(self._clients)
+            self._clients.clear()
+        for client in clients:
+            try:
+                client.close()
+            except OSError:
+                pass
 
     @property
     def endpoint_address(self) -> Tuple[str, int]:
@@ -336,7 +436,7 @@ class TcpClientEndpoint:
         port: int,
         *,
         op: str,
-        address: str,
+        address: str = "",
         subscriptions: Optional[List[str]] = None,
     ) -> None:
         self.address = address
@@ -353,11 +453,25 @@ class TcpClientEndpoint:
         self._reader.start()
 
     def _request(self, frame: dict) -> None:
-        with self._send_lock:
-            _send_frame(self._sock, pickle.dumps(frame))
-            reply = pickle.loads(_recv_frame(self._sock))
+        try:
+            with self._send_lock:
+                _send_frame(self._sock, pickle.dumps(frame))
+                reply = pickle.loads(_recv_frame(self._sock))
+        except (ConnectionError, EOFError, OSError) as exc:
+            raise MessagingError(f"broker connection lost during {frame!r}: {exc}") from exc
         if not reply.get("ok"):
             raise MessagingError(f"broker rejected {frame!r}: {reply!r}")
+
+    def _send(self, frame: dict) -> None:
+        """Fire-and-forget frame; broker connection loss surfaces uniformly
+        as :class:`MessagingError` so protocol code can treat TCP like a hub."""
+        if self._closed:
+            raise EndpointClosedError(f"endpoint {self.name!r} is closed")
+        try:
+            with self._send_lock:
+                _send_frame(self._sock, pickle.dumps(frame))
+        except OSError as exc:
+            raise MessagingError(f"broker connection lost: {exc}") from exc
 
     def _read_loop(self) -> None:
         while not self._closed:
@@ -370,28 +484,15 @@ class TcpClientEndpoint:
 
     # -- sending ----------------------------------------------------------------------
     def send_publish(self, address: str, message: Message) -> None:
-        with self._send_lock:
-            _send_frame(
-                self._sock,
-                pickle.dumps(
-                    {"op": "publish", "address": address, "message": message.to_bytes()}
-                ),
-            )
+        self._send({"op": "publish", "address": address, "message": message.to_bytes()})
 
     def send_push(self, address: str, message: Message) -> None:
-        with self._send_lock:
-            _send_frame(
-                self._sock,
-                pickle.dumps(
-                    {"op": "push", "address": address, "message": message.to_bytes()}
-                ),
-            )
+        self._send({"op": "push", "address": address, "message": message.to_bytes()})
 
     # -- receiving ---------------------------------------------------------------------
     def subscribe(self, prefix: str = "") -> None:
         self.subscriptions.add(prefix)
-        with self._send_lock:
-            _send_frame(self._sock, pickle.dumps({"op": "subscribe", "prefix": prefix}))
+        self._send({"op": "subscribe", "prefix": prefix})
 
     def receive(self, timeout: Optional[float] = None, block: bool = True) -> Message:
         try:
@@ -425,3 +526,171 @@ class TcpClientEndpoint:
     @property
     def closed(self) -> bool:
         return self._closed
+
+
+# ---------------------------------------------------------------------------
+# Hub adapters: the socket patterns over a TcpHub broker
+# ---------------------------------------------------------------------------
+
+
+def channel_key(address: str) -> str:
+    """Canonical broker-side routing key for a channel address.
+
+    Channel addresses are derived from the session's URI (``{address}/data``,
+    ``{address}/control``), but the same broker can be reached under different
+    authority spellings (``tcp://localhost:5555`` vs ``tcp://127.0.0.1:5555``).
+    Routing on the path alone makes those equivalent; non-URI addresses pass
+    through unchanged so explicit-hub wiring keeps its exact strings.
+    """
+    if "://" not in address:
+        return address
+    _, _, rest = address.partition("://")
+    slash = rest.find("/")
+    return rest[slash:] if slash >= 0 else "/"
+
+
+class TcpServerHub:
+    """The broker-owning process's view of a :class:`TcpHub`.
+
+    Exposes the same ``bind/connect/publish/push`` surface as
+    :class:`InProcHub`, routed straight through the broker's inner hub (no
+    loopback hop) with addresses canonicalised by :func:`channel_key` so the
+    producer's sockets and remote clients agree on channel names.
+    """
+
+    def __init__(self, tcp_hub: TcpHub) -> None:
+        self.tcp_hub = tcp_hub
+        self._hub = tcp_hub.inner_hub
+
+    @property
+    def host(self) -> str:
+        return self.tcp_hub.host
+
+    @property
+    def port(self) -> int:
+        return self.tcp_hub.port
+
+    def bind(self, address: str, name: Optional[str] = None) -> Endpoint:
+        return self._hub.bind(channel_key(address), name=name)
+
+    def connect(
+        self,
+        address: str,
+        name: Optional[str] = None,
+        subscriptions: Optional[Iterable[str]] = None,
+    ) -> Endpoint:
+        return self._hub.connect(channel_key(address), name=name, subscriptions=subscriptions)
+
+    def disconnect(self, endpoint: Endpoint) -> None:
+        self._hub.disconnect(endpoint)
+
+    def publish(self, address: str, message: Message) -> int:
+        return self._hub.publish(channel_key(address), message)
+
+    def push(self, address: str, message: Message) -> None:
+        self._hub.push(channel_key(address), message)
+
+    def has_bound(self, address: str) -> bool:
+        return self._hub.has_bound(channel_key(address))
+
+    def connected_count(self, address: str) -> int:
+        return self._hub.connected_count(channel_key(address))
+
+    @property
+    def messages_published(self) -> int:
+        return self._hub.messages_published
+
+    @property
+    def messages_pushed(self) -> int:
+        return self._hub.messages_pushed
+
+    def __repr__(self) -> str:
+        return f"TcpServerHub({self.host}:{self.port})"
+
+
+class TcpHubClient:
+    """Client-side hub adapter: :class:`InProcHub`'s surface over a TCP broker.
+
+    ``PubSocket``/``SubSocket``/``PushSocket``/``PullSocket`` run unchanged
+    against this object from another OS process: ``connect``/``bind`` open one
+    broker connection per endpoint (a :class:`TcpClientEndpoint`, which offers
+    the same receive surface as :class:`Endpoint`), while ``publish``/``push``
+    go through a single send-only channel.
+    """
+
+    def __init__(self, host: str, port: int) -> None:
+        self.host = host
+        self.port = int(port)
+        self._lock = threading.Lock()
+        self._endpoints: List[TcpClientEndpoint] = []
+        self._closed = False
+        # Opened eagerly so connecting to a dead broker fails here, not on
+        # the first send.
+        self._sender = TcpClientEndpoint(self.host, self.port, op="open")
+
+    # -- endpoint management -----------------------------------------------------------
+    def bind(self, address: str, name: Optional[str] = None) -> TcpClientEndpoint:
+        return self._track(
+            TcpClientEndpoint(self.host, self.port, op="bind", address=channel_key(address))
+        )
+
+    def connect(
+        self,
+        address: str,
+        name: Optional[str] = None,
+        subscriptions: Optional[Iterable[str]] = None,
+    ) -> TcpClientEndpoint:
+        # Subscriptions travel inside the connect request so they are active
+        # broker-side before the registration is acknowledged; late subscribe()
+        # frames on a separate connection could otherwise lose the race against
+        # a publish on another channel (e.g. a HELLO reply).
+        return self._track(
+            TcpClientEndpoint(
+                self.host,
+                self.port,
+                op="connect",
+                address=channel_key(address),
+                subscriptions=list(subscriptions or ()),
+            )
+        )
+
+    def _track(self, endpoint: TcpClientEndpoint) -> TcpClientEndpoint:
+        with self._lock:
+            self._endpoints = [ep for ep in self._endpoints if not ep.closed]
+            self._endpoints.append(endpoint)
+        return endpoint
+
+    def disconnect(self, endpoint: TcpClientEndpoint) -> None:
+        endpoint.close()
+        with self._lock:
+            if endpoint in self._endpoints:
+                self._endpoints.remove(endpoint)
+
+    # -- delivery ------------------------------------------------------------------------
+    def publish(self, address: str, message: Message) -> int:
+        """Publish through the broker.  Fire-and-forget: the number of remote
+        subscribers is unknown client-side, so this returns 0."""
+        self._sender.send_publish(channel_key(address), message)
+        return 0
+
+    def push(self, address: str, message: Message) -> None:
+        self._sender.send_push(channel_key(address), message)
+
+    # -- lifecycle ---------------------------------------------------------------------
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        with self._lock:
+            endpoints = list(self._endpoints)
+            self._endpoints.clear()
+        for endpoint in endpoints:
+            endpoint.close()
+        self._sender.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __repr__(self) -> str:
+        return f"TcpHubClient({self.host}:{self.port}, closed={self._closed})"

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import threading
 import uuid
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
@@ -49,6 +50,35 @@ _INPROC_REGISTRY: Dict[str, bytearray] = {}
 _REGISTRY_LOCK = threading.Lock()
 
 
+_TRACKER_PATCH_LOCK = threading.Lock()
+
+
+def _open_posix_untracked(name: str):
+    """Attach to an existing posix segment without resource-tracker ownership.
+
+    Only the creating pool may own a segment's lifetime: it unlinks once every
+    consumer acknowledged.  Letting the attach register with the resource
+    tracker (which Python < 3.13 always does, and which multiprocessing
+    children share with their parent) either double-books the name or tears
+    live segments down at exit (bpo-39959).  Python 3.13+ exposes
+    ``track=False`` for exactly this; older versions need the registration
+    suppressed for the duration of the attach.
+    """
+    try:
+        return _posix_shm.SharedMemory(name=name, create=False, track=False)
+    except TypeError:  # pragma: no cover - Python < 3.13
+        pass
+    from multiprocessing import resource_tracker
+
+    with _TRACKER_PATCH_LOCK:
+        original = resource_tracker.register
+        resource_tracker.register = lambda *args, **kwargs: None
+        try:
+            return _posix_shm.SharedMemory(name=name, create=False)
+        finally:
+            resource_tracker.register = original
+
+
 def _new_segment_name(prefix: str) -> str:
     return f"{prefix}-{uuid.uuid4().hex[:12]}"
 
@@ -65,29 +95,38 @@ class SharedSegment:
     def __init__(
         self,
         name: str,
-        size: int,
+        size: Optional[int] = None,
         *,
         create: bool,
         backend: str = "inproc",
     ) -> None:
-        if size <= 0:
+        if (create and size is None) or (size is not None and size <= 0):
             raise SharedMemoryError(f"segment size must be positive, got {size}")
         if backend not in ("inproc", "posix"):
             raise SharedMemoryError(f"unknown shared-memory backend {backend!r}")
         if backend == "posix" and not _POSIX_AVAILABLE:
             raise SharedMemoryError("posix shared memory is not available on this platform")
         self.name = name
-        self.size = int(size)
         self.backend = backend
         self._closed = False
         self._shm = None
 
         if backend == "posix":
             if create:
-                self._shm = _posix_shm.SharedMemory(name=name, create=True, size=size)
+                # Serialised against _open_posix_untracked: a create must not
+                # run while an attach has the tracker's register patched out,
+                # or the new segment would never be tracked.
+                with _TRACKER_PATCH_LOCK:
+                    self._shm = _posix_shm.SharedMemory(name=name, create=True, size=size)
             else:
-                self._shm = _posix_shm.SharedMemory(name=name, create=False)
+                try:
+                    self._shm = _open_posix_untracked(name)
+                except (FileNotFoundError, OSError) as exc:
+                    raise SharedMemoryError(f"segment {name!r} does not exist") from exc
             self._buffer = self._shm.buf
+            # A posix segment knows its own size; attaches may omit it (the
+            # kernel may also round the creator's size up to a page boundary).
+            self.size = int(size) if size is not None else self._shm.size
         else:
             with _REGISTRY_LOCK:
                 if create:
@@ -98,6 +137,7 @@ class SharedSegment:
                     if name not in _INPROC_REGISTRY:
                         raise SharedMemoryError(f"segment {name!r} does not exist")
                 self._buffer = memoryview(_INPROC_REGISTRY[name])
+                self.size = int(size) if size is not None else len(self._buffer)
 
     # -- access ---------------------------------------------------------------
     @property
@@ -120,16 +160,20 @@ class SharedSegment:
 
     # -- lifecycle --------------------------------------------------------------
     def close(self) -> None:
-        """Detach this handle from the segment (does not free the memory)."""
+        """Detach this handle from the segment (does not free the memory).
+
+        May raise :class:`BufferError` on the posix backend while numpy views
+        of the segment are still alive; the handle stays open in that case.
+        """
         if self._closed:
             return
-        self._closed = True
-        if self.backend == "posix" and self._shm is not None:  # pragma: no cover
+        if self.backend == "posix" and self._shm is not None:
             self._shm.close()
+        self._closed = True
 
     def unlink(self) -> None:
         """Free the underlying memory.  Only the creator should call this."""
-        if self.backend == "posix":  # pragma: no cover
+        if self.backend == "posix":
             if self._shm is not None:
                 try:
                     self._shm.close()
@@ -165,7 +209,14 @@ class SharedMemoryPool:
     ``peak_bytes`` give the memory-overhead numbers reported in Tables 3 and 4.
     """
 
-    def __init__(self, backend: str = "inproc", name_prefix: str = "tsock") -> None:
+    def __init__(
+        self,
+        backend: str = "inproc",
+        name_prefix: str = "tsock",
+        *,
+        attach_by_name: bool = False,
+        attach_cache_limit: int = 32,
+    ) -> None:
         self._backend = backend
         self._prefix = name_prefix
         self._records: Dict[str, _SegmentRecord] = {}
@@ -174,6 +225,13 @@ class SharedMemoryPool:
         self._peak_bytes = 0
         self._total_allocated = 0
         self._total_released = 0
+        # Consumer-side cross-process mode: segments this pool never allocated
+        # can be opened by name (posix shared memory reached from another OS
+        # process).  Opened handles are cached and trimmed once the training
+        # loop has moved past them; the creator still owns unlinking.
+        self._attach_by_name = attach_by_name
+        self._attach_cache_limit = max(1, int(attach_cache_limit))
+        self._attached: "OrderedDict[str, SharedSegment]" = OrderedDict()
 
     # -- allocation -------------------------------------------------------------
     def allocate_tensor(
@@ -247,15 +305,67 @@ class SharedMemoryPool:
 
     def contains(self, name: str) -> bool:
         with self._lock:
-            return name in self._records
+            if name in self._records:
+                return True
+            if self._attach_by_name:
+                return self._open_attached_locked(name) is not None
+            return False
+
+    # -- cross-process attach ------------------------------------------------------
+    def _open_attached_locked(self, name: str) -> Optional[SharedSegment]:
+        """Open (or fetch the cached handle of) a segment another process created."""
+        segment = self._attached.get(name)
+        if segment is not None:
+            self._attached.move_to_end(name)
+            return segment
+        try:
+            segment = SharedSegment(name, create=False, backend=self._backend)
+        except SharedMemoryError:
+            return None
+        self._attached[name] = segment
+        self._trim_attached_locked()
+        return segment
+
+    def _trim_attached_locked(self) -> None:
+        """Close the oldest cached attach handles once the cache overflows.
+
+        A handle whose tensor views are still alive cannot be closed
+        (BufferError); it is kept and retried on a later trim.
+        """
+        while len(self._attached) > self._attach_cache_limit:
+            name, segment = next(iter(self._attached.items()))
+            del self._attached[name]
+            try:
+                segment.close()
+            except (BufferError, ValueError):
+                self._attached[name] = segment  # still viewed; now newest again
+                break
+
+    def close_attached(self) -> None:
+        """Close every cached attach handle that is no longer viewed."""
+        with self._lock:
+            for name in list(self._attached):
+                try:
+                    self._attached[name].close()
+                except (BufferError, ValueError):
+                    continue
+                del self._attached[name]
 
     def attach(self, name: str, shape: Tuple[int, ...], dtype: DTypeLike,
                device: DeviceLike = "cpu", offset: int = 0) -> Tensor:
         """Rebuild a tensor view over an existing segment (consumer side)."""
         with self._lock:
-            record = self._record_for(name)
-        array = record.segment.ndarray(tuple(shape), as_dtype(dtype), offset=offset)
-        return Tensor(array, device, segment=record.segment, segment_offset=offset)
+            record = self._records.get(name)
+            if record is not None:
+                segment = record.segment
+            elif self._attach_by_name:
+                segment = self._open_attached_locked(name)
+                if segment is None:
+                    raise SharedMemoryError(f"unknown segment {name!r}")
+            else:
+                raise SharedMemoryError(f"unknown segment {name!r}")
+        array = segment.ndarray(tuple(shape), as_dtype(dtype), offset=offset)
+        return Tensor(array, device, segment=segment, segment_offset=offset)
 
     # -- accounting ----------------------------------------------------------------
     @property
@@ -282,6 +392,12 @@ class SharedMemoryPool:
                 record.segment.unlink()
             self._records.clear()
             self._bytes_in_flight = 0
+            for segment in self._attached.values():
+                try:
+                    segment.close()
+                except (BufferError, ValueError):
+                    pass
+            self._attached.clear()
 
     def __repr__(self) -> str:
         return (
