@@ -33,6 +33,7 @@ from repro.core.batch_buffer import BatchBuffer
 from repro.core.config import ConsumerConfig, ProducerConfig
 from repro.core.consumer import TensorConsumer
 from repro.core.flexible_batch import ConsumerSlicePlan, FlexibleBatcher, SliceSpec, plan_slices
+from repro.core.pipeline import StagedItem, StagePipeline
 from repro.core.producer import TensorProducer
 from repro.core.rubberband import JoinDecision, RubberbandPolicy
 from repro.core.session import SharedLoaderSession
@@ -49,6 +50,8 @@ __all__ = [
     "plan_slices",
     "RubberbandPolicy",
     "JoinDecision",
+    "StagePipeline",
+    "StagedItem",
     "TensorProducer",
     "TensorConsumer",
     "SharedLoaderSession",

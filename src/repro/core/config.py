@@ -50,6 +50,20 @@ class ProducerConfig:
     share_device:
         Device batches are staged on before publishing (``"cuda:0"`` for the
         GPU-staging behaviour, ``"cpu"`` to share host tensors).
+    pipeline_depth:
+        Bound on batches kept loaded-and-staged ahead of publishing.  ``1``
+        (the default) keeps the classic strictly-sequential producer loop;
+        larger values run load + stage on a background pipeline
+        (:mod:`repro.core.pipeline`) so loading overlaps publish/ack work, at
+        the cost of up to ``pipeline_depth`` extra staged batches of shared
+        memory in flight.
+    pipeline_workers:
+        Loader worker threads the pipeline may use while prefetching.
+        ``None`` (auto) uses the nested loader's own ``num_workers`` when it
+        has any, otherwise up to ``min(4, pipeline_depth)`` threads; ``0``
+        forces source-side loading to stay synchronous (only staging
+        overlaps) — use it when the dataset or transform is not thread-safe.
+        Ignored at ``pipeline_depth=1``.
     """
 
     address: str = "tensorsocket"
@@ -65,6 +79,8 @@ class ProducerConfig:
     share_device: str = "cpu"
     poll_interval: float = 0.005
     seed: int = 0
+    pipeline_depth: int = 1
+    pipeline_workers: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.buffer_size < 1:
@@ -79,6 +95,10 @@ class ProducerConfig:
             raise ValueError("heartbeat_timeout must be positive")
         if self.poll_interval <= 0:
             raise ValueError("poll_interval must be positive")
+        if self.pipeline_depth < 1:
+            raise ValueError("pipeline_depth must be at least 1")
+        if self.pipeline_workers is not None and self.pipeline_workers < 0:
+            raise ValueError("pipeline_workers must be non-negative when given")
 
     @property
     def data_address(self) -> str:

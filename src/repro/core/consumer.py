@@ -95,11 +95,27 @@ class TensorConsumer:
         self._closed = False
         self._shutdown = False
         self._registered = False
+        # Delivery dedupe: a consumer that subscribed before its HELLO was
+        # processed can receive an early-epoch batch twice — once on
+        # ``broadcast`` and again via the rubberband replay on its personal
+        # topic (same epoch, so the admitted-epoch filter passes both).  Keys
+        # seen this epoch are remembered so the duplicate is acknowledged
+        # (returning the producer's replay hold) but never trained on.
+        self._delivered_keys: set = set()
+        # Keys this consumer has acknowledged; decides how a duplicate is
+        # handled (ack it to release the producer's re-send hold vs. drop it
+        # silently while the original still owes the ack).
+        self._acked_keys: set = set()
+        # Batches consumed per epoch, for __len__ (batches in the last
+        # *completed* epoch, the sized-loader contract).
+        self._consumed_per_epoch: Dict[int, int] = {}
+        self._last_completed_epoch: Optional[int] = None
 
         # Statistics surfaced by tests and experiments.
         self.batches_consumed = 0
         self.epochs_seen = 0
         self.samples_consumed = 0
+        self.duplicates_dropped = 0
 
         self._register()
 
@@ -158,12 +174,36 @@ class TensorConsumer:
             if self._admitted_epoch is not None and epoch >= self._admitted_epoch:
                 self.epochs_seen += 1
                 self._epochs_ended += 1
+                if self._last_completed_epoch is None or epoch > self._last_completed_epoch:
+                    self._last_completed_epoch = epoch
+                # The dedupe window only needs to span one epoch: batch keys
+                # are (epoch, index), so keys from closed epochs cannot recur.
+                self._delivered_keys = {k for k in self._delivered_keys if k[0] > epoch}
+                self._acked_keys = {k for k in self._acked_keys if k[0] > epoch}
+                self._consumed_per_epoch = {
+                    e: n for e, n in self._consumed_per_epoch.items() if e >= epoch
+                }
             return None
         if message.kind is MessageKind.BATCH:
             payload: BatchPayload = message.body
             if self._admitted_epoch is None or payload.epoch < self._admitted_epoch:
                 # Published before this consumer was admitted; not ours to use.
                 return None
+            key = payload.key()
+            if key in self._delivered_keys:
+                # Duplicate delivery (broadcast + rubberband replay of the
+                # same batch): never hand it to training twice.  Acknowledge
+                # it only when the original was already acknowledged — that
+                # is exactly when the producer took a fresh hold for the
+                # re-send.  While the original is still buffered it owes the
+                # ledger its single ack; acking the duplicate now would clear
+                # the outstanding count early, letting the producer publish
+                # past this consumer's buffer capacity.
+                self.duplicates_dropped += 1
+                if key in self._acked_keys:
+                    self._acknowledge(payload)
+                return None
+            self._delivered_keys.add(key)
             return payload
         return None
 
@@ -200,6 +240,7 @@ class TensorConsumer:
 
     # ------------------------------------------------------------------ acknowledgements
     def _acknowledge(self, payload: BatchPayload) -> None:
+        self._acked_keys.add(payload.key())
         try:
             self._push.send(
                 MessageKind.ACK,
@@ -249,6 +290,9 @@ class TensorConsumer:
             batch = payload.unpack(self.pool)
             self.batches_consumed += 1
             self.samples_consumed += payload.batch_size
+            self._consumed_per_epoch[payload.epoch] = (
+                self._consumed_per_epoch.get(payload.epoch, 0) + 1
+            )
             yield batch
             # The training loop finished with the batch: acknowledge it so
             # the producer can release the shared memory.
@@ -259,7 +303,17 @@ class TensorConsumer:
             self._acknowledge(leftover)
 
     def __len__(self) -> int:
-        """Best-effort batches-per-epoch (only meaningful after one epoch)."""
+        """Batches consumed in the last *completed* epoch.
+
+        This is the sized-loader contract (e.g. for
+        :meth:`RubberbandPolicy.set_epoch_length`): a stable batches-per-epoch
+        figure, not a cumulative counter that doubles every epoch.  Before the
+        first epoch completes it falls back to the running count of the
+        current epoch (best effort, matching the old behaviour for one-epoch
+        runs).
+        """
+        if self._last_completed_epoch is not None:
+            return self._consumed_per_epoch.get(self._last_completed_epoch, 0)
         return self.batches_consumed
 
     # ------------------------------------------------------------------ shutdown

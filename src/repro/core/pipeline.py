@@ -1,0 +1,236 @@
+"""The overlapped producer pipeline: load + stage off the publish path.
+
+The paper's producer (Figure 4) is a loop of *load → stage → publish → wait
+for acknowledgements*.  Run strictly in sequence, the loader sits idle while
+the producer waits on consumer acks and the consumers sit idle while the next
+batch is loaded and copied into shared memory.  This module separates the two
+halves so they overlap:
+
+* a **stage worker** thread pulls prepared batches from the nested loader
+  (itself possibly multi-worker, see
+  :meth:`~repro.data.dataloader.DataLoader.prefetch_iter`), runs a caller
+  supplied ``stage_fn`` on each (for the producer: copy into shared memory and
+  pack a :class:`~repro.tensor.payload.BatchPayload`), and
+* a **bounded hand-off queue** of at most ``depth`` staged items feeds the
+  publishing loop, which then spends its time only on publish/ack/control
+  work.
+
+``depth <= 1`` short-circuits to a fully synchronous pipeline — no thread, no
+queue — which is byte-for-byte the pre-pipeline producer behaviour and the
+default.
+
+Staged items own resources (shared-memory holds) before anyone has consumed
+them, so shutdown is explicit: :meth:`StagePipeline.close` stops the worker,
+drains everything still queued, and runs ``release_fn`` on each drained item
+so no staged segment leaks its producer hold when an epoch is stopped or
+skipped mid-flight.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Iterator, Optional, Tuple
+
+__all__ = ["StagedItem", "StagePipeline"]
+
+
+@dataclass
+class StagedItem:
+    """One staged unit flowing from the stage worker to the publish loop.
+
+    ``value`` is whatever ``stage_fn`` produced (a packed payload for the
+    default epoch runner, a staged producer batch under flexible batching);
+    ``segment_names`` are the shared segments whose producer holds the item
+    carries, so a drain can release them without understanding ``value``.
+    """
+
+    index: int
+    value: Any
+    segment_names: Tuple[str, ...] = ()
+
+
+class _Done:
+    """Sentinel: the source is exhausted."""
+
+
+class _Failed:
+    """Sentinel: the worker died; carries the exception to re-raise."""
+
+    def __init__(self, error: BaseException) -> None:
+        self.error = error
+
+
+class StagePipeline:
+    """Apply ``stage_fn`` to ``source`` items with at most ``depth`` staged in flight.
+
+    Parameters
+    ----------
+    source:
+        Iterable of raw work items (typically loader batches, already
+        prefetched in parallel by the loader's own workers).
+    stage_fn:
+        Turns one source item into a :class:`StagedItem`.  With ``depth > 1``
+        it runs on the background worker thread; it must only touch
+        thread-safe state (the :class:`~repro.tensor.shared_memory.SharedMemoryPool`
+        is; the producer's sockets are not).
+    depth:
+        Bound on staged items in flight between the worker and the consumer
+        of the pipeline.  ``1`` (the default posture) disables the worker and
+        stages synchronously on :meth:`__next__`.
+    release_fn:
+        Called on every staged-but-never-consumed item during :meth:`close`
+        (and on an item the worker had in hand when stopped) so its resource
+        holds are returned.
+    source_close:
+        Optional callable tearing down the source (e.g.
+        :meth:`LoaderIterator.close`) once the pipeline is done with it.
+    """
+
+    def __init__(
+        self,
+        source: Iterable,
+        stage_fn: Callable[[Any], StagedItem],
+        *,
+        depth: int = 1,
+        release_fn: Optional[Callable[[StagedItem], None]] = None,
+        source_close: Optional[Callable[[], None]] = None,
+        name: str = "stage-worker",
+    ) -> None:
+        if depth < 1:
+            raise ValueError("pipeline depth must be at least 1")
+        self.depth = int(depth)
+        self._stage_fn = stage_fn
+        self._release_fn = release_fn
+        self._source_close = source_close
+        self._closed = False
+        self.items_staged = 0
+        self.items_released_unconsumed = 0
+
+        if self.depth == 1:
+            self._iter: Optional[Iterator] = iter(source)
+            self._queue: Optional["queue.Queue"] = None
+            self._thread: Optional[threading.Thread] = None
+            return
+
+        self._iter = None
+        self._source = iter(source)
+        self._queue = queue.Queue(maxsize=self.depth)
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._worker, daemon=True, name=name)
+        self._thread.start()
+
+    # ------------------------------------------------------------------ worker side
+    def _worker(self) -> None:
+        try:
+            for item in self._source:
+                if self._stop.is_set():
+                    return
+                staged = self._stage_fn(item)
+                self.items_staged += 1
+                if not self._put(staged):
+                    # Stop was requested while the queue was full; the staged
+                    # item was never handed over, so its holds are ours to
+                    # return.
+                    self._discard(staged)
+                    return
+            self._put(_Done())
+        except BaseException as exc:  # propagate loader/staging failures
+            if not self._put(_Failed(exc)):
+                pass  # closing anyway; close() re-raises nothing by design
+
+    def _put(self, obj) -> bool:
+        """Blocking put that gives up when the pipeline is being closed."""
+        while not self._stop.is_set():
+            try:
+                self._queue.put(obj, timeout=0.05)
+                return True
+            except queue.Full:
+                continue
+        return False
+
+    # ------------------------------------------------------------------ consumer side
+    def __iter__(self) -> "StagePipeline":
+        return self
+
+    def __next__(self) -> StagedItem:
+        if self._closed:
+            raise StopIteration
+        if self._queue is None:
+            # Synchronous depth-1 mode: load + stage happen here, lazily.
+            item = next(self._iter)
+            staged = self._stage_fn(item)
+            self.items_staged += 1
+            return staged
+        obj = self._queue.get()
+        if isinstance(obj, _Done):
+            raise StopIteration
+        if isinstance(obj, _Failed):
+            raise obj.error
+        return obj
+
+    # ------------------------------------------------------------------ shutdown
+    def _discard(self, obj) -> None:
+        if not isinstance(obj, StagedItem):
+            return
+        self.items_released_unconsumed += 1
+        if self._release_fn is not None:
+            try:
+                self._release_fn(obj)
+            except Exception:
+                pass  # a failed release must not mask the shutdown path
+
+    def _drain(self) -> None:
+        while True:
+            try:
+                obj = self._queue.get_nowait()
+            except queue.Empty:
+                return
+            self._discard(obj)
+
+    def close(self, timeout: float = 5.0) -> None:
+        """Stop the worker and release every staged-but-unconsumed item.
+
+        Idempotent.  Safe to call with the worker blocked on a full queue
+        (draining unblocks it) or blocked inside the loader (``source_close``
+        wakes it).
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if self._queue is not None:
+            self._stop.set()
+            # A worker blocked inside the loader's __next__ (e.g. waiting on
+            # loader worker threads) is woken by closing the source.
+            if self._source_close is not None:
+                try:
+                    self._source_close()
+                except Exception:
+                    pass
+            deadline = timeout
+            while True:
+                self._drain()
+                self._thread.join(timeout=min(0.1, deadline))
+                if not self._thread.is_alive():
+                    break
+                deadline -= 0.1
+                if deadline <= 0:
+                    break
+            self._drain()  # anything the worker squeezed in before exiting
+        elif self._source_close is not None:
+            try:
+                self._source_close()
+            except Exception:
+                pass
+
+    @property
+    def is_background(self) -> bool:
+        return self._queue is not None
+
+    def __repr__(self) -> str:
+        mode = "background" if self.is_background else "sync"
+        return (
+            f"StagePipeline(depth={self.depth}, mode={mode}, staged={self.items_staged}, "
+            f"drained={self.items_released_unconsumed})"
+        )

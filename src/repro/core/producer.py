@@ -16,6 +16,12 @@ the paper's ``producer.py`` example::
     for _ in producer:      # drives loading, publishing and acknowledgements
         pass
     producer.join()         # drain acks, announce shutdown
+
+With ``ProducerConfig(pipeline_depth=N)`` for ``N > 1``, load + stage run on a
+background :class:`~repro.core.pipeline.StagePipeline` bounded to ``N`` staged
+batches, so the loop above overlaps loading with publish/ack work instead of
+alternating between them.  ``pipeline_depth=1`` (default) is the classic
+strictly-sequential loop.
 """
 
 from __future__ import annotations
@@ -29,6 +35,7 @@ from typing import Dict, Iterator, List, Mapping, Optional, Tuple
 from repro.core.ack_ledger import AckLedger
 from repro.core.config import ProducerConfig
 from repro.core.flexible_batch import FlexibleBatcher, recommend_producer_batch_size
+from repro.core.pipeline import StagedItem, StagePipeline
 from repro.core.rubberband import JoinDecision, RubberbandPolicy
 from repro.messaging import endpoint as endpoints
 from repro.messaging.heartbeat import HeartbeatMonitor
@@ -59,6 +66,15 @@ class ConsumerState:
 
 class _SkipEpoch(Exception):
     """Internal signal: abandon the current epoch (every consumer has left)."""
+
+
+def _staged_names(staged: Mapping[str, Tensor]) -> Tuple[str, ...]:
+    """Unique segment names backing a staged batch (for hold accounting)."""
+    return tuple(
+        dict.fromkeys(
+            tensor.segment.name for tensor in staged.values() if tensor.segment is not None
+        )
+    )
 
 
 class TensorProducer:
@@ -222,21 +238,32 @@ class TensorProducer:
             self._replay_window(state)
 
     def _replay_window(self, state: ConsumerState) -> None:
-        """Send the batches a rubberbanded consumer missed (personal topic)."""
+        """Send the batches a rubberbanded consumer missed (personal topic).
+
+        A hold is taken only when the consumer is genuinely *added* as a
+        waiter for the batch.  If it already owes an ack for this key (e.g. a
+        replay raced with a broadcast delivery of the same batch), the message
+        is still re-sent — pointers are cheap and the consumer dedupes — but
+        retaining again would leak: the consumer's second ack is a duplicate
+        in the ledger and never releases the extra hold.
+        """
         for index in sorted(self._window_cache):
             payload = self._window_cache[index]
-            for name in payload.segment_names:
-                self.pool.retain(name)
             key = payload.key()
-            if self.ledger.record_for(key) is not None:
-                self.ledger.add_waiter(key, state.consumer_id)
-            else:
+            record = self.ledger.record_for(key)
+            if record is None:
+                for name in payload.segment_names:
+                    self.pool.retain(name)
                 self.ledger.publish(
                     key,
                     [state.consumer_id],
                     segment_names=payload.segment_names,
                     nbytes=payload.tensor_nbytes,
                 )
+            elif state.consumer_id not in record.waiting_on:
+                for name in payload.segment_names:
+                    self.pool.retain(name)
+                self.ledger.add_waiter(key, state.consumer_id)
             self._pub.send(MessageKind.BATCH, body=payload, topic=f"consumer/{state.consumer_id}")
             state.batches_sent += 1
             self.rubberband.record_replayed(state.consumer_id, 0)  # tracked via acks
@@ -250,8 +277,7 @@ class TensorProducer:
             record = self.ledger.record_for(key)
             if record is not None and consumer_id in record.waiting_on:
                 for name in record.segment_names:
-                    if self.pool.contains(name):
-                        self.pool.release(name)
+                    self.pool.release_if_present(name)
         self.ledger.drop_consumer(consumer_id)
         self.rubberband.abandon(consumer_id)
         self._heartbeats.forget(consumer_id)
@@ -300,8 +326,7 @@ class TensorProducer:
             self.ledger.acknowledge(consumer_id, key)  # counts the duplicate
             return
         for name in record.segment_names:
-            if self.pool.contains(name):
-                self.pool.release(name)
+            self.pool.release_if_present(name)
         self.ledger.acknowledge(consumer_id, key)
         if self.rubberband.catch_up_for(consumer_id) is not None:
             self.rubberband.record_replayed(consumer_id, 1)
@@ -355,13 +380,56 @@ class TensorProducer:
 
     # ------------------------------------------------------------------ staging & publishing
     def _stage_batch(self, batch: Mapping[str, Tensor]) -> Dict[str, Tensor]:
-        """Copy a loader batch into shared memory on the share device (step 2)."""
+        """Copy a loader batch into shared memory on the share device (step 2).
+
+        Runs on the stage worker when ``pipeline_depth > 1``; it only touches
+        the pool (thread-safe) and the ``batches_loaded`` counter (written by
+        exactly one staging thread).
+        """
         staged = {}
         for name, tensor in batch.items():
             tensor = tensor.to(self.config.share_device)
             staged[name] = self.pool.share_tensor(tensor, initial_refcount=1)
         self.batches_loaded += 1
         return staged
+
+    # ------------------------------------------------------------------ pipeline plumbing
+    def _pipeline_loader_workers(self) -> Optional[int]:
+        """Loader worker threads the staged pipeline may use (None = loader default)."""
+        if self.config.pipeline_workers is not None:
+            return self.config.pipeline_workers
+        if getattr(self.loader, "num_workers", 0):
+            return None  # the loader already has its own workers; keep them
+        return min(4, self.config.pipeline_depth)
+
+    def _open_loader_iter(self):
+        """Start one epoch's iteration over the nested loader.
+
+        With an overlapped pipeline the loader is asked for a prefetching
+        iterator whose in-flight budget matches ``pipeline_depth``, so the
+        pipeline's bound covers loader-internal prefetch too.
+        """
+        depth = self.config.pipeline_depth
+        if depth > 1 and hasattr(self.loader, "prefetch_iter"):
+            return self.loader.prefetch_iter(
+                max_in_flight=depth, num_workers=self._pipeline_loader_workers()
+            )
+        return iter(self.loader)
+
+    def _make_pipeline(self, source, stage_fn, source_close=None) -> StagePipeline:
+        return StagePipeline(
+            source,
+            stage_fn,
+            depth=self.config.pipeline_depth,
+            release_fn=self._release_staged,
+            source_close=source_close,
+            name=f"{self.identity}-stage",
+        )
+
+    def _release_staged(self, item: StagedItem) -> None:
+        """Return the producer holds of a staged item that will never publish."""
+        for name in item.segment_names:
+            self.pool.release_if_present(name)
 
     def _publish_payload(
         self,
@@ -388,16 +456,22 @@ class TensorProducer:
 
     def _release_producer_hold(self, payload: BatchPayload) -> None:
         for name in payload.segment_names:
-            if self.pool.contains(name):
-                self.pool.release(name)
+            self.pool.release_if_present(name)
 
     def _maybe_cache_for_window(self, payload: BatchPayload, batch_index: int) -> bool:
-        """Keep the first few batches of an epoch alive for rubberband joiners."""
+        """Keep the first few batches of an epoch alive for rubberband joiners.
+
+        The latest joiner still admitted arrives when ``window - 1`` batches
+        have been published (strict "before 2%"), having missed at most batch
+        ``window - 2`` — so only indexes below ``window - 1`` can ever be
+        replayed; caching ``window - 1`` itself would pin a batch of shared
+        memory all epoch for nothing.
+        """
         try:
             window = self.rubberband.window_batches
         except ValueError:
             window = 0
-        if self.config.rubberband_fraction > 0 and batch_index < window:
+        if self.config.rubberband_fraction > 0 and batch_index + 1 < window:
             self._window_cache[batch_index] = payload
             return True
         return False
@@ -409,33 +483,75 @@ class TensorProducer:
 
     # ------------------------------------------------------------------ default-mode epoch
     def _run_epoch_default(self) -> Iterator[int]:
-        batch_index = 0
-        for batch in self.loader:
-            if self._stopped:
-                break
-            self._wait_for_capacity()
-            if self._stopped:
-                break
-            active = self.active_consumer_ids()
-            if not active:
-                # Nobody to serve right now (free-running mode, or the wait was
-                # cut short by stop()): skip publishing this batch.
-                batch_index += 1
-                continue
-            staged = self._stage_batch(batch)
-            is_last = batch_index == len(self.loader) - 1 if self._loader_sized() else False
-            payload = BatchPayload.pack(
-                staged,
-                batch_index=batch_index,
-                epoch=self.epoch,
-                is_last_in_epoch=is_last,
+        """Publish one epoch from a stream of already-staged payloads.
+
+        Load + stage run inside the :class:`StagePipeline` (inline at
+        ``pipeline_depth=1``, on the stage worker otherwise); this loop only
+        does capacity waits, publishing and control work.  Every staged item
+        that cannot be published (stop, skip-epoch, no consumers) has its
+        producer hold released before the loop moves on, and the ``finally``
+        drain covers whatever the pipeline still had in flight.
+        """
+        total = len(self.loader) if self._loader_sized() else None
+        epoch = self.epoch
+        overlapped = self.config.pipeline_depth > 1
+
+        def pack_payload(index, batch) -> BatchPayload:
+            return BatchPayload.pack(
+                self._stage_batch(batch),
+                batch_index=index,
+                epoch=epoch,
+                is_last_in_epoch=total is not None and index == total - 1,
             )
-            self._publish_payload(payload, active)
-            if not self._maybe_cache_for_window(payload, batch_index):
-                self._release_producer_hold(payload)
-            self._batches_published_this_epoch = batch_index + 1
-            batch_index += 1
-            yield batch_index
+
+        def stage(indexed) -> StagedItem:
+            index, batch = indexed
+            if not overlapped:
+                # Depth 1 keeps the classic order — load, wait for capacity,
+                # *then* stage: the batch passes through raw and is staged at
+                # publish time, so no shared memory is held during waits and
+                # skipped batches never touch the pool.
+                return StagedItem(index=index, value=batch)
+            payload = pack_payload(index, batch)
+            return StagedItem(index=index, value=payload, segment_names=payload.segment_names)
+
+        loader_iter = self._open_loader_iter()
+        pipeline = self._make_pipeline(
+            enumerate(loader_iter), stage, source_close=getattr(loader_iter, "close", None)
+        )
+        try:
+            for item in pipeline:
+                if self._stopped:
+                    self._release_staged(item)
+                    break
+                try:
+                    self._wait_for_capacity()
+                except _SkipEpoch:
+                    self._release_staged(item)
+                    raise
+                if self._stopped:
+                    self._release_staged(item)
+                    break
+                active = self.active_consumer_ids()
+                if not active:
+                    # Nobody to serve right now (free-running mode, or the
+                    # wait was cut short by stop()): skip this batch and
+                    # return its staging hold, if it has one.
+                    self._release_staged(item)
+                    continue
+                if overlapped:
+                    payload: BatchPayload = item.value
+                else:
+                    payload = pack_payload(item.index, item.value)
+                    item.value = payload
+                    item.segment_names = payload.segment_names
+                self._publish_payload(payload, active)
+                if not self._maybe_cache_for_window(payload, item.index):
+                    self._release_producer_hold(payload)
+                self._batches_published_this_epoch = item.index + 1
+                yield item.index + 1
+        finally:
+            pipeline.close()
 
     # ------------------------------------------------------------------ flexible-mode epoch
     def _build_flexible_batcher(self) -> FlexibleBatcher:
@@ -463,50 +579,101 @@ class TensorProducer:
         # Wait for at least one consumer before fixing producer-batch geometry.
         self._wait_for_capacity()
         self._flexible = self._build_flexible_batcher()
+        loader_iter = self._open_loader_iter()
+
+        # With pipeline_depth > 1 this generator (and the staging below) runs
+        # on the stage worker.  It only touches the batcher's accumulation
+        # state (_carry, counters); the main thread touches only the slicing
+        # side (add_consumer / carve / has_consumer read-modify
+        # consumer_batch_sizes).  The two halves are disjoint, so no lock is
+        # needed between them.
+        def producer_batches():
+            index = 0
+            for batch in loader_iter:
+                if self._stopped:
+                    return
+                for producer_batch in self._flexible.add_loader_batch(batch):
+                    yield index, producer_batch
+                    index += 1
+
+        overlapped = self.config.pipeline_depth > 1
+
+        def stage(indexed) -> StagedItem:
+            index, producer_batch = indexed
+            if not overlapped:
+                # Depth 1: pass the producer batch through raw; staging
+                # happens in _emit_staged_batch after the capacity wait and
+                # active-consumer check, exactly like the classic loop.
+                return StagedItem(index=index, value=producer_batch)
+            staged = self._stage_batch(producer_batch)
+            return StagedItem(
+                index=index, value=staged, segment_names=_staged_names(staged)
+            )
+
+        pipeline = self._make_pipeline(
+            producer_batches(), stage, source_close=getattr(loader_iter, "close", None)
+        )
         producer_batch_index = 0
-        for batch in self.loader:
-            if self._stopped:
-                break
-            for producer_batch in self._flexible.add_loader_batch(batch):
-                self._emit_producer_batch(producer_batch, producer_batch_index)
-                producer_batch_index += 1
+        try:
+            for item in pipeline:
+                if self._stopped:
+                    self._release_staged(item)
+                    break
+                self._emit_staged_batch(item)
+                producer_batch_index = item.index + 1
                 yield producer_batch_index
+        finally:
+            pipeline.close()
         self._batches_published_this_epoch = producer_batch_index
 
-    def _emit_producer_batch(self, producer_batch: Mapping[str, Tensor], index: int) -> None:
-        self._wait_for_capacity()
-        active = self.active_consumer_ids()
-        if not active or self._stopped:
-            return
-        # Consumers admitted after the batcher was built get their own slicing
-        # plan over the existing producer-batch geometry.
-        for consumer_id in active:
-            if not self._flexible.has_consumer(consumer_id):
-                state = self._consumers[consumer_id]
-                if state.batch_size:
-                    self._flexible.add_consumer(consumer_id, int(state.batch_size))
-        staged = self._stage_batch(producer_batch)
-        for consumer_id in active:
-            if not self._flexible.has_consumer(consumer_id):
-                continue
-            slices = self._flexible.carve(staged, consumer_id, index)
-            for slice_batch in slices:
-                self._wait_for_capacity()
-                if consumer_id not in self.active_consumer_ids():
-                    break
-                self._publish_seq += 1
-                payload = BatchPayload.pack(
-                    slice_batch,
-                    batch_index=self._publish_seq,
-                    epoch=self.epoch,
-                    producer_batch_id=index,
-                )
-                self._publish_payload(payload, [consumer_id], topic=f"consumer/{consumer_id}")
-        # The producer's own hold on the staged producer batch.
-        for tensor in staged.values():
-            if tensor.segment is not None and self.pool.contains(tensor.segment.name):
-                self.pool.release(tensor.segment.name)
-        self._batches_published_this_epoch = index + 1
+    def _emit_staged_batch(self, item: StagedItem) -> None:
+        """Carve one already-staged producer batch into per-consumer slices.
+
+        The staging hold travels with ``item``; the ``finally`` returns it on
+        every exit path (publish, stop, skip-epoch) so an interrupted emit
+        cannot leak its producer batch.  At ``pipeline_depth=1`` the item
+        arrives raw and is staged here, after the capacity wait and
+        active-consumer check (the classic order); early exits then never
+        touch the pool.
+        """
+        index = item.index
+        try:
+            self._wait_for_capacity()
+            active = self.active_consumer_ids()
+            if not active or self._stopped:
+                return
+            # Consumers admitted after the batcher was built get their own
+            # slicing plan over the existing producer-batch geometry.
+            for consumer_id in active:
+                if not self._flexible.has_consumer(consumer_id):
+                    state = self._consumers[consumer_id]
+                    if state.batch_size:
+                        self._flexible.add_consumer(consumer_id, int(state.batch_size))
+            if self.config.pipeline_depth == 1:  # raw item: stage now
+                staged = self._stage_batch(item.value)
+                item.value = staged
+                item.segment_names = _staged_names(staged)
+            staged = item.value
+            for consumer_id in active:
+                if not self._flexible.has_consumer(consumer_id):
+                    continue
+                slices = self._flexible.carve(staged, consumer_id, index)
+                for slice_batch in slices:
+                    self._wait_for_capacity()
+                    if consumer_id not in self.active_consumer_ids():
+                        break
+                    self._publish_seq += 1
+                    payload = BatchPayload.pack(
+                        slice_batch,
+                        batch_index=self._publish_seq,
+                        epoch=self.epoch,
+                        producer_batch_id=index,
+                    )
+                    self._publish_payload(payload, [consumer_id], topic=f"consumer/{consumer_id}")
+            self._batches_published_this_epoch = index + 1
+        finally:
+            # The producer's own hold on the staged producer batch.
+            self._release_staged(item)
 
     # ------------------------------------------------------------------ top-level iteration
     def _loader_sized(self) -> bool:
@@ -572,8 +739,7 @@ class TensorProducer:
                 continue
             for consumer_id in list(record.waiting_on):
                 for name in record.segment_names:
-                    if self.pool.contains(name):
-                        self.pool.release(name)
+                    self.pool.release_if_present(name)
                 self.ledger.acknowledge(consumer_id, key)
         self._clear_window_cache()
         self._control.close()

@@ -72,9 +72,16 @@ class RubberbandPolicy:
         return max(1, int(self.batches_per_epoch * self.window_fraction))
 
     def within_window(self, batches_already_published: int) -> bool:
+        """True while strictly fewer than ``window_batches`` batches are out.
+
+        The paper admits a joiner "before 2% of the dataset has been
+        iterated on": once the full window has been published the join
+        window is over, so the comparison is strict — ``<=`` would admit a
+        joiner one batch late.
+        """
         if self.window_fraction == 0.0:
             return False
-        return batches_already_published <= self.window_batches
+        return batches_already_published < self.window_batches
 
     # -- admission ------------------------------------------------------------------------
     def decide(self, consumer_id: str, batches_already_published: int) -> JoinDecision:

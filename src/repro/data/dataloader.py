@@ -129,6 +129,29 @@ class DataLoader:
     def __iter__(self) -> "LoaderIterator":
         return LoaderIterator(self)
 
+    def prefetch_iter(
+        self,
+        max_in_flight: Optional[int] = None,
+        num_workers: Optional[int] = None,
+    ) -> "LoaderIterator":
+        """An epoch iterator with explicit prefetch control.
+
+        This is how an outer pipeline (e.g. the producer's staged pipeline in
+        :mod:`repro.core.pipeline`) composes with the loader's own worker
+        parallelism without multiplying prefetch budgets:
+
+        * ``max_in_flight`` caps how many batches the loader keeps loaded but
+          not yet yielded (instead of the default
+          ``num_workers * prefetch_factor``), so the *outer* pipeline's depth
+          bounds total batches in memory;
+        * ``num_workers`` overrides the loader's worker count for this
+          iteration only — an outer pipeline can ask a synchronous loader for
+          background workers so slow per-item transforms load in parallel.
+
+        Both default to the loader's configured values.
+        """
+        return LoaderIterator(self, num_workers=num_workers, max_in_flight=max_in_flight)
+
     def _load_item(self, index: int):
         item = self.dataset[index]
         if self.transform is not None:
@@ -144,13 +167,24 @@ class LoaderIterator:
 
     _SENTINEL = object()
 
-    def __init__(self, loader: DataLoader) -> None:
+    def __init__(
+        self,
+        loader: DataLoader,
+        *,
+        num_workers: Optional[int] = None,
+        max_in_flight: Optional[int] = None,
+    ) -> None:
         self._loader = loader
         self._batches = list(loader.batch_sampler)
         self._next_to_yield = 0
         self.batches_loaded = 0
+        workers = loader.num_workers if num_workers is None else int(num_workers)
+        if workers < 0:
+            raise ValueError("num_workers must be non-negative")
+        if max_in_flight is not None and max_in_flight < 1:
+            raise ValueError("max_in_flight must be positive when given")
 
-        if loader.num_workers == 0:
+        if workers == 0:
             self._mode = "sync"
             return
 
@@ -159,17 +193,17 @@ class LoaderIterator:
         self._results: Dict[int, Dict[str, Tensor]] = {}
         self._results_lock = threading.Condition()
         self._stop = threading.Event()
-        max_in_flight = loader.num_workers * loader.prefetch_factor
-        self._in_flight = threading.Semaphore(max_in_flight)
+        budget = workers * loader.prefetch_factor if max_in_flight is None else int(max_in_flight)
+        self._in_flight = threading.Semaphore(max(1, budget))
 
         for position, indices in enumerate(self._batches):
             self._task_queue.put((position, indices))
-        for _ in range(loader.num_workers):
+        for _ in range(workers):
             self._task_queue.put(self._SENTINEL)
 
         self._workers = [
             threading.Thread(target=self._worker_loop, daemon=True, name=f"loader-worker-{i}")
-            for i in range(loader.num_workers)
+            for i in range(workers)
         ]
         for worker in self._workers:
             worker.start()
@@ -177,11 +211,25 @@ class LoaderIterator:
     # -- worker side -------------------------------------------------------------
     def _worker_loop(self) -> None:
         while not self._stop.is_set():
-            task = self._task_queue.get()
+            # The in-flight permit is acquired BEFORE claiming a task.  The
+            # other order can deadlock when the budget is tight: a worker
+            # holding the next-needed task but no permit starves while
+            # already-posted later results hoard every permit — the consumer
+            # stops popping (it needs that task), so no permit is ever
+            # released.  Permit-first, tasks are claimed in sampler order and
+            # every claimed task can always be loaded and posted.
+            if not self._in_flight.acquire(timeout=0.1):
+                continue
+            try:
+                task = self._task_queue.get(timeout=0.1)
+            except queue.Empty:
+                # close() may have drained the queue (sentinels included).
+                self._in_flight.release()
+                continue
             if task is self._SENTINEL:
+                self._in_flight.release()
                 return
             position, indices = task
-            self._in_flight.acquire()
             try:
                 batch = self._loader._load_batch(indices)
             except Exception as exc:  # surface worker failures to the consumer
@@ -203,6 +251,11 @@ class LoaderIterator:
         else:
             with self._results_lock:
                 while self._next_to_yield not in self._results:
+                    if self._stop.is_set():
+                        # Closed mid-epoch: the workers are gone and this
+                        # batch will never arrive.  End iteration instead of
+                        # spinning on the condition forever.
+                        raise StopIteration
                     self._results_lock.wait(timeout=0.1)
                 batch = self._results.pop(self._next_to_yield)
             self._in_flight.release()
@@ -222,6 +275,10 @@ class LoaderIterator:
                     self._task_queue.get_nowait()
             except queue.Empty:
                 pass
+            # Wake anyone parked in __next__ waiting for a result that will
+            # never be produced.
+            with self._results_lock:
+                self._results_lock.notify_all()
 
     def __del__(self) -> None:  # pragma: no cover - best-effort cleanup
         try:

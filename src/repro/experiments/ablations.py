@@ -156,8 +156,10 @@ def run_ablation_rubberband(fast: bool = False) -> ExperimentResult:
     """Rubberband window size vs. how long a late joiner waits for data.
 
     For a consumer joining after J of B batches, a window of w admits it
-    immediately (it replays the J missed batches) when J <= w*B, otherwise it
-    waits for the remaining (B - J) batches of the epoch to finish first.
+    immediately (it replays the J missed batches) while J < w*B — strictly
+    before the window has been fully iterated, per the paper's "before 2%"
+    rule — otherwise it waits for the remaining (B - J) batches of the epoch
+    to finish first.
     """
     result = ExperimentResult(
         experiment_id="ablation_rubberband",

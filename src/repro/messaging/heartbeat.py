@@ -159,9 +159,15 @@ class HeartbeatSender:
 
     # -- background operation -------------------------------------------------------
     def run_background(self) -> None:
-        """Start a daemon thread that beats every ``interval`` seconds."""
+        """Start a daemon thread that beats every ``interval`` seconds.
+
+        Restartable: ``stop()`` leaves the stop event set, so it must be
+        cleared here or a restarted sender's thread would see the stale stop
+        and exit before sending a single beat.
+        """
         if self._thread is not None:
             return
+        self._stop_event.clear()
         self._thread = threading.Thread(target=self._loop, daemon=True, name="heartbeat")
         self._thread.start()
 

@@ -207,6 +207,15 @@ class SharedMemoryPool:
     a batch (step 2), hand a reference per consumer, and ``release`` when every
     consumer has acknowledged (step 6).  ``bytes_in_flight`` and
     ``peak_bytes`` give the memory-overhead numbers reported in Tables 3 and 4.
+
+    Thread-safety: every mutation and every accounting read takes the pool
+    lock, so a background stage worker may ``share_tensor``/``allocate_tensor``
+    concurrently with the publish thread calling ``retain``/``release`` on
+    *other* segments (segment names are unique per allocation, so the two
+    never contend on one record).  Check-then-act sequences over the same
+    segment still race between lock acquisitions; use
+    :meth:`release_if_present` instead of ``contains()`` + ``release()``.
+    The lock is never held while tensor bytes are copied.
     """
 
     def __init__(
@@ -285,18 +294,39 @@ class SharedMemoryPool:
         if count <= 0:
             raise ValueError("release count must be positive")
         with self._lock:
-            record = self._record_for(name)
-            if count > record.refcount:
-                raise SharedMemoryError(
-                    f"releasing {count} holds on {name!r} but only {record.refcount} held"
-                )
-            record.refcount -= count
-            remaining = record.refcount
-            if remaining == 0:
-                self._records.pop(name)
-                self._bytes_in_flight -= record.nbytes
-                self._total_released += record.nbytes
-                record.segment.unlink()
+            record = self._records.get(name)
+            if record is None:
+                raise SharedMemoryError(f"unknown segment {name!r}")
+            return self._release_locked(name, record, count)
+
+    def release_if_present(self, name: str, count: int = 1) -> Optional[int]:
+        """Atomic ``contains`` + ``release``: drop holds only if the segment is live.
+
+        Returns the remaining refcount, or ``None`` when the segment is not
+        (or no longer) registered.  This is the form concurrent code must
+        use: a separate ``contains()`` check followed by ``release()`` races
+        with other releasers between the two lock acquisitions.
+        """
+        if count <= 0:
+            raise ValueError("release count must be positive")
+        with self._lock:
+            record = self._records.get(name)
+            if record is None:
+                return None
+            return self._release_locked(name, record, count)
+
+    def _release_locked(self, name: str, record: _SegmentRecord, count: int) -> int:
+        if count > record.refcount:
+            raise SharedMemoryError(
+                f"releasing {count} holds on {name!r} but only {record.refcount} held"
+            )
+        record.refcount -= count
+        remaining = record.refcount
+        if remaining == 0:
+            self._records.pop(name)
+            self._bytes_in_flight -= record.nbytes
+            self._total_released += record.nbytes
+            record.segment.unlink()
         return remaining
 
     def refcount(self, name: str) -> int:
@@ -370,15 +400,18 @@ class SharedMemoryPool:
     # -- accounting ----------------------------------------------------------------
     @property
     def bytes_in_flight(self) -> int:
-        return self._bytes_in_flight
+        with self._lock:
+            return self._bytes_in_flight
 
     @property
     def peak_bytes(self) -> int:
-        return self._peak_bytes
+        with self._lock:
+            return self._peak_bytes
 
     @property
     def total_allocated_bytes(self) -> int:
-        return self._total_allocated
+        with self._lock:
+            return self._total_allocated
 
     @property
     def live_segments(self) -> int:

@@ -280,6 +280,10 @@ class TestRubberband:
         policy = RubberbandPolicy(0.02, batches_per_epoch=1000)
         assert policy.window_batches == 20
         assert policy.within_window(10)
+        assert policy.within_window(19)
+        # The paper admits joiners strictly *before* the window has been
+        # iterated: at exactly window_batches published, the window is over.
+        assert not policy.within_window(20)
         assert not policy.within_window(25)
 
     def test_zero_window_disables_catch_up(self):

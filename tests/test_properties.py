@@ -219,7 +219,7 @@ def test_rubberband_decision_consistency(window, batches_per_epoch, join_at):
     decision = policy.decide("consumer", join_at)
     if join_at == 0:
         assert decision is JoinDecision.IMMEDIATE
-    elif window > 0 and join_at <= policy.window_batches:
+    elif window > 0 and join_at < policy.window_batches:
         assert decision is JoinDecision.CATCH_UP
         assert policy.halting
     else:
