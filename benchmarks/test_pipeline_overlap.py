@@ -27,7 +27,7 @@ import repro
 from repro.core import ConsumerConfig, ProducerConfig
 from repro.core.consumer import TensorConsumer
 from repro.data import DataLoader, SyntheticImageDataset
-from repro.data.transforms import Compose, DecodeJpeg, Normalize, ToTensor, Transform
+from repro.data.transforms import Compose, DecodeJpeg, Normalize, SleepTransform, ToTensor
 
 import threading
 
@@ -41,25 +41,11 @@ N_ITEMS = 32 if TINY else 96
 N_CONSUMERS = 2
 
 
-class SlowTransform(Transform):
-    """A >= 2 ms/item preprocessing stage (sleep models decode/augment cost;
-    it releases the GIL exactly like C-level decode kernels do)."""
-
-    nominal_cpu_seconds = SECONDS_PER_ITEM
-
-    def __init__(self, inner, seconds_per_item=SECONDS_PER_ITEM):
-        self.inner = inner
-        self.seconds_per_item = seconds_per_item
-
-    def __call__(self, item):
-        time.sleep(self.seconds_per_item)
-        return self.inner(item)
-
-
 def make_loader():
     dataset = SyntheticImageDataset(N_ITEMS, image_size=16, payload_bytes=32)
-    pipeline = SlowTransform(
-        Compose([DecodeJpeg(height=16, width=16), Normalize(), ToTensor()])
+    pipeline = SleepTransform(
+        Compose([DecodeJpeg(height=16, width=16), Normalize(), ToTensor()]),
+        seconds_per_item=SECONDS_PER_ITEM,
     )
     return DataLoader(dataset, batch_size=BATCH_SIZE, transform=pipeline)
 

@@ -32,6 +32,9 @@ on:
 * :mod:`repro.core` — TensorSocket itself: ``TensorProducer``,
   ``TensorConsumer``, the addressable ``SharedLoaderSession`` and the policies
   (batch buffer, flexible batching, rubberbanding, acknowledgement ledger).
+* :mod:`repro.cache` — the budgeted epoch cache: staged batches retained in
+  shared memory so repeat epochs republish instead of reloading
+  (``serve(loader, cache="all")``; CoorDL-style LRU/MRU partial caching).
 * :mod:`repro.simulation` / :mod:`repro.hardware` — the discrete-event
   hardware models (GPUs, NVLink/PCIe, vCPUs, storage, cloud instances) used
   to reproduce the paper's multi-GPU and cloud experiments.
@@ -44,6 +47,7 @@ on:
 """
 
 from repro.api import DEFAULT_ADDRESS, attach, serve
+from repro.cache import BatchCache, CachePolicy
 from repro.core import (
     ConsumerConfig,
     ProducerConfig,
@@ -67,6 +71,8 @@ __all__ = [
     "ConsumerConfig",
     "SharedLoaderSession",
     "DataLoader",
+    "BatchCache",
+    "CachePolicy",
     "InProcHub",
     "SharedMemoryPool",
     "Tensor",

@@ -65,6 +65,7 @@ def serve(
     address: Optional[str] = None,
     producer_config: Optional[ProducerConfig] = None,
     start: bool = True,
+    cache: Optional[str] = None,
     **config_kwargs,
 ) -> SharedLoaderSession:
     """Serve ``data_loader`` at ``address`` and return the running session.
@@ -72,16 +73,27 @@ def serve(
     When ``address`` is omitted it falls back to the address inside an
     explicitly passed ``producer_config`` (if it is a URI), then to
     :data:`DEFAULT_ADDRESS`.  Keyword arguments other than
-    ``producer_config``/``start`` are forwarded to
+    ``producer_config``/``start``/``cache`` are forwarded to
     :class:`~repro.core.config.ProducerConfig` (``epochs=2``,
     ``flexible_batching=True``, ...).  Pass ``start=False`` to bind the
     address — making it attachable — without starting the producer loop yet
     (useful when consumers should all register before the first batch).
 
+    ``cache`` switches on the epoch cache (:mod:`repro.cache`):
+    ``serve(loader, cache="all")`` retains every staged batch so epoch 1+ is
+    republished straight from shared memory; ``cache="lru"`` or ``"mru"``
+    with ``cache_bytes=<budget>`` keeps a CoorDL-style partial cache.  It is
+    sugar for ``cache_policy=`` and the session's cache counters are at
+    ``session.stats()["producer"]["cache"]``.
+
     For ``tcp://host:0`` addresses the OS assigns the port at bind time; read
     the resolved address back from ``session.address`` (equivalently
     ``session.producer.address``) and hand it to the consumer processes.
     """
+    if cache is not None:
+        if "cache_policy" in config_kwargs:
+            raise TypeError("pass either cache= or cache_policy=, not both")
+        config_kwargs["cache_policy"] = cache
     address, producer_config = _resolve_address_and_config(
         address, producer_config, "producer_config", ProducerConfig, config_kwargs
     )

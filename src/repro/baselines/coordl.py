@@ -28,7 +28,7 @@ pipeline can be served at a ``sim://`` URI and attached by address — pass
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 from repro.hardware.machine import Machine
 from repro.simulation.engine import Simulator

@@ -13,7 +13,7 @@ a consumer with ``buffer_size`` un-acknowledged batches must not be sent more
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 BatchKey = Tuple[int, int]  # (epoch, batch_index)

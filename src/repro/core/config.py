@@ -8,7 +8,7 @@ different batch sizes (Section 3.2.6).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 
@@ -64,6 +64,21 @@ class ProducerConfig:
         forces source-side loading to stay synchronous (only staging
         overlaps) — use it when the dataset or transform is not thread-safe.
         Ignored at ``pipeline_depth=1``.
+    cache_policy:
+        Epoch-cache policy (:class:`repro.cache.CachePolicy`): ``"none"``
+        (default — every epoch reloads), ``"all"`` (retain every staged
+        batch; epoch 1+ republishes from shared memory without touching the
+        loader), or budgeted ``"lru"`` / ``"mru"`` over batch indices
+        (CoorDL-style partial caching; requires ``cache_bytes``).  Cached
+        epochs replay the batch composition of the epoch that filled the
+        cache, so pair the cache with a deterministic sampler when exact
+        cross-epoch shuffling matters.
+    cache_bytes:
+        Byte budget for the epoch cache, required by (and only valid with)
+        ``"lru"`` / ``"mru"``.  A capped "cache as much as fits" is
+        expressed as ``"lru"``; pairing a budget with ``"all"`` or
+        ``"none"`` is rejected rather than silently changing the policy's
+        meaning.
     """
 
     address: str = "tensorsocket"
@@ -81,6 +96,8 @@ class ProducerConfig:
     seed: int = 0
     pipeline_depth: int = 1
     pipeline_workers: Optional[int] = None
+    cache_policy: str = "none"
+    cache_bytes: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.buffer_size < 1:
@@ -99,6 +116,25 @@ class ProducerConfig:
             raise ValueError("pipeline_depth must be at least 1")
         if self.pipeline_workers is not None and self.pipeline_workers < 0:
             raise ValueError("pipeline_workers must be non-negative when given")
+        # Validates the policy name and the budget pairing early (a typo'd
+        # policy must fail at construction, not mid-epoch).  Imported lazily:
+        # repro.cache sits above repro.tensor, not above repro.core.
+        from repro.cache import CachePolicy
+
+        policy = CachePolicy.parse(self.cache_policy)
+        if self.cache_bytes is not None and self.cache_bytes <= 0:
+            raise ValueError("cache_bytes must be positive when given")
+        if policy in (CachePolicy.LRU, CachePolicy.MRU) and self.cache_bytes is None:
+            raise ValueError(
+                f"cache_policy={policy.value!r} requires cache_bytes (the byte budget)"
+            )
+        if policy in (CachePolicy.NONE, CachePolicy.ALL) and self.cache_bytes is not None:
+            # Silently accepting a budget here would degrade "all" (retain
+            # everything) into an evicting cache behind the caller's back.
+            raise ValueError(
+                f"cache_policy={policy.value!r} takes no cache_bytes; "
+                f"use 'lru' or 'mru' for a budgeted cache"
+            )
 
     @property
     def data_address(self) -> str:

@@ -316,6 +316,22 @@ class TensorConsumer:
             return self._consumed_per_epoch.get(self._last_completed_epoch, 0)
         return self.batches_consumed
 
+    # ------------------------------------------------------------------ introspection
+    def stats(self) -> Dict[str, object]:
+        """Uniform statistics dict (the consumer half of
+        :meth:`TensorProducer.stats`): stable keys instead of ad-hoc
+        attribute spelunking."""
+        return {
+            "role": "consumer",
+            "consumer_id": self.consumer_id,
+            "batches_consumed": self.batches_consumed,
+            "samples_consumed": self.samples_consumed,
+            "epochs_seen": self.epochs_seen,
+            "duplicates_dropped": self.duplicates_dropped,
+            "buffered": len(self._buffer),
+            "admitted_epoch": self._admitted_epoch,
+        }
+
     # ------------------------------------------------------------------ shutdown
     def close(self) -> None:
         """Deregister from the producer and close the sockets."""

@@ -44,11 +44,15 @@ class StagedItem:
     default epoch runner, a staged producer batch under flexible batching);
     ``segment_names`` are the shared segments whose producer holds the item
     carries, so a drain can release them without understanding ``value``.
+    ``from_cache`` marks items republished from the epoch cache
+    (:mod:`repro.cache`): they already carry staged segments (never re-stage)
+    and must not be re-inserted into the cache after publishing.
     """
 
     index: int
     value: Any
     segment_names: Tuple[str, ...] = ()
+    from_cache: bool = False
 
 
 class _Done:

@@ -32,6 +32,7 @@ import uuid
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Mapping, Optional, Tuple
 
+from repro.cache import BatchCache, CachePolicy, CacheStats, CachedEpochSource
 from repro.core.ack_ledger import AckLedger
 from repro.core.config import ProducerConfig
 from repro.core.flexible_batch import FlexibleBatcher, recommend_producer_batch_size
@@ -109,6 +110,18 @@ class TensorProducer:
             self.hub = hub or InProcHub()
             self.pool = pool or SharedMemoryPool()
             self.identity = f"producer-{uuid.uuid4().hex[:8]}"
+
+            # The epoch cache (repro.cache): staged batches retained across
+            # epochs so repeat epochs republish from shared memory instead of
+            # reloading.  None when the policy is "none".
+            cache_policy = CachePolicy.parse(self.config.cache_policy)
+            self.cache: Optional[BatchCache] = None
+            if cache_policy is not CachePolicy.NONE:
+                self.cache = BatchCache(
+                    self.pool,
+                    policy=cache_policy,
+                    budget_bytes=self.config.cache_bytes,
+                )
 
             self._pub = PubSocket(self.hub, self.config.data_address, identity=self.identity)
             self._control = PullSocket(self.hub, self.config.control_address, identity=self.identity)
@@ -491,10 +504,22 @@ class TensorProducer:
         that cannot be published (stop, skip-epoch, no consumers) has its
         producer hold released before the loop moves on, and the ``finally``
         drain covers whatever the pipeline still had in flight.
+
+        With an epoch cache enabled, the epoch is planned against a
+        :class:`~repro.cache.CachedEpochSource`: cached batch indices are
+        republished straight from their retained segments (no loader, no
+        stage worker, no copy — just a fresh producer hold and a re-keyed
+        payload), only the misses flow through the pipeline, and every
+        published miss is offered to the cache post-stage.
         """
         total = len(self.loader) if self._loader_sized() else None
         epoch = self.epoch
         overlapped = self.config.pipeline_depth > 1
+        source = (
+            CachedEpochSource(self.cache, self.loader, epoch=epoch)
+            if self.cache is not None
+            else None
+        )
 
         def pack_payload(index, batch) -> BatchPayload:
             return BatchPayload.pack(
@@ -515,12 +540,40 @@ class TensorProducer:
             payload = pack_payload(index, batch)
             return StagedItem(index=index, value=payload, segment_names=payload.segment_names)
 
-        loader_iter = self._open_loader_iter()
-        pipeline = self._make_pipeline(
-            enumerate(loader_iter), stage, source_close=getattr(loader_iter, "close", None)
-        )
+        if source is None or source.all_miss:
+            # No cache, or nothing cached yet (epoch 0): the classic path —
+            # the full loader, with its own prefetch workers, feeds the
+            # pipeline directly.
+            loader_iter = self._open_loader_iter()
+            if source is not None and total is not None:
+                # Pin this sampler draw as THE composition future cached
+                # epochs serve — hits and reloaded misses alike — so a
+                # reshuffling sampler cannot skew per-epoch sample coverage.
+                sampled = getattr(loader_iter, "sampled_batches", None)
+                if sampled is not None:
+                    self.cache.remember_composition(sampled)
+            pipeline: Optional[StagePipeline] = self._make_pipeline(
+                enumerate(loader_iter), stage, source_close=getattr(loader_iter, "close", None)
+            )
+            stream: Iterator[StagedItem] = iter(pipeline)
+        elif source.full_replay:
+            # Every batch is cached: the loader is never opened and no
+            # pipeline runs; the epoch is pure republishing.
+            pipeline = None
+            stream = self._cached_item_stream(source, iter(()))
+        else:
+            # Partial cache: only the misses are loaded — through the
+            # loader's own prefetch workers, from the composition the cache
+            # was filled with — and staged; the hit stream interleaves with
+            # them in batch-index order.
+            misses, miss_close = source.open_misses(
+                max_in_flight=self.config.pipeline_depth if overlapped else None,
+                num_workers=self._pipeline_loader_workers() if overlapped else 0,
+            )
+            pipeline = self._make_pipeline(misses, stage, source_close=miss_close)
+            stream = self._cached_item_stream(source, iter(pipeline))
         try:
-            for item in pipeline:
+            for item in stream:
                 if self._stopped:
                     self._release_staged(item)
                     break
@@ -539,19 +592,54 @@ class TensorProducer:
                     # return its staging hold, if it has one.
                     self._release_staged(item)
                     continue
-                if overlapped:
+                if isinstance(item.value, BatchPayload):
                     payload: BatchPayload = item.value
                 else:
                     payload = pack_payload(item.index, item.value)
                     item.value = payload
                     item.segment_names = payload.segment_names
                 self._publish_payload(payload, active)
+                if source is not None and not item.from_cache:
+                    # Offer the freshly staged miss to the cache while the
+                    # publish holds still pin its segments.
+                    source.record(item.index, payload)
                 if not self._maybe_cache_for_window(payload, item.index):
                     self._release_producer_hold(payload)
                 self._batches_published_this_epoch = item.index + 1
                 yield item.index + 1
         finally:
-            pipeline.close()
+            if pipeline is not None:
+                pipeline.close()
+            if source is not None:
+                source.finish(
+                    self._batches_published_this_epoch,
+                    complete=total is not None
+                    and self._batches_published_this_epoch == total,
+                )
+
+    def _cached_item_stream(
+        self, source: CachedEpochSource, miss_iter: Iterator[StagedItem]
+    ) -> Iterator[StagedItem]:
+        """Interleave cache hits with pipeline-staged misses in index order.
+
+        A hit that was evicted between planning and use falls back to a
+        synchronous load (raw item, staged at publish time like a depth-1
+        miss) so the epoch never loses a batch.
+        """
+        for index in range(source.total):
+            if index in source.plan:
+                payload = source.hit(index)
+                if payload is None:
+                    yield StagedItem(index=index, value=source.load_batch(index))
+                else:
+                    yield StagedItem(
+                        index=index,
+                        value=payload,
+                        segment_names=payload.segment_names,
+                        from_cache=True,
+                    )
+            else:
+                yield next(miss_iter)
 
     # ------------------------------------------------------------------ flexible-mode epoch
     def _build_flexible_batcher(self) -> FlexibleBatcher:
@@ -579,6 +667,23 @@ class TensorProducer:
         # Wait for at least one consumer before fixing producer-batch geometry.
         self._wait_for_capacity()
         self._flexible = self._build_flexible_batcher()
+
+        # Flexible batching re-chunks the loader's sequential stream, so a
+        # *partial* cache cannot serve selected producer batches — replay is
+        # all-or-nothing.  A fully cached epoch with matching producer-batch
+        # geometry replays straight from shared memory; anything less is
+        # flushed (stale geometry or an incomplete epoch would pin segments
+        # that can never be hits).
+        if self.cache is not None:
+            replay_len = self.cache.replayable_epoch_length(
+                rows=self._flexible.producer_batch_size
+            )
+            if replay_len is not None:
+                yield from self._replay_epoch_flexible(replay_len)
+                return
+            if len(self.cache):
+                self.cache.clear()
+
         loader_iter = self._open_loader_iter()
 
         # With pipeline_depth > 1 this generator (and the staging below) runs
@@ -614,6 +719,7 @@ class TensorProducer:
             producer_batches(), stage, source_close=getattr(loader_iter, "close", None)
         )
         producer_batch_index = 0
+        completed = False
         try:
             for item in pipeline:
                 if self._stopped:
@@ -622,8 +728,42 @@ class TensorProducer:
                 self._emit_staged_batch(item)
                 producer_batch_index = item.index + 1
                 yield producer_batch_index
+            else:
+                completed = not self._stopped
         finally:
             pipeline.close()
+        self._batches_published_this_epoch = producer_batch_index
+        if self.cache is not None and completed:
+            # Replayable only if every producer batch actually stayed
+            # resident (mark_epoch_complete re-verifies the index range).
+            self.cache.mark_epoch_complete(producer_batch_index)
+
+    def _replay_epoch_flexible(self, replay_len: int) -> Iterator[int]:
+        """Serve one flexible epoch entirely from cached producer batches.
+
+        Each staged producer batch is republished with a fresh producer hold
+        (no loader, no stage worker, no copy) and carved into per-consumer
+        slices by the regular emit path, which also returns the hold on every
+        exit.
+        """
+        producer_batch_index = 0
+        for index in range(replay_len):
+            if self._stopped:
+                break
+            staged = self.cache.republish_staged(index)
+            if staged is None:  # pragma: no cover - nothing evicts mid-replay
+                raise RuntimeError(
+                    f"cached producer batch {index} vanished during a full replay"
+                )
+            item = StagedItem(
+                index=index,
+                value=staged,
+                segment_names=_staged_names(staged),
+                from_cache=True,
+            )
+            self._emit_staged_batch(item)
+            producer_batch_index = index + 1
+            yield producer_batch_index
         self._batches_published_this_epoch = producer_batch_index
 
     def _emit_staged_batch(self, item: StagedItem) -> None:
@@ -649,7 +789,7 @@ class TensorProducer:
                     state = self._consumers[consumer_id]
                     if state.batch_size:
                         self._flexible.add_consumer(consumer_id, int(state.batch_size))
-            if self.config.pipeline_depth == 1:  # raw item: stage now
+            if not item.segment_names:  # raw item: stage now
                 staged = self._stage_batch(item.value)
                 item.value = staged
                 item.segment_names = _staged_names(staged)
@@ -671,6 +811,19 @@ class TensorProducer:
                     )
                     self._publish_payload(payload, [consumer_id], topic=f"consumer/{consumer_id}")
             self._batches_published_this_epoch = index + 1
+            if self.cache is not None and not item.from_cache:
+                # Retain the whole staged producer batch (pre-carve) so a
+                # repeat epoch can re-slice it for whatever consumers are
+                # registered then.
+                self.cache.record_miss()
+                first = next(iter(staged.values()))
+                self.cache.put(
+                    index,
+                    staged,
+                    segment_names=item.segment_names,
+                    nbytes=sum(t.nbytes for t in staged.values()),
+                    rows=first.shape[0] if first.shape else 0,
+                )
         finally:
             # The producer's own hold on the staged producer batch.
             self._release_staged(item)
@@ -742,6 +895,11 @@ class TensorProducer:
                     self.pool.release_if_present(name)
                 self.ledger.acknowledge(consumer_id, key)
         self._clear_window_cache()
+        # Cache holds are distinct from in-flight holds; release them last so
+        # `cached_bytes` (like `bytes_in_flight`) reads zero after join() on
+        # every exit path — normal completion, stop(), skip-epoch, churn.
+        if self.cache is not None:
+            self.cache.clear()
         self._control.close()
         self._pub.close()
         self.close_endpoint()
@@ -752,6 +910,33 @@ class TensorProducer:
             self._endpoint.release()
 
     # ------------------------------------------------------------------ introspection
+    def stats(self) -> Dict[str, object]:
+        """Uniform statistics dict (the producer half of the pair that
+        :meth:`TensorConsumer.stats` completes).
+
+        Stable keys, suitable for logging/monitoring pipelines: counters for
+        loading and publishing, the cache's hit/miss/eviction figures (zeroed
+        when no cache is configured), and the pool's two memory buckets —
+        ``bytes_in_flight`` (staged batches consumers have not yet
+        acknowledged) vs ``cached_bytes`` (epochs pinned by the cache).
+        """
+        cache_stats = (
+            self.cache.stats() if self.cache is not None else CacheStats()
+        ).as_dict()
+        return {
+            "role": "producer",
+            "epoch": self.epoch,
+            "epochs_completed": self.epochs_completed,
+            "batches_loaded": self.batches_loaded,
+            "payloads_published": self.payloads_published,
+            "pending_batches": self.ledger.pending_batches,
+            "consumers": len(self._consumers),
+            "bytes_in_flight": self.pool.bytes_in_flight,
+            "cached_bytes": self.pool.cached_bytes,
+            "peak_bytes": self.pool.peak_bytes,
+            "cache": cache_stats,
+        }
+
     def status(self) -> Dict[str, object]:
         """A snapshot used by monitoring utilities and tests."""
         return {

@@ -133,6 +133,26 @@ class SharedLoaderSession:
     # Alias matching the module-level repro.attach() vocabulary.
     attach = consumer
 
+    def stats(self) -> Dict[str, object]:
+        """One snapshot of the whole session: producer, cache, consumers.
+
+        The producer entry carries the epoch-cache counters
+        (``stats()["producer"]["cache"]`` — hits, misses, evictions,
+        cached_bytes) alongside the pool's two memory buckets, so a
+        monitoring loop needs exactly one call.
+        """
+        return {
+            "address": self.address,
+            "running": self.is_running,
+            "producer": self.producer.stats(),
+            "consumers": [consumer.stats() for consumer in self._consumers],
+        }
+
+    @property
+    def cache_stats(self) -> Dict[str, object]:
+        """Shortcut to the producer's epoch-cache counters."""
+        return self.producer.stats()["cache"]
+
     def raise_producer_error(self) -> None:
         """Re-raise any exception the producer thread died with."""
         if self._producer_error is not None:

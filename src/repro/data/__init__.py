@@ -41,6 +41,7 @@ from repro.data.transforms import (
     RandomCrop,
     RandomHorizontalFlip,
     Resize,
+    SleepTransform,
     ToTensor,
     Transform,
 )
@@ -68,6 +69,7 @@ __all__ = [
     "Resize",
     "RandomCrop",
     "RandomHorizontalFlip",
+    "SleepTransform",
     "Normalize",
     "ToTensor",
 ]

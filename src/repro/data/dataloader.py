@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import queue
 import threading
-from typing import Callable, Dict, Iterator, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.data.collate import default_collate
 from repro.data.dataset import Dataset
@@ -133,6 +133,7 @@ class DataLoader:
         self,
         max_in_flight: Optional[int] = None,
         num_workers: Optional[int] = None,
+        batches: Optional[Sequence[Sequence[int]]] = None,
     ) -> "LoaderIterator":
         """An epoch iterator with explicit prefetch control.
 
@@ -146,11 +147,17 @@ class DataLoader:
           bounds total batches in memory;
         * ``num_workers`` overrides the loader's worker count for this
           iteration only — an outer pipeline can ask a synchronous loader for
-          background workers so slow per-item transforms load in parallel.
+          background workers so slow per-item transforms load in parallel;
+        * ``batches`` replaces the sampler's batch list with an explicit one
+          (a sequence of per-batch index lists) — the epoch cache uses this
+          to load *only the cache misses* of a partially cached epoch through
+          the same worker machinery, in the caller's order.
 
-        Both default to the loader's configured values.
+        All default to the loader's configured values.
         """
-        return LoaderIterator(self, num_workers=num_workers, max_in_flight=max_in_flight)
+        return LoaderIterator(
+            self, num_workers=num_workers, max_in_flight=max_in_flight, batches=batches
+        )
 
     def _load_item(self, index: int):
         item = self.dataset[index]
@@ -173,9 +180,10 @@ class LoaderIterator:
         *,
         num_workers: Optional[int] = None,
         max_in_flight: Optional[int] = None,
+        batches: Optional[Sequence[Sequence[int]]] = None,
     ) -> None:
         self._loader = loader
-        self._batches = list(loader.batch_sampler)
+        self._batches = list(loader.batch_sampler) if batches is None else list(batches)
         self._next_to_yield = 0
         self.batches_loaded = 0
         workers = loader.num_workers if num_workers is None else int(num_workers)
@@ -239,6 +247,16 @@ class LoaderIterator:
                 self._results_lock.notify_all()
 
     # -- consumer side ---------------------------------------------------------------
+    @property
+    def sampled_batches(self) -> List[Sequence[int]]:
+        """The per-batch index lists this iteration serves, in order.
+
+        One epoch's sampler draw, frozen at construction; the epoch cache
+        records it so later partially-cached epochs reload misses from the
+        *same* composition the cached batches came from.
+        """
+        return list(self._batches)
+
     def __iter__(self) -> "LoaderIterator":
         return self
 

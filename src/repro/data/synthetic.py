@@ -18,7 +18,7 @@ a "1.28M-image" dataset costs no memory until items are materialized.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 

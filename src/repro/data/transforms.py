@@ -20,7 +20,8 @@ normalize), which matches the data-stall literature the paper builds on
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
+import time
+from typing import Callable, Iterable, List, Optional, Sequence
 
 import numpy as np
 
@@ -59,6 +60,32 @@ class Compose(Transform):
     def __repr__(self) -> str:
         inner = ", ".join(repr(t) for t in self.transforms)
         return f"Compose([{inner}])"
+
+
+class SleepTransform(Transform):
+    """Wrap a transform with a real per-item wall-clock cost.
+
+    Benchmarks and example workloads use this to model expensive
+    decode/augmentation stages: the sleep releases the GIL exactly like
+    C-level decode kernels do, so loader-worker parallelism behaves
+    realistically.  ``nominal_cpu_seconds`` includes the simulated cost so
+    the simulator charges it too.
+    """
+
+    def __init__(self, inner: Callable, seconds_per_item: float) -> None:
+        self.inner = inner
+        self.seconds_per_item = float(seconds_per_item)
+
+    @property
+    def nominal_cpu_seconds(self) -> float:  # type: ignore[override]
+        return self.seconds_per_item + getattr(self.inner, "nominal_cpu_seconds", 0.0)
+
+    def __call__(self, item):
+        time.sleep(self.seconds_per_item)
+        return self.inner(item)
+
+    def __repr__(self) -> str:
+        return f"SleepTransform({self.inner!r}, seconds_per_item={self.seconds_per_item})"
 
 
 class DecodeJpeg(Transform):

@@ -20,7 +20,7 @@ from repro.core.rubberband import JoinDecision, RubberbandPolicy
 from repro.experiments.base import ExperimentResult
 from repro.experiments.harness import make_workloads, run_collocation
 from repro.hardware.gpu import GpuSharingMode
-from repro.hardware.instances import AWS_G5_2XLARGE, H100_SERVER
+from repro.hardware.instances import AWS_G5_2XLARGE
 from repro.tensor.payload import TensorPayload
 from repro.tensor.shared_memory import SharedMemoryPool
 from repro.tensor.tensor import from_numpy

@@ -14,7 +14,7 @@ cost model used by Figures 11/13 and the table stay consistent.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, Tuple
 
 from repro.experiments.base import ExperimentResult
 from repro.hardware.instances import machine_catalog

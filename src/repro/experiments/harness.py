@@ -2,7 +2,9 @@
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+import threading
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.experiments.base import durations
 from repro.hardware.gpu import GpuSharingMode
@@ -78,3 +80,62 @@ def run_collocation(
         **durations(fast),
     )
     return runner.run(list(workloads))
+
+
+def measure_epoch_throughput(
+    session,
+    *,
+    epochs: int,
+    batches_per_epoch: int,
+    consumers: int = 1,
+    receive_timeout: float = 60.0,
+    register_delay: float = 0.2,
+    join_timeout: float = 180.0,
+) -> Tuple[Dict[int, float], Dict[str, int]]:
+    """Run a real (not simulated) session and measure per-epoch batches/sec.
+
+    The shared harness behind the epoch-cache benchmark and the fig14
+    real-cache probe: attach ``consumers`` trainers to a *not yet started*
+    session, start it once everyone has registered, and time each epoch as
+    seen by the first consumer (epoch boundaries are detected by batch count,
+    so ``batches_per_epoch`` must be exact — size datasets to divide evenly).
+
+    Returns ``(epoch_rates, counts)``: epoch index -> batches/sec, and
+    consumer id -> total batches.  The session is left running/finished but
+    **not** shut down, so callers can read ``session.stats()`` first.
+    """
+    from repro.core import ConsumerConfig
+
+    epoch_rates: Dict[int, float] = {}
+    counts: Dict[str, int] = {}
+
+    def consume(name: str, record: Optional[Dict[int, float]]) -> None:
+        consumer = session.consumer(
+            ConsumerConfig(consumer_id=name, max_epochs=epochs, receive_timeout=receive_timeout)
+        )
+        count = 0
+        started = time.perf_counter()
+        for _ in consumer:
+            count += 1
+            if count % batches_per_epoch == 0:
+                now = time.perf_counter()
+                if record is not None:
+                    record[count // batches_per_epoch - 1] = batches_per_epoch / (now - started)
+                started = now
+        counts[name] = count
+        consumer.close()
+
+    threads = [
+        threading.Thread(target=consume, args=(f"epoch-rate-{i}", epoch_rates if i == 0 else None))
+        for i in range(consumers)
+    ]
+    for thread in threads:
+        thread.start()
+    time.sleep(register_delay)  # let every consumer register before batch 0
+    session.start()
+    for thread in threads:
+        thread.join(timeout=join_timeout)
+    alive = [t for t in threads if t.is_alive()]
+    if alive:
+        raise RuntimeError(f"epoch-throughput consumers wedged: {alive}")
+    return epoch_rates, counts

@@ -15,7 +15,6 @@ work is inflated by the factor.
 
 from __future__ import annotations
 
-from typing import Optional
 
 from repro.simulation.engine import Simulator
 from repro.simulation.resources import Resource

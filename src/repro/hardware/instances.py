@@ -7,10 +7,10 @@ analysis (Figures 11 and 13, Section 4.3 and 4.5).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
-from repro.hardware.interconnect import NVLINK_A100, NVLINK_H100, PCIE_GEN4_X16, PCIE_GEN5_X16
+from repro.hardware.interconnect import NVLINK_A100, PCIE_GEN4_X16, PCIE_GEN5_X16
 
 
 @dataclass(frozen=True)

@@ -9,7 +9,7 @@ these helpers; experiment drivers collect them into result rows.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Tuple
 
 MB = 1024 * 1024
 GB = 1024 * MB

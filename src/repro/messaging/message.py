@@ -30,7 +30,7 @@ import itertools
 import pickle
 import time
 from dataclasses import dataclass, field
-from typing import Any, Optional
+from typing import Any
 
 
 class MessageKind(str, enum.Enum):

@@ -24,7 +24,7 @@ from __future__ import annotations
 import uuid
 from typing import Iterable, List, Optional
 
-from repro.messaging.errors import MessagingError, TimeoutError_
+from repro.messaging.errors import MessagingError
 from repro.messaging.message import Message, MessageKind
 from repro.messaging.transport import Endpoint, InProcHub, TcpClientEndpoint
 

@@ -27,9 +27,9 @@ from typing import Dict, Mapping, Optional, Tuple
 
 import numpy as np
 
-from repro.tensor.device import Device, as_device
+from repro.tensor.device import as_device
 from repro.tensor.dtype import as_dtype
-from repro.tensor.errors import PayloadError
+from repro.tensor.errors import PayloadError, SharedMemoryError
 from repro.tensor.shared_memory import SharedMemoryPool
 from repro.tensor.tensor import Tensor
 
@@ -122,18 +122,22 @@ class TensorPayload:
             return Tensor(array, device)
         if pool is None:
             raise PayloadError("a SharedMemoryPool is required to unpack a shared payload")
-        if not pool.contains(self.segment_name):
+        # attach() looks the segment up under the pool lock; a separate
+        # contains() probe first would race with concurrent releases between
+        # the two lock acquisitions.
+        try:
+            return pool.attach(
+                self.segment_name,
+                self.shape,
+                self.dtype,
+                device=device,
+                offset=self.segment_offset,
+            )
+        except SharedMemoryError as exc:
             raise PayloadError(
                 f"segment {self.segment_name!r} is not (or no longer) registered in the pool; "
                 "it may have been released before this consumer acknowledged it"
-            )
-        return pool.attach(
-            self.segment_name,
-            self.shape,
-            self.dtype,
-            device=device,
-            offset=self.segment_offset,
-        )
+            ) from exc
 
     def to_dict(self) -> dict:
         """A JSON-serializable description (inline bytes are hex-encoded)."""

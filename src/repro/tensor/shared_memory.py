@@ -197,6 +197,10 @@ class _SegmentRecord:
     segment: SharedSegment
     refcount: int
     nbytes: int
+    #: Holds taken by an epoch cache (see :mod:`repro.cache`).  A segment with
+    #: at least one cache hold is accounted under ``cached_bytes`` instead of
+    #: ``bytes_in_flight``; the two buckets always sum to the live total.
+    cache_holds: int = 0
     metadata: dict = field(default_factory=dict)
 
 
@@ -231,6 +235,7 @@ class SharedMemoryPool:
         self._records: Dict[str, _SegmentRecord] = {}
         self._lock = threading.Lock()
         self._bytes_in_flight = 0
+        self._cached_bytes = 0
         self._peak_bytes = 0
         self._total_allocated = 0
         self._total_released = 0
@@ -262,8 +267,14 @@ class SharedMemoryPool:
             self._records[name] = _SegmentRecord(segment, int(initial_refcount), nbytes)
             self._bytes_in_flight += nbytes
             self._total_allocated += nbytes
-            self._peak_bytes = max(self._peak_bytes, self._bytes_in_flight)
+            self._note_peak_locked()
         return Tensor(array, device, segment=segment, segment_offset=0)
+
+    def _note_peak_locked(self) -> None:
+        """Peak tracks *total* live bytes — in-flight plus cache-pinned — so
+        memory sizing from ``peak_bytes`` stays honest when a cache retains
+        whole epochs."""
+        self._peak_bytes = max(self._peak_bytes, self._bytes_in_flight + self._cached_bytes)
 
     def share_tensor(self, tensor: Tensor, *, initial_refcount: int = 1) -> Tensor:
         """Copy an ordinary tensor into the pool so it can be handed off zero-copy."""
@@ -316,18 +327,96 @@ class SharedMemoryPool:
             return self._release_locked(name, record, count)
 
     def _release_locked(self, name: str, record: _SegmentRecord, count: int) -> int:
-        if count > record.refcount:
+        if count > record.refcount - record.cache_holds:
             raise SharedMemoryError(
-                f"releasing {count} holds on {name!r} but only {record.refcount} held"
+                f"releasing {count} holds on {name!r} but only "
+                f"{record.refcount - record.cache_holds} non-cache holds held "
+                f"(use release_cached for cache holds)"
             )
         record.refcount -= count
         remaining = record.refcount
         if remaining == 0:
-            self._records.pop(name)
-            self._bytes_in_flight -= record.nbytes
-            self._total_released += record.nbytes
-            record.segment.unlink()
+            # The guard above caps count at refcount - cache_holds, so a
+            # plain release can only zero the refcount when cache_holds == 0:
+            # the bytes are necessarily in the in-flight bucket.
+            self._free_record_locked(name, record, cached=False)
         return remaining
+
+    def _free_record_locked(self, name: str, record: _SegmentRecord, *, cached: bool) -> None:
+        """Drop a dead record from the books and unlink its segment eagerly.
+
+        ``cached`` names the bucket the segment's bytes are currently counted
+        in (a segment sits in ``cached_bytes`` while it has cache holds,
+        ``bytes_in_flight`` otherwise).
+        """
+        self._records.pop(name)
+        if cached:
+            self._cached_bytes -= record.nbytes
+        else:
+            self._bytes_in_flight -= record.nbytes
+        self._total_released += record.nbytes
+        record.segment.unlink()
+
+    # -- cache holds -----------------------------------------------------------------
+    def retain_cached(self, name: str, count: int = 1) -> int:
+        """Add ``count`` *cache* holds on a segment; returns the new refcount.
+
+        Cache holds keep a published batch's segments alive across epochs so
+        repeat epochs can be republished without reloading (see
+        :class:`repro.cache.BatchCache`).  They are accounted separately: a
+        segment with at least one cache hold counts toward
+        :attr:`cached_bytes` rather than :attr:`bytes_in_flight`, so the
+        in-flight figure keeps meaning "staged batches consumers have not yet
+        acknowledged" even while a cache pins whole epochs.
+        """
+        if count <= 0:
+            raise ValueError("retain count must be positive")
+        with self._lock:
+            record = self._record_for(name)
+            if record.cache_holds == 0:
+                self._bytes_in_flight -= record.nbytes
+                self._cached_bytes += record.nbytes
+            record.cache_holds += count
+            record.refcount += count
+            return record.refcount
+
+    def release_cached(self, name: str, count: int = 1) -> Optional[int]:
+        """Drop ``count`` cache holds (atomic; no-op when the segment is gone).
+
+        When the last cache hold goes and other holds remain (consumers still
+        reading a republished batch), the segment's bytes move back to
+        ``bytes_in_flight``; when no holds remain at all the segment is
+        unlinked eagerly.  Returns the remaining refcount, or ``None`` when
+        the segment was not registered.
+        """
+        if count <= 0:
+            raise ValueError("release count must be positive")
+        with self._lock:
+            record = self._records.get(name)
+            if record is None:
+                return None
+            if count > record.cache_holds:
+                raise SharedMemoryError(
+                    f"releasing {count} cache holds on {name!r} but only "
+                    f"{record.cache_holds} held"
+                )
+            record.cache_holds -= count
+            record.refcount -= count
+            if record.refcount == 0:
+                # The segment had cache holds until this call, so its bytes
+                # are still counted in the cached bucket.
+                self._free_record_locked(name, record, cached=True)
+                return 0
+            if record.cache_holds == 0:
+                # Bucket move only; the total is unchanged, so no peak note.
+                self._cached_bytes -= record.nbytes
+                self._bytes_in_flight += record.nbytes
+            return record.refcount
+
+    def cache_holds(self, name: str) -> int:
+        with self._lock:
+            record = self._records.get(name)
+            return record.cache_holds if record is not None else 0
 
     def refcount(self, name: str) -> int:
         with self._lock:
@@ -404,7 +493,14 @@ class SharedMemoryPool:
             return self._bytes_in_flight
 
     @property
+    def cached_bytes(self) -> int:
+        """Bytes pinned by epoch-cache holds (disjoint from ``bytes_in_flight``)."""
+        with self._lock:
+            return self._cached_bytes
+
+    @property
     def peak_bytes(self) -> int:
+        """High-water mark of total live bytes (in-flight + cache-pinned)."""
         with self._lock:
             return self._peak_bytes
 
@@ -425,6 +521,7 @@ class SharedMemoryPool:
                 record.segment.unlink()
             self._records.clear()
             self._bytes_in_flight = 0
+            self._cached_bytes = 0
             for segment in self._attached.values():
                 try:
                     segment.close()
@@ -435,5 +532,6 @@ class SharedMemoryPool:
     def __repr__(self) -> str:
         return (
             f"SharedMemoryPool(backend={self._backend!r}, live={self.live_segments}, "
-            f"in_flight={self._bytes_in_flight}B, peak={self._peak_bytes}B)"
+            f"in_flight={self._bytes_in_flight}B, cached={self._cached_bytes}B, "
+            f"peak={self._peak_bytes}B)"
         )

@@ -18,7 +18,6 @@ from repro.baselines.joader import JoaderLoading
 from repro.hardware.gpu import GpuSharingMode
 from repro.hardware.instances import MachineSpec
 from repro.hardware.machine import Machine
-from repro.hardware.metrics import GB
 from repro.simulation.engine import Simulator
 from repro.training.loading import ConventionalLoading, TensorSocketLoading, attach_by_address
 from repro.training.trainer import TrainerStats, trainer_process

@@ -9,7 +9,7 @@ generator run as a :class:`~repro.simulation.engine.Process`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import List, Tuple
 
 from repro.hardware.machine import Machine
 from repro.hardware.metrics import GB

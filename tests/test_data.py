@@ -1,5 +1,7 @@
 """Unit tests for datasets, samplers, transforms, collation and the DataLoader."""
 
+import time
+
 import numpy as np
 import pytest
 
@@ -340,3 +342,74 @@ class TestDataLoader:
         loader = self._loader(size=8, batch_size=4)
         assert len(list(loader)) == 2
         assert len(list(loader)) == 2
+
+
+class TestPrefetchIter:
+    """Edge cases of the explicit-prefetch iterator an outer pipeline uses."""
+
+    def _loader(self, size=24, batch_size=4, **kwargs):
+        dataset = SyntheticImageDataset(size, payload_bytes=16)
+        pipeline = Compose([DecodeJpeg(height=16, width=16), Normalize(), ToTensor()])
+        return DataLoader(dataset, batch_size=batch_size, transform=pipeline, **kwargs)
+
+    def test_zero_workers_stays_synchronous(self):
+        """num_workers=0 must load inline — no threads, no semaphore — even
+        when the loader itself was configured with workers (the PR 3 deadlock
+        fix lives on the threaded path; this pins the zero-worker regression)."""
+        loader = self._loader(num_workers=3)
+        iterator = loader.prefetch_iter(max_in_flight=2, num_workers=0)
+        assert iterator._mode == "sync"
+        assert not hasattr(iterator, "_workers")
+        indices = [batch["index"].tolist() for batch in iterator]
+        assert indices == [batch["index"].tolist() for batch in self._loader()]
+
+    def test_max_in_flight_one_is_strictly_bounded(self):
+        """The tightest budget: one permit.  Every batch must still arrive in
+        sampler order, and at no point may more than max_in_flight + 1
+        batches have been loaded beyond what the consumer took (the worker
+        may hold at most the single permitted batch)."""
+        loader = self._loader(size=32, num_workers=3)
+        iterator = loader.prefetch_iter(max_in_flight=1)
+        seen = []
+        for batch in iterator:
+            seen.append(batch["index"].tolist())
+            time.sleep(0.002)  # give workers a window to overrun the budget
+            with iterator._results_lock:
+                posted = len(iterator._results)
+            assert posted <= 1, f"budget leaked: {posted} batches posted ahead"
+        assert seen == [batch["index"].tolist() for batch in self._loader(size=32)]
+
+    def test_close_mid_iteration_unblocks_and_stops(self):
+        loader = self._loader(size=64, num_workers=2)
+        iterator = loader.prefetch_iter(max_in_flight=2)
+        first = next(iterator)
+        assert first["index"].tolist() == [0, 1, 2, 3]
+        iterator.close()
+        # Workers are stopped; iteration must end instead of spinning on a
+        # result that will never be produced.
+        with pytest.raises(StopIteration):
+            while True:
+                next(iterator)
+        # close() is idempotent and the worker threads exit promptly.
+        iterator.close()
+        deadline = time.time() + 5
+        while any(w.is_alive() for w in iterator._workers) and time.time() < deadline:
+            time.sleep(0.01)
+        assert not any(w.is_alive() for w in iterator._workers)
+
+    def test_close_mid_iteration_synchronous_mode(self):
+        iterator = self._loader().prefetch_iter(num_workers=0)
+        next(iterator)
+        iterator.close()  # no-op in sync mode, must not raise
+        assert next(iterator)["index"].tolist() == [4, 5, 6, 7]
+
+    def test_explicit_batches_subset(self):
+        """An explicit batch list replaces the sampler draw — the epoch cache
+        loads only a partially-cached epoch's misses this way."""
+        loader = self._loader(num_workers=2)
+        full = list(loader.batch_sampler)
+        subset = [full[4], full[1]]  # caller's order, not sampler order
+        iterator = loader.prefetch_iter(max_in_flight=2, batches=subset)
+        batches = [batch["index"].tolist() for batch in iterator]
+        assert batches == [[16, 17, 18, 19], [4, 5, 6, 7]]
+        assert iterator.sampled_batches == [list(b) for b in subset]
