@@ -50,16 +50,19 @@ from repro.api import DEFAULT_ADDRESS, attach, serve
 from repro.cache import BatchCache, CachePolicy
 from repro.core import (
     ConsumerConfig,
+    EpochRunner,
+    GroupConsumer,
     ProducerConfig,
+    ShardedLoaderSession,
     SharedLoaderSession,
     TensorConsumer,
     TensorProducer,
 )
-from repro.data import DataLoader
+from repro.data import DataLoader, ShardSampler
 from repro.messaging import InProcHub, available_schemes, register_transport
 from repro.tensor import SharedMemoryPool, Tensor
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "serve",
@@ -70,7 +73,11 @@ __all__ = [
     "ProducerConfig",
     "ConsumerConfig",
     "SharedLoaderSession",
+    "ShardedLoaderSession",
+    "GroupConsumer",
+    "EpochRunner",
     "DataLoader",
+    "ShardSampler",
     "BatchCache",
     "CachePolicy",
     "InProcHub",

@@ -28,7 +28,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.core.config import ConsumerConfig, ProducerConfig
-from repro.core.consumer import TensorConsumer
+from repro.core.group import ShardedLoaderSession, attach_address
 from repro.core.session import SharedLoaderSession
 from repro.messaging.endpoint import is_uri, parse_address
 
@@ -66,15 +66,17 @@ def serve(
     producer_config: Optional[ProducerConfig] = None,
     start: bool = True,
     cache: Optional[str] = None,
+    shards: int = 1,
+    shard_mode: str = "strided",
     **config_kwargs,
-) -> SharedLoaderSession:
+):
     """Serve ``data_loader`` at ``address`` and return the running session.
 
     When ``address`` is omitted it falls back to the address inside an
     explicitly passed ``producer_config`` (if it is a URI), then to
     :data:`DEFAULT_ADDRESS`.  Keyword arguments other than
-    ``producer_config``/``start``/``cache`` are forwarded to
-    :class:`~repro.core.config.ProducerConfig` (``epochs=2``,
+    ``producer_config``/``start``/``cache``/``shards``/``shard_mode`` are
+    forwarded to :class:`~repro.core.config.ProducerConfig` (``epochs=2``,
     ``flexible_batching=True``, ...).  Pass ``start=False`` to bind the
     address — making it attachable — without starting the producer loop yet
     (useful when consumers should all register before the first batch).
@@ -86,20 +88,40 @@ def serve(
     sugar for ``cache_policy=`` and the session's cache counters are at
     ``session.stats()["producer"]["cache"]``.
 
+    ``shards=N`` (N > 1) serves the loader from a **sharded producer group**
+    (:class:`~repro.core.group.ShardedLoaderSession`): N member producers,
+    each loading a disjoint shard of the sample space, behind this one
+    address — ``repro.attach`` then returns a merged stream covering the
+    whole dataset.  ``shard_mode`` picks the partitioning (``"strided"`` or
+    ``"contiguous"``); ``cache`` composes — each member caches only its
+    shard, and a ``cache_bytes`` budget is the group total (split evenly
+    across members).
+
     For ``tcp://host:0`` addresses the OS assigns the port at bind time; read
-    the resolved address back from ``session.address`` (equivalently
-    ``session.producer.address``) and hand it to the consumer processes.
+    the resolved address back from ``session.address`` and hand it to the
+    consumer processes.
     """
     if cache is not None:
         if "cache_policy" in config_kwargs:
             raise TypeError("pass either cache= or cache_policy=, not both")
         config_kwargs["cache_policy"] = cache
+    if shards < 1:
+        raise ValueError("shards must be at least 1")
     address, producer_config = _resolve_address_and_config(
         address, producer_config, "producer_config", ProducerConfig, config_kwargs
     )
-    session = SharedLoaderSession(
-        data_loader, address=address, producer_config=producer_config
-    )
+    if shards > 1:
+        session = ShardedLoaderSession(
+            data_loader,
+            address=address,
+            shards=shards,
+            producer_config=producer_config,
+            shard_mode=shard_mode,
+        )
+    else:
+        session = SharedLoaderSession(
+            data_loader, address=address, producer_config=producer_config
+        )
     if start:
         session.start()
     return session
@@ -110,21 +132,24 @@ def attach(
     *,
     consumer_config: Optional[ConsumerConfig] = None,
     **config_kwargs,
-) -> TensorConsumer:
+):
     """Attach to the shared loader served at ``address``.
 
-    Returns a :class:`~repro.core.consumer.TensorConsumer` — an iterable of
-    batches, drop-in for a data loader.  Keyword arguments other than
-    ``consumer_config`` are forwarded to
-    :class:`~repro.core.config.ConsumerConfig` (``consumer_id=...``,
-    ``batch_size=...``, ``max_epochs=...``).
+    Returns an iterable of batches, drop-in for a data loader: a
+    :class:`~repro.core.consumer.TensorConsumer` for a plain address, or a
+    :class:`~repro.core.group.GroupConsumer` (same iteration surface) when
+    the address is served by a sharded producer group — training code does
+    not need to know which.  Keyword arguments other than ``consumer_config``
+    are forwarded to :class:`~repro.core.config.ConsumerConfig`
+    (``consumer_id=...``, ``batch_size=...``, ``max_epochs=...``,
+    ``interleave="any"`` for arrival-order sharded delivery).
 
     When the serving session lives in this process the consumer is created
     through it (so the session also closes it at shutdown); otherwise the
-    address is resolved through the transport registry directly.  When
-    ``address`` is omitted it falls back to the address inside an explicitly
-    passed ``consumer_config`` (if it is a URI), then to
-    :data:`DEFAULT_ADDRESS`.
+    address is resolved through the transport registry and the serving
+    side's describe responder decides the consumer shape.  When ``address``
+    is omitted it falls back to the address inside an explicitly passed
+    ``consumer_config`` (if it is a URI), then to :data:`DEFAULT_ADDRESS`.
     """
     address, consumer_config = _resolve_address_and_config(
         address, consumer_config, "consumer_config", ConsumerConfig, config_kwargs
@@ -132,4 +157,4 @@ def attach(
     session = SharedLoaderSession.at(address)
     if session is not None:
         return session.consumer(consumer_config)
-    return TensorConsumer(address=address, config=consumer_config)
+    return attach_address(address, consumer_config)

@@ -32,7 +32,9 @@ from repro.core.ack_ledger import AckLedger, BatchRecord
 from repro.core.batch_buffer import BatchBuffer
 from repro.core.config import ConsumerConfig, ProducerConfig
 from repro.core.consumer import TensorConsumer
+from repro.core.epoch_runner import EpochRunner, SkipEpoch
 from repro.core.flexible_batch import ConsumerSlicePlan, FlexibleBatcher, SliceSpec, plan_slices
+from repro.core.group import GroupConsumer, ShardedLoaderSession
 from repro.core.pipeline import StagedItem, StagePipeline
 from repro.core.producer import TensorProducer
 from repro.core.rubberband import JoinDecision, RubberbandPolicy
@@ -44,6 +46,8 @@ __all__ = [
     "AckLedger",
     "BatchRecord",
     "BatchBuffer",
+    "EpochRunner",
+    "SkipEpoch",
     "FlexibleBatcher",
     "ConsumerSlicePlan",
     "SliceSpec",
@@ -55,4 +59,6 @@ __all__ = [
     "TensorProducer",
     "TensorConsumer",
     "SharedLoaderSession",
+    "ShardedLoaderSession",
+    "GroupConsumer",
 ]

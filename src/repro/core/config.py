@@ -147,7 +147,14 @@ class ProducerConfig:
 
 @dataclass
 class ConsumerConfig:
-    """Settings for a :class:`~repro.core.consumer.TensorConsumer`."""
+    """Settings for a :class:`~repro.core.consumer.TensorConsumer`.
+
+    ``interleave`` only matters when attaching to a *sharded* producer group
+    (:mod:`repro.core.group`): ``"index"`` (default) merges the member
+    streams deterministically by ``(epoch, batch index, shard)``; ``"any"``
+    delivers batches in arrival order (still epoch-aligned across members).
+    Plain consumers ignore it.
+    """
 
     address: str = "tensorsocket"
     consumer_id: Optional[str] = None
@@ -156,10 +163,15 @@ class ConsumerConfig:
     heartbeat_interval: float = 1.0
     receive_timeout: float = 30.0
     max_epochs: Optional[int] = None
+    interleave: str = "index"
 
     def __post_init__(self) -> None:
         if self.batch_size is not None and self.batch_size < 1:
             raise ValueError("batch_size must be positive when given")
+        if self.interleave not in ("index", "any"):
+            raise ValueError(
+                f"interleave must be 'index' or 'any', got {self.interleave!r}"
+            )
         if self.buffer_size < 1:
             raise ValueError("buffer_size must be at least 1")
         if self.heartbeat_interval <= 0:

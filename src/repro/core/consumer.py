@@ -19,7 +19,7 @@ from __future__ import annotations
 import dataclasses
 import time
 import uuid
-from typing import Dict, Iterator, Optional
+from typing import Dict, Iterator, Optional, Tuple
 
 from repro.core.batch_buffer import BatchBuffer
 from repro.core.config import ConsumerConfig
@@ -91,6 +91,10 @@ class TensorConsumer:
             raise
         self._buffer = BatchBuffer(self.config.buffer_size)
         self._admitted_epoch: Optional[int] = None
+        # Group sessions raise the effective start epoch above the admitted
+        # one (iter_batches(min_epoch=...)); epochs below it are skipped, so
+        # they must not count toward max_epochs either.
+        self._min_epoch: Optional[int] = None
         self._epochs_ended = 0
         self._closed = False
         self._shutdown = False
@@ -150,6 +154,47 @@ class TensorConsumer:
     def is_admitted(self) -> bool:
         return self._admitted_epoch is not None
 
+    @property
+    def shutdown_received(self) -> bool:
+        """Whether the producer has announced shutdown to this consumer."""
+        return self._shutdown
+
+    def wait_until_registered(self, timeout: float = 10.0) -> int:
+        """Block until the producer's registration REPLY arrives.
+
+        Returns the admitted epoch.  Group sessions use this to learn every
+        member's admission decision *before* merging streams (so a consumer
+        admitted mid-epoch by some members and next-epoch by others can start
+        at the first epoch all members agree on).  Safe to call before
+        iterating: while unadmitted, every BATCH message predates this
+        consumer's admission and is filtered, not consumed.
+        """
+        if self._admitted_epoch is not None:
+            return self._admitted_epoch
+        deadline = time.monotonic() + timeout
+        while self._admitted_epoch is None:
+            if self._shutdown:
+                raise MessagingError(
+                    f"producer shut down before admitting consumer {self.consumer_id!r}"
+                )
+            if not self._registered:
+                self._register()
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise TimeoutError_(
+                    f"consumer {self.consumer_id!r} received no registration reply "
+                    f"within {timeout}s; is the producer running?"
+                )
+            try:
+                message = self._sub.recv(timeout=min(remaining, self.config.heartbeat_interval))
+            except TimeoutError_:
+                continue
+            try:
+                self._handle_message(message)
+            except _ShutdownReceived:
+                continue  # loop re-checks self._shutdown and raises
+        return self._admitted_epoch
+
     # ------------------------------------------------------------------ message handling
     def _handle_message(self, message: Message) -> Optional[BatchPayload]:
         """Process one message; returns a payload when it is a usable data batch."""
@@ -171,7 +216,14 @@ class TensorConsumer:
         if message.kind is MessageKind.EPOCH_END:
             body = message.body or {}
             epoch = int(body.get("epoch", 0))
-            if self._admitted_epoch is not None and epoch >= self._admitted_epoch:
+            floor = self._admitted_epoch
+            if floor is not None and self._min_epoch is not None:
+                # Epochs the group skipped (admitted before the merge's start
+                # epoch) were never trained on; counting them toward
+                # max_epochs would end this member's stream early and leave
+                # later epochs served by a subset of shards.
+                floor = max(floor, self._min_epoch)
+            if floor is not None and epoch >= floor:
                 self.epochs_seen += 1
                 self._epochs_ended += 1
                 if self._last_completed_epoch is None or epoch > self._last_completed_epoch:
@@ -228,7 +280,7 @@ class TensorConsumer:
                         raise TimeoutError_(
                             f"consumer {self.consumer_id!r} received no data for "
                             f"{self.config.receive_timeout}s; is the producer running?"
-                        )
+                        ) from None
                     continue
             payload = self._handle_message(message)
             if payload is not None:
@@ -262,8 +314,28 @@ class TensorConsumer:
         )
 
     def __iter__(self) -> Iterator[Dict[str, Tensor]]:
+        for _payload, batch in self.iter_batches():
+            yield batch
+
+    def iter_batches(
+        self, *, min_epoch: Optional[int] = None
+    ) -> Iterator[Tuple[BatchPayload, Dict[str, Tensor]]]:
+        """Iterate ``(payload, batch)`` pairs — the batch plus its metadata.
+
+        This is the annotated form of ``iter(consumer)``: group sessions use
+        the payload's ``(epoch, batch_index)`` to merge several member
+        streams deterministically.  Acknowledgement timing is identical —
+        each batch is acked when the loop advances past it.
+
+        ``min_epoch`` drops (and immediately acknowledges) batches from
+        earlier epochs: a group consumer admitted mid-epoch by one member and
+        next-epoch by another starts every member at the same epoch.  The
+        skipped epochs do not count toward ``max_epochs``.
+        """
         if self._closed:
             raise RuntimeError("consumer has been closed")
+        if min_epoch is not None:
+            self._min_epoch = min_epoch
         while not self._shutdown:
             # Stop once the producer has closed max_epochs epochs and every
             # batch from those epochs has been consumed.  (The producer sends
@@ -280,20 +352,26 @@ class TensorConsumer:
                 if self._reached_epoch_limit():
                     break
                 continue
-            if self._reached_epoch_limit() and payload.epoch >= (self._admitted_epoch or 0) + (
+            start_epoch = max(self._admitted_epoch or 0, self._min_epoch or 0)
+            if self._reached_epoch_limit() and payload.epoch >= start_epoch + (
                 self.config.max_epochs or 0
             ):
                 # A batch from an epoch beyond our limit: acknowledge and drop
                 # it so the producer does not wait on us.
                 self._acknowledge(payload)
                 break
+            if min_epoch is not None and payload.epoch < min_epoch:
+                # Admitted earlier than the group: this member's pre-group
+                # epochs are not trained on, but their holds must be returned.
+                self._acknowledge(payload)
+                continue
             batch = payload.unpack(self.pool)
             self.batches_consumed += 1
             self.samples_consumed += payload.batch_size
             self._consumed_per_epoch[payload.epoch] = (
                 self._consumed_per_epoch.get(payload.epoch, 0) + 1
             )
-            yield batch
+            yield payload, batch
             # The training loop finished with the batch: acknowledge it so
             # the producer can release the shared memory.
             self._acknowledge(payload)

@@ -1,0 +1,691 @@
+"""Sharded producer groups: one dataset served by N cooperating producers.
+
+A single :class:`~repro.core.producer.TensorProducer` tops out at one
+process's load/stage bandwidth.  This module scales past that the way
+CoorDL's partitioned cache and DGL's ``DistDataLoader`` do: partition the
+sample space across members, keep a single logical stream at the consumer.
+
+Serving side — :class:`ShardedLoaderSession` (``repro.serve(loader, address,
+shards=N)``):
+
+* binds the *logical* address once through the transport registry (one hub,
+  one shared-memory pool for the whole group);
+* splits the loader into N disjoint shard loaders
+  (:meth:`~repro.data.dataloader.DataLoader.shard`, backed by
+  :class:`~repro.data.samplers.ShardSampler`) — every epoch each member pins
+  its equal-seeded sampler to the same epoch, so the shards cover the
+  dataset exactly once per epoch;
+* runs one member producer per shard (each with its own
+  :class:`~repro.core.epoch_runner.EpochRunner`, ack ledger and optional
+  epoch cache over *its shard only*) on channels derived from the logical
+  address (``{address}/shard{k}``);
+* answers ``{address}/group`` describe requests so consumers in other OS
+  processes discover the membership with nothing but the address string.
+
+Attaching side — :class:`GroupConsumer` (what ``repro.attach(address)``
+returns for a sharded address): one
+:class:`~repro.core.consumer.TensorConsumer` per member, merged into a
+single batch stream.  ``interleave="index"`` (default) delivers globally
+in-order by ``(epoch, batch index, shard)``; ``interleave="any"`` delivers in
+arrival order.  Both modes enforce an **epoch barrier**: no batch of epoch
+``e+1`` is delivered until every member finished delivering epoch ``e``, and
+flow control (per-member acks against per-member ledgers) naturally bounds
+how far fast members can run ahead.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import queue
+import threading
+import uuid
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.core.config import ConsumerConfig, ProducerConfig
+from repro.core.consumer import TensorConsumer
+from repro.core.producer import TensorProducer
+from repro.core.session import DescribeService, register_session, unregister_session
+from repro.messaging import endpoint as endpoints
+from repro.messaging.errors import MessagingError
+from repro.tensor.tensor import Tensor
+
+__all__ = [
+    "GroupConsumer",
+    "ShardedLoaderSession",
+    "attach_address",
+    "describe_address",
+    "member_address",
+]
+
+#: How long a remote attach waits for a describe reply before assuming the
+#: address is served by a plain (single-producer, possibly pre-describe)
+#: endpoint.  In-process attaches never wait: they hit the session directory.
+GROUP_DISCOVERY_TIMEOUT = 2.0
+
+
+def member_address(address: str, shard_index: int) -> str:
+    """The channel prefix of one group member behind a logical address."""
+    return f"{address}/shard{shard_index}"
+
+
+def _build_member_consumers(
+    *, shards: int, config: ConsumerConfig, hub, pool, address: str
+) -> List[TensorConsumer]:
+    """One consumer per member, all under one consumer id; unwind on failure.
+
+    Shared by in-process attach (:meth:`ShardedLoaderSession.consumer`) and
+    cross-process attach (:func:`attach_address`) so the two paths cannot
+    drift in how member configs are derived or partially-built consumers are
+    cleaned up.
+    """
+    consumer_id = config.consumer_id or f"consumer-{uuid.uuid4().hex[:8]}"
+    members: List[TensorConsumer] = []
+    try:
+        for rank in range(shards):
+            member_config = dataclasses.replace(
+                config, address=member_address(address, rank), consumer_id=consumer_id
+            )
+            members.append(TensorConsumer(hub=hub, pool=pool, config=member_config))
+    except BaseException:
+        for member in members:
+            try:
+                member.close()
+            except Exception:
+                pass
+        raise
+    return members
+
+
+def describe_address(hub, address: str, timeout: float = GROUP_DISCOVERY_TIMEOUT):
+    """Ask the serving side how ``address`` is shaped (shards, members).
+
+    Returns the manifest dict, or ``None`` when nothing answers — a plain
+    producer without a session, or a pre-describe server.  On ``inproc://``
+    an unserved describe channel fails fast (the push raises); over a TCP
+    broker it costs the full ``timeout``.
+    """
+    from repro.messaging.sockets import ReqSocket
+
+    try:
+        req = ReqSocket(hub, f"{address}/group")
+    except Exception:
+        return None
+    try:
+        manifest = req.request({"op": "describe"}, timeout=timeout)
+        return manifest if isinstance(manifest, dict) else None
+    except MessagingError:
+        return None
+    finally:
+        req.close()
+
+
+class GroupConsumer:
+    """A single logical batch stream merged from N member consumers.
+
+    Iterating yields plain batch dicts, exactly like a
+    :class:`~repro.core.consumer.TensorConsumer` — training code cannot tell
+    a sharded address from a plain one.  Internally each member stream is
+    consumed through :meth:`TensorConsumer.iter_batches`, so acknowledgement
+    timing (ack after the training loop moves past a batch) and therefore
+    flow control are identical per member.
+
+    Admission is synchronised before the first batch: every member reports
+    its admitted epoch and the merge starts at the latest one, acknowledging
+    (not training on) any earlier batches a faster member already granted —
+    a group never trains on a partial epoch.
+    """
+
+    def __init__(
+        self,
+        members: List[TensorConsumer],
+        *,
+        interleave: str = "index",
+        address: Optional[str] = None,
+        endpoint: Optional["endpoints.Endpoint"] = None,
+    ) -> None:
+        if not members:
+            raise ValueError("a group consumer needs at least one member")
+        if interleave not in ("index", "any"):
+            raise ValueError(f"interleave must be 'index' or 'any', got {interleave!r}")
+        self.members = list(members)
+        self.interleave = interleave
+        self.address = address
+        self.consumer_id = members[0].consumer_id
+        self._endpoint = endpoint
+        self._closed = False
+
+    # ------------------------------------------------------------------ iteration
+    def _sync_admission(self) -> int:
+        """Wait for every member's registration; start at the latest epoch.
+
+        A member whose producer already shut down (stopped before this
+        consumer was admitted — group churn) is tolerated: its stream simply
+        ends immediately and the merge proceeds with the survivors.
+        """
+        admitted = []
+        for member in self.members:
+            try:
+                admitted.append(
+                    member.wait_until_registered(timeout=member.config.receive_timeout)
+                )
+            except MessagingError:
+                if not member.shutdown_received:
+                    raise
+        return max(admitted, default=0)
+
+    def __iter__(self) -> Iterator[Dict[str, Tensor]]:
+        if self._closed:
+            raise RuntimeError("group consumer has been closed")
+        min_epoch = self._sync_admission()
+        if self.interleave == "any":
+            return self._iter_any(min_epoch)
+        return self._iter_in_order(min_epoch)
+
+    def _iter_in_order(self, min_epoch: int) -> Iterator[Dict[str, Tensor]]:
+        """K-way merge on ``(epoch, batch_index, shard)``.
+
+        One head batch is held per member; refilling a member's head is what
+        acknowledges the batch previously taken from it, so at most one
+        delivered-but-unacked batch per member rides in the merge (within
+        every member's buffer budget).  Because *all* heads are refilled
+        before a winner is picked, a member whose next batch belongs to the
+        next epoch simply waits unchosen — the epoch barrier — and a member
+        that ends (producer stopped, shard exhausted) drops out of the merge
+        while the others keep serving.
+        """
+        iters = [member.iter_batches(min_epoch=min_epoch) for member in self.members]
+        heads: List[Optional[Tuple]] = [None] * len(iters)
+        finished = [False] * len(iters)
+        while True:
+            for rank, member_iter in enumerate(iters):
+                if heads[rank] is None and not finished[rank]:
+                    try:
+                        heads[rank] = next(member_iter)
+                    except StopIteration:
+                        finished[rank] = True
+            candidates = [
+                (pair[0].epoch, pair[0].batch_index, rank)
+                for rank, pair in enumerate(heads)
+                if pair is not None
+            ]
+            if not candidates:
+                return
+            _, _, rank = min(candidates)
+            payload, batch = heads[rank]
+            heads[rank] = None
+            yield batch
+
+    def _iter_any(self, min_epoch: int) -> Iterator[Dict[str, Tensor]]:
+        """Arrival-order merge with an epoch barrier.
+
+        One feeder thread per member forwards ``(payload, batch)`` pairs into
+        a shared queue and then *blocks* until the group loop signals the
+        batch was consumed — preserving ack-after-training per member.  A
+        batch from a future epoch parks its member (the pair is stashed, the
+        feeder stays blocked); when every live member is parked or done the
+        epoch advances and the stashed pairs are delivered first.
+
+        Only a *cleanly ended* member stream (producer shutdown — group
+        churn) is survivable; a member that dies with an exception (e.g. a
+        receive timeout) re-raises it here, exactly like the in-order merge —
+        swallowing it would silently drop a whole shard from training.
+        """
+        done_marker = object()
+        out: "queue.Queue" = queue.Queue()
+        stop = threading.Event()
+
+        def feed(rank: int, member: TensorConsumer) -> None:
+            try:
+                for pair in member.iter_batches(min_epoch=min_epoch):
+                    event = threading.Event()
+                    out.put((rank, pair, event))
+                    while not event.wait(timeout=0.1):
+                        if stop.is_set():
+                            out.put((rank, done_marker, None))
+                            return
+            except Exception as exc:
+                out.put((rank, exc, None))
+                return
+            out.put((rank, done_marker, None))
+
+        threads = [
+            threading.Thread(
+                target=feed, args=(rank, member), daemon=True, name=f"group-feed-{rank}"
+            )
+            for rank, member in enumerate(self.members)
+        ]
+        for thread in threads:
+            thread.start()
+
+        current_epoch = min_epoch
+        parked: Dict[int, Tuple] = {}  # rank -> (pair, event), future-epoch holds
+        ready: List[Tuple] = []  # (rank, pair, event) deliverable now
+        done = 0
+        try:
+            while True:
+                if ready:
+                    _rank, (payload, batch), event = ready.pop(0)
+                    yield batch
+                    event.set()  # resume the feeder → member acks the batch
+                    continue
+                if done == len(self.members) and not parked:
+                    return
+                if parked and len(parked) == len(self.members) - done:
+                    # Everyone still alive has crossed the boundary: advance.
+                    current_epoch = min(pair[0].epoch for pair, _ in parked.values())
+                    for rank in [
+                        r for r, (pair, _) in parked.items()
+                        if pair[0].epoch == current_epoch
+                    ]:
+                        pair, event = parked.pop(rank)
+                        ready.append((rank, pair, event))
+                    continue
+                rank, item, event = out.get()
+                if item is done_marker:
+                    done += 1
+                    continue
+                if isinstance(item, BaseException):
+                    raise item
+                if item[0].epoch > current_epoch:
+                    parked[rank] = (item, event)
+                else:
+                    ready.append((rank, item, event))
+        finally:
+            stop.set()
+            for _pair, event in parked.values():
+                event.set()
+            for _rank, _item, event in ready:
+                event.set()
+
+    # ------------------------------------------------------------------ introspection
+    @property
+    def batches_consumed(self) -> int:
+        return sum(member.batches_consumed for member in self.members)
+
+    @property
+    def samples_consumed(self) -> int:
+        return sum(member.samples_consumed for member in self.members)
+
+    @property
+    def duplicates_dropped(self) -> int:
+        return sum(member.duplicates_dropped for member in self.members)
+
+    def __len__(self) -> int:
+        """Batches per completed epoch, summed over the member shards."""
+        return sum(len(member) for member in self.members)
+
+    def stats(self) -> Dict[str, object]:
+        """Aggregated consumer stats plus one row per member shard."""
+        member_rows = [member.stats() for member in self.members]
+        return {
+            "role": "group-consumer",
+            "consumer_id": self.consumer_id,
+            "interleave": self.interleave,
+            "shards": len(self.members),
+            "batches_consumed": self.batches_consumed,
+            "samples_consumed": self.samples_consumed,
+            "duplicates_dropped": self.duplicates_dropped,
+            "members": member_rows,
+        }
+
+    # ------------------------------------------------------------------ shutdown
+    def close(self) -> None:
+        """Close every member consumer and release the attach endpoint."""
+        if self._closed:
+            return
+        self._closed = True
+        for member in self.members:
+            try:
+                member.close()
+            except Exception:
+                pass
+        if self._endpoint is not None:
+            self._endpoint.release()
+
+    def __enter__(self) -> "GroupConsumer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"GroupConsumer({self.consumer_id!r}, shards={len(self.members)}, "
+            f"interleave={self.interleave!r}, consumed={self.batches_consumed})"
+        )
+
+
+class ShardedLoaderSession:
+    """Serve one dataset from N member producers behind a single address.
+
+    The session binds the logical address once (one hub + one shared-memory
+    pool for the whole group), builds one shard loader and one member
+    producer per shard, and runs each member's producer loop on its own
+    thread.  Members publish on channels derived from the logical address
+    (``{address}/shard{k}``), so on ``tcp://`` a single broker carries the
+    whole group and remote consumers attach to all members over one
+    connection set.
+
+    Directory- and describe-registered exactly like a
+    :class:`~repro.core.session.SharedLoaderSession`, so ``repro.attach``
+    transparently returns a :class:`GroupConsumer` for sharded addresses.
+    """
+
+    def __init__(
+        self,
+        data_loader,
+        *,
+        address: str,
+        shards: int,
+        producer_config: Optional[ProducerConfig] = None,
+        shard_mode: str = "strided",
+    ) -> None:
+        if shards < 2:
+            raise ValueError(
+                "a sharded session needs shards >= 2; use SharedLoaderSession "
+                "(repro.serve without shards=) for a single producer"
+            )
+        if not hasattr(data_loader, "shard"):
+            raise TypeError(
+                f"{type(data_loader).__name__} cannot be sharded: it has no .shard() "
+                f"(wrap the dataset in repro.data.DataLoader to serve it sharded)"
+            )
+        config = producer_config or ProducerConfig()
+        self.shards = int(shards)
+        self.shard_mode = shard_mode
+        self._endpoint = endpoints.bind(address)
+        self.address = self._endpoint.address
+        self.hub = self._endpoint.hub
+        self.pool = self._endpoint.pool
+        self.members: List[TensorProducer] = []
+        self._describe: Optional[DescribeService] = None
+        try:
+            for rank in range(self.shards):
+                shard_loader = data_loader.shard(rank, self.shards, mode=shard_mode)
+                try:
+                    shard_batches = len(shard_loader)
+                except TypeError:
+                    shard_batches = None  # unsized loaders cannot be validated
+                if shard_batches == 0:
+                    # An empty shard's member would burn through its epoch
+                    # budget instantly and vanish, wedging later attaches on
+                    # a member that never admits them.
+                    raise ValueError(
+                        f"shard {rank} of {self.shards} is empty "
+                        f"(mode={shard_mode!r}); serve with fewer shards"
+                        + (" or shard_mode='strided'" if shard_mode != "strided" else "")
+                    )
+                member_overrides = {"address": member_address(self.address, rank)}
+                if config.cache_bytes is not None:
+                    # The configured budget is the GROUP total: each member
+                    # caches only its shard, so it gets an equal slice —
+                    # otherwise a sharded session would silently pin up to
+                    # shards x cache_bytes of shared memory.
+                    member_overrides["cache_bytes"] = max(
+                        1, config.cache_bytes // self.shards
+                    )
+                member_config = dataclasses.replace(config, **member_overrides)
+                self.members.append(
+                    TensorProducer(
+                        shard_loader, hub=self.hub, pool=self.pool, config=member_config
+                    )
+                )
+            self._describe = DescribeService(self.hub, self.address, self.manifest())
+        except BaseException:
+            for member in self.members:
+                try:
+                    member.join(timeout=0.1)
+                except Exception:
+                    pass
+            self._endpoint.release()
+            raise
+        # Soft epoch tracking: members report boundary crossings; surfaced in
+        # stats() so drift between shards is observable.
+        self._epoch_progress: Dict[int, int] = {}
+        for rank, member in enumerate(self.members):
+            member.on_epoch_end = self._note_epoch_end(rank)
+        self._threads: List[threading.Thread] = []
+        self._consumers: List[GroupConsumer] = []
+        self._member_errors: List[BaseException] = []
+        self._shutdown = False
+        # Read by SharedLoaderSession.at(): a fork()ed child must not reuse
+        # this process's member threads through the inherited directory.
+        self._owner_pid = os.getpid()
+        register_session(self.address, self)
+
+    def _note_epoch_end(self, rank: int):
+        def note(epoch: int) -> None:
+            self._epoch_progress[rank] = epoch
+
+        return note
+
+    def manifest(self) -> Dict[str, object]:
+        """What remote attachers need to construct a :class:`GroupConsumer`."""
+        return {
+            "address": self.address,
+            "shards": self.shards,
+            "shard_mode": self.shard_mode,
+            "member_addresses": [
+                member_address(self.address, rank) for rank in range(self.shards)
+            ],
+        }
+
+    # ------------------------------------------------------------------ lifecycle
+    def start(self) -> "ShardedLoaderSession":
+        """Start every member's producer loop on its own daemon thread."""
+        if self._shutdown:
+            raise RuntimeError(
+                f"session at {self.address!r} has been shut down; "
+                f"create a new session to serve again"
+            )
+        if self._threads:
+            raise RuntimeError("session already started")
+        self._threads = [
+            threading.Thread(
+                target=self._run_member,
+                args=(member,),
+                daemon=True,
+                name=f"producer-shard{rank}",
+            )
+            for rank, member in enumerate(self.members)
+        ]
+        for thread in self._threads:
+            thread.start()
+        return self
+
+    def _run_member(self, member: TensorProducer) -> None:
+        try:
+            for _ in member:
+                pass
+            member.join()
+        except BaseException as exc:  # surfaced via raise_producer_error
+            self._member_errors.append(exc)
+
+    def consumer(self, config: Optional[ConsumerConfig] = None) -> GroupConsumer:
+        """A :class:`GroupConsumer` attached to every member of this session."""
+        if self._shutdown:
+            raise RuntimeError(
+                f"session at {self.address!r} has been shut down; its producers are "
+                f"stopped and cannot serve new consumers"
+            )
+        config = config or ConsumerConfig()
+        members = _build_member_consumers(
+            shards=self.shards,
+            config=config,
+            hub=self.hub,
+            pool=self.pool,
+            address=self.address,
+        )
+        group = GroupConsumer(members, interleave=config.interleave, address=self.address)
+        self._consumers.append(group)
+        return group
+
+    # Alias matching the module-level repro.attach() vocabulary.
+    attach = consumer
+
+    # ------------------------------------------------------------------ introspection
+    def stats(self) -> Dict[str, object]:
+        """One snapshot of the group: aggregate + one row per member shard.
+
+        Counter fields are summed across members; the pool buckets
+        (``bytes_in_flight``, ``cached_bytes``, ``peak_bytes``) are read once
+        from the shared pool — members share it, so summing would
+        double-count.
+        """
+        member_rows = []
+        for rank, member in enumerate(self.members):
+            row = member.stats()
+            row["shard"] = rank
+            row["address"] = member.address
+            member_rows.append(row)
+        cache_totals: Dict[str, int] = {}
+        for row in member_rows:
+            for key, value in row["cache"].items():
+                if isinstance(value, (int, float)):
+                    cache_totals[key] = cache_totals.get(key, 0) + value
+        aggregate = {
+            "role": "producer-group",
+            "shards": self.shards,
+            "epoch": min((row["epoch"] for row in member_rows), default=0),
+            "epochs_completed": min(
+                (row["epochs_completed"] for row in member_rows), default=0
+            ),
+            "batches_loaded": sum(row["batches_loaded"] for row in member_rows),
+            "payloads_published": sum(row["payloads_published"] for row in member_rows),
+            "pending_batches": sum(row["pending_batches"] for row in member_rows),
+            "consumers": max((row["consumers"] for row in member_rows), default=0),
+            "bytes_in_flight": self.pool.bytes_in_flight,
+            "cached_bytes": self.pool.cached_bytes,
+            "peak_bytes": self.pool.peak_bytes,
+            "cache": cache_totals,
+            "epoch_progress": dict(self._epoch_progress),
+        }
+        return {
+            "address": self.address,
+            "running": self.is_running,
+            "shards": self.shards,
+            "producer": aggregate,
+            "members": member_rows,
+            "consumers": [consumer.stats() for consumer in self._consumers],
+        }
+
+    @property
+    def producer(self) -> TensorProducer:
+        """The first member (compatibility handle for single-producer code).
+
+        Prefer :attr:`members` / :meth:`stats` for group-aware callers.
+        """
+        return self.members[0]
+
+    def raise_producer_error(self) -> None:
+        """Re-raise the first exception any member's producer thread died with."""
+        if self._member_errors:
+            raise self._member_errors[0]
+
+    @property
+    def is_running(self) -> bool:
+        return any(thread.is_alive() for thread in self._threads)
+
+    # ------------------------------------------------------------------ shutdown
+    def shutdown(self, timeout: float = 10.0) -> None:
+        """Stop every member, close consumers and release shared memory.
+
+        Exception-safe like the single-producer session: every teardown step
+        runs, the first consumer-close error (and any member-thread error) is
+        re-raised at the end.
+        """
+        if self._shutdown:
+            return
+        self._shutdown = True
+        close_error: Optional[BaseException] = None
+        try:
+            for member in self.members:
+                member.stop()
+            for consumer in self._consumers:
+                try:
+                    consumer.close()
+                except BaseException as exc:
+                    if close_error is None:
+                        close_error = exc
+            for thread in self._threads:
+                thread.join(timeout=timeout)
+            if not self._threads:
+                # Never started: run each member's drain path directly so
+                # window/cache holds are returned before the pool goes away.
+                for member in self.members:
+                    try:
+                        member.join(timeout=1.0)
+                    except Exception:
+                        pass
+        finally:
+            unregister_session(self.address, self)
+            if self._describe is not None:
+                self._describe.stop()
+            try:
+                self.pool.shutdown()
+            finally:
+                self._endpoint.release()
+        self.raise_producer_error()
+        if close_error is not None:
+            raise close_error
+
+    def __enter__(self) -> "ShardedLoaderSession":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+    def __repr__(self) -> str:
+        state = "shutdown" if self._shutdown else ("running" if self.is_running else "idle")
+        return (
+            f"ShardedLoaderSession(address={self.address!r}, shards={self.shards}, "
+            f"state={state}, consumers={len(self._consumers)})"
+        )
+
+
+def attach_address(address: str, config: ConsumerConfig):
+    """Attach to ``address`` without an in-process session (the remote path).
+
+    Resolves the address through the transport registry, asks the serving
+    side's describe responder how it is shaped, and returns a
+    :class:`GroupConsumer` for sharded addresses or a plain
+    :class:`~repro.core.consumer.TensorConsumer` otherwise (including when
+    nothing answers the describe probe — a bare producer served by address).
+    """
+    endpoint = endpoints.connect(address)
+    try:
+        manifest = describe_address(endpoint.hub, address)
+    except Exception:
+        manifest = None
+    shards = int(manifest.get("shards", 1)) if manifest else 1
+    if shards <= 1:
+        # Reuse the live connection instead of tearing it down and letting
+        # the consumer redial (for tcp:// that is a second broker handshake
+        # plus a second attach-by-name pool).  The consumer adopts the
+        # endpoint and releases it in close().
+        try:
+            consumer = TensorConsumer(
+                hub=endpoint.hub,
+                pool=endpoint.pool,
+                config=dataclasses.replace(config, address=address),
+            )
+        except BaseException:
+            endpoint.release()
+            raise
+        consumer._endpoint = endpoint
+        return consumer
+    try:
+        members = _build_member_consumers(
+            shards=shards,
+            config=config,
+            hub=endpoint.hub,
+            pool=endpoint.pool,
+            address=address,
+        )
+    except BaseException:
+        endpoint.release()
+        raise
+    return GroupConsumer(
+        members, interleave=config.interleave, address=address, endpoint=endpoint
+    )

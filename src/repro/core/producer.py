@@ -1,27 +1,24 @@
 """The TensorSocket producer: one data-loading pipeline serving many trainers.
 
-The producer owns the nested :class:`~repro.data.dataloader.DataLoader`
-(step 0 in the paper's Figure 4), stages every prepared batch once in shared
-memory (step 2), publishes pointer payloads to all consumers (step 3), and
-releases the memory once every consumer has acknowledged the batch (step 6).
-Along the way it implements the paper's supporting mechanisms: consumer
-registration and heartbeats, flow control through the consumer batch buffer,
-rubberbanding for late joiners, flexible batch sizing and batch-order
-variation.
+The producer is the *connection and flow-control shell* around an
+:class:`~repro.core.epoch_runner.EpochRunner`.  The runner owns the nested
+loader, the staging pipeline, flexible batching and the epoch cache; the
+producer implements the paper's connection mechanisms — consumer registration
+and heartbeats, flow control through the consumer batch buffer, rubberbanding
+for late joiners, and the acknowledgement ledger that releases shared memory
+once every consumer has acknowledged a batch (Figure 4, steps 3 and 6).
 
-The producer is exposed as an iterator over the nested loader, exactly like
-the paper's ``producer.py`` example::
+It is exposed as an iterator over the nested loader, exactly like the paper's
+``producer.py`` example::
 
     producer = TensorProducer(loader, hub=hub, config=ProducerConfig(epochs=2))
     for _ in producer:      # drives loading, publishing and acknowledgements
         pass
     producer.join()         # drain acks, announce shutdown
 
-With ``ProducerConfig(pipeline_depth=N)`` for ``N > 1``, load + stage run on a
-background :class:`~repro.core.pipeline.StagePipeline` bounded to ``N`` staged
-batches, so the loop above overlaps loading with publish/ack work instead of
-alternating between them.  ``pipeline_depth=1`` (default) is the classic
-strictly-sequential loop.
+Sharded producer groups (:mod:`repro.core.group`) instantiate several
+producers — each with its own runner over one shard of the dataset — behind a
+single logical address; nothing in this class is shard-aware.
 """
 
 from __future__ import annotations
@@ -32,11 +29,10 @@ import uuid
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Mapping, Optional, Tuple
 
-from repro.cache import BatchCache, CachePolicy, CacheStats, CachedEpochSource
+from repro.cache import BatchCache, CachePolicy, CacheStats
 from repro.core.ack_ledger import AckLedger
 from repro.core.config import ProducerConfig
-from repro.core.flexible_batch import FlexibleBatcher, recommend_producer_batch_size
-from repro.core.pipeline import StagedItem, StagePipeline
+from repro.core.epoch_runner import EpochRunner, SkipEpoch
 from repro.core.rubberband import JoinDecision, RubberbandPolicy
 from repro.messaging import endpoint as endpoints
 from repro.messaging.heartbeat import HeartbeatMonitor
@@ -45,7 +41,6 @@ from repro.messaging.sockets import PubSocket, PullSocket
 from repro.messaging.transport import InProcHub
 from repro.tensor.payload import BatchPayload
 from repro.tensor.shared_memory import SharedMemoryPool
-from repro.tensor.tensor import Tensor
 
 
 @dataclass
@@ -65,19 +60,6 @@ class ConsumerState:
     token: Optional[str] = None
 
 
-class _SkipEpoch(Exception):
-    """Internal signal: abandon the current epoch (every consumer has left)."""
-
-
-def _staged_names(staged: Mapping[str, Tensor]) -> Tuple[str, ...]:
-    """Unique segment names backing a staged batch (for hold accounting)."""
-    return tuple(
-        dict.fromkeys(
-            tensor.segment.name for tensor in staged.values() if tensor.segment is not None
-        )
-    )
-
-
 class TensorProducer:
     """A shared data loader server wrapping an ordinary data loader."""
 
@@ -94,9 +76,8 @@ class TensorProducer:
         self.config = config or ProducerConfig()
         if address is not None and address != self.config.address:
             self.config = dataclasses.replace(self.config, address=address)
-        # URI addresses resolve hub and pool through the transport registry
-        # (binding the address so consumers can attach by string); explicit
-        # hub=/pool= arguments override the endpoint's resources.
+        # URI addresses resolve hub and pool through the transport registry;
+        # explicit hub=/pool= arguments override the endpoint's resources.
         self._endpoint: Optional[endpoints.Endpoint] = None
         if hub is None and endpoints.is_uri(self.config.address):
             self._endpoint = endpoints.bind(self.config.address)
@@ -111,9 +92,7 @@ class TensorProducer:
             self.pool = pool or SharedMemoryPool()
             self.identity = f"producer-{uuid.uuid4().hex[:8]}"
 
-            # The epoch cache (repro.cache): staged batches retained across
-            # epochs so repeat epochs republish from shared memory instead of
-            # reloading.  None when the policy is "none".
+            # The epoch cache (repro.cache); None when the policy is "none".
             cache_policy = CachePolicy.parse(self.config.cache_policy)
             self.cache: Optional[BatchCache] = None
             if cache_policy is not CachePolicy.NONE:
@@ -133,25 +112,29 @@ class TensorProducer:
             except TypeError:
                 pass
         except BaseException:
-            # A failure after the bind (e.g. a socket refusing its channel)
-            # must not leave the address registered — or, for tcp://, the
-            # broker thread running — with no owner to release it.
+            # A failure after the bind must not leave the address registered
+            # (or the tcp:// broker running) with no owner to release it.
             self.close_endpoint()
             raise
 
         self._consumers: Dict[str, ConsumerState] = {}
         self.epoch = 0
-        self._batches_published_this_epoch = 0
-        self._publish_seq = 0
         self._stopped = False
         self._shutdown_sent = False
-        # Batches kept alive (producer hold) for the rubberband window, keyed
-        # by their original per-epoch index.
+        # Rubberband replay window: producer holds keyed by per-epoch index.
         self._window_cache: Dict[int, BatchPayload] = {}
-        self._flexible: Optional[FlexibleBatcher] = None
 
-        # Statistics surfaced by tests and experiments.
-        self.batches_loaded = 0
+        self.runner = EpochRunner(
+            data_loader,
+            pool=self.pool,
+            config=self.config,
+            host=self,
+            cache=self.cache,
+            identity=self.identity,
+        )
+
+        #: Called with each completed epoch number (group progress tracking).
+        self.on_epoch_end = None
         self.payloads_published = 0
         self.epochs_completed = 0
 
@@ -170,6 +153,15 @@ class TensorProducer:
     def consumers(self) -> Dict[str, ConsumerState]:
         return dict(self._consumers)
 
+    @property
+    def batches_loaded(self) -> int:
+        """Total batches the runner has staged (producer-lifetime counter)."""
+        return self.runner.batches_loaded
+
+    @property
+    def _batches_published_this_epoch(self) -> int:
+        return self.runner.batches_published_this_epoch
+
     def active_consumer_ids(self) -> List[str]:
         return [c.consumer_id for c in self._consumers.values() if c.active]
 
@@ -179,11 +171,10 @@ class TensorProducer:
         existing = self._consumers.get(consumer_id)
         if existing is not None:
             if existing.token != token:
-                # A *different* consumer is trying to register an id that is
-                # already live.  Accepting it would corrupt the ack ledger
-                # (two parties acknowledging under one key), so reject it on
-                # its personal topic; the rightful owner filters the reply
-                # out by token.
+                # A *different* consumer squatting on a live id would corrupt
+                # the ack ledger (two parties acknowledging under one key):
+                # reject on its personal topic; the rightful owner filters
+                # the reply out by token.
                 self._pub.send(
                     MessageKind.REPLY,
                     body={
@@ -197,8 +188,7 @@ class TensorProducer:
                     topic=f"consumer/{consumer_id}",
                 )
                 return
-            # The same consumer re-sent HELLO (e.g. a registration retry):
-            # re-announce its admission without re-running the join decision.
+            # A HELLO retry: re-announce without re-running the join decision.
             self._heartbeats.beat(consumer_id)
             self._pub.send(
                 MessageKind.REPLY,
@@ -218,9 +208,10 @@ class TensorProducer:
             buffer_size=int(body.get("buffer_size", self.config.buffer_size)),
             token=token,
         )
-        decision = self.rubberband.decide(consumer_id, self._batches_published_this_epoch) \
+        published = self._batches_published_this_epoch
+        decision = self.rubberband.decide(consumer_id, published) \
             if self.rubberband.batches_per_epoch is not None else (
-                JoinDecision.IMMEDIATE if self._batches_published_this_epoch == 0
+                JoinDecision.IMMEDIATE if published == 0
                 else JoinDecision.WAIT_FOR_NEXT_EPOCH
             )
 
@@ -233,8 +224,7 @@ class TensorProducer:
         self._consumers[consumer_id] = state
         self._heartbeats.beat(consumer_id)
 
-        # Tell the consumer which epoch it starts in so it can ignore batches
-        # that predate its admission.
+        # Tell the consumer which epoch it starts in.
         self._pub.send(
             MessageKind.REPLY,
             body={
@@ -254,11 +244,9 @@ class TensorProducer:
         """Send the batches a rubberbanded consumer missed (personal topic).
 
         A hold is taken only when the consumer is genuinely *added* as a
-        waiter for the batch.  If it already owes an ack for this key (e.g. a
-        replay raced with a broadcast delivery of the same batch), the message
-        is still re-sent — pointers are cheap and the consumer dedupes — but
-        retaining again would leak: the consumer's second ack is a duplicate
-        in the ledger and never releases the extra hold.
+        waiter for the batch; if it already owes an ack for this key the
+        message is re-sent (the consumer dedupes) but retaining again would
+        leak — the duplicate ack never releases the extra hold.
         """
         for index in sorted(self._window_cache):
             payload = self._window_cache[index]
@@ -311,10 +299,8 @@ class TensorProducer:
     def _handle_control_message(self, message: Message) -> None:
         body = message.body or {}
         consumer_id = body.get("consumer_id", message.sender)
-        # Only registered consumers count as live peers.  An unconditional
-        # beat here would track rejected duplicate-id HELLOs and stray
-        # senders forever; _register_consumer beats accepted registrations
-        # itself.
+        # Only registered consumers count as live peers (an unconditional beat
+        # would track rejected duplicate-id HELLOs and stray senders forever).
         if message.kind is not MessageKind.HELLO and consumer_id in self._consumers:
             self._heartbeats.beat(consumer_id)
         if message.kind is MessageKind.HELLO:
@@ -323,15 +309,13 @@ class TensorProducer:
             self._handle_ack(consumer_id, (int(body["epoch"]), int(body["batch_index"])))
         elif message.kind is MessageKind.BYE:
             # A rejected duplicate also says BYE when it closes; its token
-            # does not match the registered consumer's, and dropping the
-            # rightful owner on its behalf would corrupt the ack ledger.
+            # mismatch must not drop the rightful owner on its behalf.
             state = self._consumers.get(consumer_id)
             token = body.get("token")
             if state is None or token is None or state.token == token:
                 self._drop_consumer(consumer_id, reason="bye")
         elif message.kind is MessageKind.HEARTBEAT:
             pass  # the beat above is all that is needed
-        # REQUEST/REPLY traffic is handled by auxiliary tooling, not here.
 
     def _handle_ack(self, consumer_id: str, key: Tuple[int, int]) -> None:
         record = self.ledger.record_for(key)
@@ -348,13 +332,19 @@ class TensorProducer:
         for consumer_id in self._heartbeats.sweep():
             self._drop_consumer(consumer_id, reason="heartbeat timeout")
 
-    # ------------------------------------------------------------------ flow control
-    def _wait_for_capacity(self) -> None:
+    # ------------------------------------------------------------------ epoch-host interface
+    # The EpochRunner drives epochs through exactly these members (see
+    # repro.core.epoch_runner.EpochHost).
+
+    @property
+    def stopped(self) -> bool:
+        return self._stopped
+
+    def wait_for_capacity(self) -> None:
         """Block until every active consumer can take another batch.
 
-        Also enforces the paper's pause conditions: no consumers → no loading;
-        a rubberbanded consumer catching up → other consumers halt (we simply
-        stop publishing until the catch-up finishes).
+        Also enforces the paper's pause conditions: no consumers → no
+        loading; a rubberbanded consumer catching up → publishing halts.
         """
         deadline = time.monotonic() + self.config.heartbeat_timeout * 4
         while not self._stopped:
@@ -367,9 +357,9 @@ class TensorProducer:
                 if not self.config.wait_for_consumers:
                     return
                 if waiting and self._batches_published_this_epoch > 0:
-                    # Everyone left mid-epoch and a newcomer is parked for the
-                    # next epoch: abandon this epoch so it can start.
-                    raise _SkipEpoch()
+                    # Everyone left mid-epoch and a newcomer is parked for
+                    # the next epoch: abandon this epoch so it can start.
+                    raise SkipEpoch()
                 self._process_control(block_timeout=self.config.poll_interval)
                 deadline = time.monotonic() + self.config.heartbeat_timeout * 4
                 continue
@@ -382,74 +372,16 @@ class TensorProducer:
             if capacity_ok and not self.rubberband.halting:
                 return
             if time.monotonic() > deadline:
-                # A consumer stopped acknowledging but its heartbeats still
-                # arrive (e.g. it crashed inside a training step).  Detach the
-                # slowest consumers rather than wedging the shared loader.
+                # A consumer stopped acknowledging but still heartbeats:
+                # detach the slowest rather than wedging the shared loader.
                 for consumer_id in self.ledger.slowest_consumers(active):
                     self._drop_consumer(consumer_id, reason="ack timeout")
                 deadline = time.monotonic() + self.config.heartbeat_timeout * 4
                 continue
             self._process_control(block_timeout=self.config.poll_interval)
 
-    # ------------------------------------------------------------------ staging & publishing
-    def _stage_batch(self, batch: Mapping[str, Tensor]) -> Dict[str, Tensor]:
-        """Copy a loader batch into shared memory on the share device (step 2).
-
-        Runs on the stage worker when ``pipeline_depth > 1``; it only touches
-        the pool (thread-safe) and the ``batches_loaded`` counter (written by
-        exactly one staging thread).
-        """
-        staged = {}
-        for name, tensor in batch.items():
-            tensor = tensor.to(self.config.share_device)
-            staged[name] = self.pool.share_tensor(tensor, initial_refcount=1)
-        self.batches_loaded += 1
-        return staged
-
-    # ------------------------------------------------------------------ pipeline plumbing
-    def _pipeline_loader_workers(self) -> Optional[int]:
-        """Loader worker threads the staged pipeline may use (None = loader default)."""
-        if self.config.pipeline_workers is not None:
-            return self.config.pipeline_workers
-        if getattr(self.loader, "num_workers", 0):
-            return None  # the loader already has its own workers; keep them
-        return min(4, self.config.pipeline_depth)
-
-    def _open_loader_iter(self):
-        """Start one epoch's iteration over the nested loader.
-
-        With an overlapped pipeline the loader is asked for a prefetching
-        iterator whose in-flight budget matches ``pipeline_depth``, so the
-        pipeline's bound covers loader-internal prefetch too.
-        """
-        depth = self.config.pipeline_depth
-        if depth > 1 and hasattr(self.loader, "prefetch_iter"):
-            return self.loader.prefetch_iter(
-                max_in_flight=depth, num_workers=self._pipeline_loader_workers()
-            )
-        return iter(self.loader)
-
-    def _make_pipeline(self, source, stage_fn, source_close=None) -> StagePipeline:
-        return StagePipeline(
-            source,
-            stage_fn,
-            depth=self.config.pipeline_depth,
-            release_fn=self._release_staged,
-            source_close=source_close,
-            name=f"{self.identity}-stage",
-        )
-
-    def _release_staged(self, item: StagedItem) -> None:
-        """Return the producer holds of a staged item that will never publish."""
-        for name in item.segment_names:
-            self.pool.release_if_present(name)
-
-    def _publish_payload(
-        self,
-        payload: BatchPayload,
-        consumers: List[str],
-        *,
-        topic: str = "broadcast",
+    def publish(
+        self, payload: BatchPayload, consumers: List[str], *, topic: str = "broadcast"
     ) -> None:
         for name in payload.segment_names:
             self.pool.retain(name, count=len(consumers))
@@ -467,18 +399,11 @@ class TensorProducer:
                 state.batches_sent += 1
         self.payloads_published += 1
 
-    def _release_producer_hold(self, payload: BatchPayload) -> None:
-        for name in payload.segment_names:
-            self.pool.release_if_present(name)
-
-    def _maybe_cache_for_window(self, payload: BatchPayload, batch_index: int) -> bool:
+    def retain_for_window(self, payload: BatchPayload, batch_index: int) -> bool:
         """Keep the first few batches of an epoch alive for rubberband joiners.
 
-        The latest joiner still admitted arrives when ``window - 1`` batches
-        have been published (strict "before 2%"), having missed at most batch
-        ``window - 2`` — so only indexes below ``window - 1`` can ever be
-        replayed; caching ``window - 1`` itself would pin a batch of shared
-        memory all epoch for nothing.
+        The latest joiner still admitted (strict "before 2%") has missed at
+        most batch ``window - 2``; caching more would pin memory for nothing.
         """
         try:
             window = self.rubberband.window_batches
@@ -489,378 +414,43 @@ class TensorProducer:
             return True
         return False
 
-    def _clear_window_cache(self) -> None:
-        for payload in self._window_cache.values():
-            self._release_producer_hold(payload)
-        self._window_cache.clear()
+    def batch_size_for(self, consumer_id: str) -> Optional[int]:
+        state = self._consumers.get(consumer_id)
+        return state.batch_size if state is not None else None
 
-    # ------------------------------------------------------------------ default-mode epoch
-    def _run_epoch_default(self) -> Iterator[int]:
-        """Publish one epoch from a stream of already-staged payloads.
-
-        Load + stage run inside the :class:`StagePipeline` (inline at
-        ``pipeline_depth=1``, on the stage worker otherwise); this loop only
-        does capacity waits, publishing and control work.  Every staged item
-        that cannot be published (stop, skip-epoch, no consumers) has its
-        producer hold released before the loop moves on, and the ``finally``
-        drain covers whatever the pipeline still had in flight.
-
-        With an epoch cache enabled, the epoch is planned against a
-        :class:`~repro.cache.CachedEpochSource`: cached batch indices are
-        republished straight from their retained segments (no loader, no
-        stage worker, no copy — just a fresh producer hold and a re-keyed
-        payload), only the misses flow through the pipeline, and every
-        published miss is offered to the cache post-stage.
-        """
-        total = len(self.loader) if self._loader_sized() else None
-        epoch = self.epoch
-        overlapped = self.config.pipeline_depth > 1
-        source = (
-            CachedEpochSource(self.cache, self.loader, epoch=epoch)
-            if self.cache is not None
-            else None
-        )
-
-        def pack_payload(index, batch) -> BatchPayload:
-            return BatchPayload.pack(
-                self._stage_batch(batch),
-                batch_index=index,
-                epoch=epoch,
-                is_last_in_epoch=total is not None and index == total - 1,
-            )
-
-        def stage(indexed) -> StagedItem:
-            index, batch = indexed
-            if not overlapped:
-                # Depth 1 keeps the classic order — load, wait for capacity,
-                # *then* stage: the batch passes through raw and is staged at
-                # publish time, so no shared memory is held during waits and
-                # skipped batches never touch the pool.
-                return StagedItem(index=index, value=batch)
-            payload = pack_payload(index, batch)
-            return StagedItem(index=index, value=payload, segment_names=payload.segment_names)
-
-        if source is None or source.all_miss:
-            # No cache, or nothing cached yet (epoch 0): the classic path —
-            # the full loader, with its own prefetch workers, feeds the
-            # pipeline directly.
-            loader_iter = self._open_loader_iter()
-            if source is not None and total is not None:
-                # Pin this sampler draw as THE composition future cached
-                # epochs serve — hits and reloaded misses alike — so a
-                # reshuffling sampler cannot skew per-epoch sample coverage.
-                sampled = getattr(loader_iter, "sampled_batches", None)
-                if sampled is not None:
-                    self.cache.remember_composition(sampled)
-            pipeline: Optional[StagePipeline] = self._make_pipeline(
-                enumerate(loader_iter), stage, source_close=getattr(loader_iter, "close", None)
-            )
-            stream: Iterator[StagedItem] = iter(pipeline)
-        elif source.full_replay:
-            # Every batch is cached: the loader is never opened and no
-            # pipeline runs; the epoch is pure republishing.
-            pipeline = None
-            stream = self._cached_item_stream(source, iter(()))
-        else:
-            # Partial cache: only the misses are loaded — through the
-            # loader's own prefetch workers, from the composition the cache
-            # was filled with — and staged; the hit stream interleaves with
-            # them in batch-index order.
-            misses, miss_close = source.open_misses(
-                max_in_flight=self.config.pipeline_depth if overlapped else None,
-                num_workers=self._pipeline_loader_workers() if overlapped else 0,
-            )
-            pipeline = self._make_pipeline(misses, stage, source_close=miss_close)
-            stream = self._cached_item_stream(source, iter(pipeline))
-        try:
-            for item in stream:
-                if self._stopped:
-                    self._release_staged(item)
-                    break
-                try:
-                    self._wait_for_capacity()
-                except _SkipEpoch:
-                    self._release_staged(item)
-                    raise
-                if self._stopped:
-                    self._release_staged(item)
-                    break
-                active = self.active_consumer_ids()
-                if not active:
-                    # Nobody to serve right now (free-running mode, or the
-                    # wait was cut short by stop()): skip this batch and
-                    # return its staging hold, if it has one.
-                    self._release_staged(item)
-                    continue
-                if isinstance(item.value, BatchPayload):
-                    payload: BatchPayload = item.value
-                else:
-                    payload = pack_payload(item.index, item.value)
-                    item.value = payload
-                    item.segment_names = payload.segment_names
-                self._publish_payload(payload, active)
-                if source is not None and not item.from_cache:
-                    # Offer the freshly staged miss to the cache while the
-                    # publish holds still pin its segments.
-                    source.record(item.index, payload)
-                if not self._maybe_cache_for_window(payload, item.index):
-                    self._release_producer_hold(payload)
-                self._batches_published_this_epoch = item.index + 1
-                yield item.index + 1
-        finally:
-            if pipeline is not None:
-                pipeline.close()
-            if source is not None:
-                source.finish(
-                    self._batches_published_this_epoch,
-                    complete=total is not None
-                    and self._batches_published_this_epoch == total,
-                )
-
-    def _cached_item_stream(
-        self, source: CachedEpochSource, miss_iter: Iterator[StagedItem]
-    ) -> Iterator[StagedItem]:
-        """Interleave cache hits with pipeline-staged misses in index order.
-
-        A hit that was evicted between planning and use falls back to a
-        synchronous load (raw item, staged at publish time like a depth-1
-        miss) so the epoch never loses a batch.
-        """
-        for index in range(source.total):
-            if index in source.plan:
-                payload = source.hit(index)
-                if payload is None:
-                    yield StagedItem(index=index, value=source.load_batch(index))
-                else:
-                    yield StagedItem(
-                        index=index,
-                        value=payload,
-                        segment_names=payload.segment_names,
-                        from_cache=True,
-                    )
-            else:
-                yield next(miss_iter)
-
-    # ------------------------------------------------------------------ flexible-mode epoch
-    def _build_flexible_batcher(self) -> FlexibleBatcher:
-        sizes = {
+    def consumer_batch_sizes(self) -> Dict[str, int]:
+        return {
             state.consumer_id: int(state.batch_size)
             for state in self._consumers.values()
             if state.active and state.batch_size
         }
-        if not sizes:
-            raise RuntimeError(
-                "flexible batching requires every active consumer to announce a batch size"
-            )
-        producer_batch = self.config.producer_batch_size or recommend_producer_batch_size(
-            list(sizes.values())
-        )
-        return FlexibleBatcher(
-            producer_batch,
-            sizes,
-            use_offsets=self.config.consumer_offsets,
-            shuffle_slices=self.config.shuffle_slices,
-            seed=self.config.seed,
-        )
 
-    def _run_epoch_flexible(self) -> Iterator[int]:
-        # Wait for at least one consumer before fixing producer-batch geometry.
-        self._wait_for_capacity()
-        self._flexible = self._build_flexible_batcher()
-
-        # Flexible batching re-chunks the loader's sequential stream, so a
-        # *partial* cache cannot serve selected producer batches — replay is
-        # all-or-nothing.  A fully cached epoch with matching producer-batch
-        # geometry replays straight from shared memory; anything less is
-        # flushed (stale geometry or an incomplete epoch would pin segments
-        # that can never be hits).
-        if self.cache is not None:
-            replay_len = self.cache.replayable_epoch_length(
-                rows=self._flexible.producer_batch_size
-            )
-            if replay_len is not None:
-                yield from self._replay_epoch_flexible(replay_len)
-                return
-            if len(self.cache):
-                self.cache.clear()
-
-        loader_iter = self._open_loader_iter()
-
-        # With pipeline_depth > 1 this generator (and the staging below) runs
-        # on the stage worker.  It only touches the batcher's accumulation
-        # state (_carry, counters); the main thread touches only the slicing
-        # side (add_consumer / carve / has_consumer read-modify
-        # consumer_batch_sizes).  The two halves are disjoint, so no lock is
-        # needed between them.
-        def producer_batches():
-            index = 0
-            for batch in loader_iter:
-                if self._stopped:
-                    return
-                for producer_batch in self._flexible.add_loader_batch(batch):
-                    yield index, producer_batch
-                    index += 1
-
-        overlapped = self.config.pipeline_depth > 1
-
-        def stage(indexed) -> StagedItem:
-            index, producer_batch = indexed
-            if not overlapped:
-                # Depth 1: pass the producer batch through raw; staging
-                # happens in _emit_staged_batch after the capacity wait and
-                # active-consumer check, exactly like the classic loop.
-                return StagedItem(index=index, value=producer_batch)
-            staged = self._stage_batch(producer_batch)
-            return StagedItem(
-                index=index, value=staged, segment_names=_staged_names(staged)
-            )
-
-        pipeline = self._make_pipeline(
-            producer_batches(), stage, source_close=getattr(loader_iter, "close", None)
-        )
-        producer_batch_index = 0
-        completed = False
-        try:
-            for item in pipeline:
-                if self._stopped:
-                    self._release_staged(item)
-                    break
-                self._emit_staged_batch(item)
-                producer_batch_index = item.index + 1
-                yield producer_batch_index
-            else:
-                completed = not self._stopped
-        finally:
-            pipeline.close()
-        self._batches_published_this_epoch = producer_batch_index
-        if self.cache is not None and completed:
-            # Replayable only if every producer batch actually stayed
-            # resident (mark_epoch_complete re-verifies the index range).
-            self.cache.mark_epoch_complete(producer_batch_index)
-
-    def _replay_epoch_flexible(self, replay_len: int) -> Iterator[int]:
-        """Serve one flexible epoch entirely from cached producer batches.
-
-        Each staged producer batch is republished with a fresh producer hold
-        (no loader, no stage worker, no copy) and carved into per-consumer
-        slices by the regular emit path, which also returns the hold on every
-        exit.
-        """
-        producer_batch_index = 0
-        for index in range(replay_len):
-            if self._stopped:
-                break
-            staged = self.cache.republish_staged(index)
-            if staged is None:  # pragma: no cover - nothing evicts mid-replay
-                raise RuntimeError(
-                    f"cached producer batch {index} vanished during a full replay"
-                )
-            item = StagedItem(
-                index=index,
-                value=staged,
-                segment_names=_staged_names(staged),
-                from_cache=True,
-            )
-            self._emit_staged_batch(item)
-            producer_batch_index = index + 1
-            yield producer_batch_index
-        self._batches_published_this_epoch = producer_batch_index
-
-    def _emit_staged_batch(self, item: StagedItem) -> None:
-        """Carve one already-staged producer batch into per-consumer slices.
-
-        The staging hold travels with ``item``; the ``finally`` returns it on
-        every exit path (publish, stop, skip-epoch) so an interrupted emit
-        cannot leak its producer batch.  At ``pipeline_depth=1`` the item
-        arrives raw and is staged here, after the capacity wait and
-        active-consumer check (the classic order); early exits then never
-        touch the pool.
-        """
-        index = item.index
-        try:
-            self._wait_for_capacity()
-            active = self.active_consumer_ids()
-            if not active or self._stopped:
-                return
-            # Consumers admitted after the batcher was built get their own
-            # slicing plan over the existing producer-batch geometry.
-            for consumer_id in active:
-                if not self._flexible.has_consumer(consumer_id):
-                    state = self._consumers[consumer_id]
-                    if state.batch_size:
-                        self._flexible.add_consumer(consumer_id, int(state.batch_size))
-            if not item.segment_names:  # raw item: stage now
-                staged = self._stage_batch(item.value)
-                item.value = staged
-                item.segment_names = _staged_names(staged)
-            staged = item.value
-            for consumer_id in active:
-                if not self._flexible.has_consumer(consumer_id):
-                    continue
-                slices = self._flexible.carve(staged, consumer_id, index)
-                for slice_batch in slices:
-                    self._wait_for_capacity()
-                    if consumer_id not in self.active_consumer_ids():
-                        break
-                    self._publish_seq += 1
-                    payload = BatchPayload.pack(
-                        slice_batch,
-                        batch_index=self._publish_seq,
-                        epoch=self.epoch,
-                        producer_batch_id=index,
-                    )
-                    self._publish_payload(payload, [consumer_id], topic=f"consumer/{consumer_id}")
-            self._batches_published_this_epoch = index + 1
-            if self.cache is not None and not item.from_cache:
-                # Retain the whole staged producer batch (pre-carve) so a
-                # repeat epoch can re-slice it for whatever consumers are
-                # registered then.
-                self.cache.record_miss()
-                first = next(iter(staged.values()))
-                self.cache.put(
-                    index,
-                    staged,
-                    segment_names=item.segment_names,
-                    nbytes=sum(t.nbytes for t in staged.values()),
-                    rows=first.shape[0] if first.shape else 0,
-                )
-        finally:
-            # The producer's own hold on the staged producer batch.
-            self._release_staged(item)
+    def _clear_window_cache(self) -> None:
+        for payload in self._window_cache.values():
+            for name in payload.segment_names:
+                self.pool.release_if_present(name)
+        self._window_cache.clear()
 
     # ------------------------------------------------------------------ top-level iteration
-    def _loader_sized(self) -> bool:
-        try:
-            len(self.loader)
-            return True
-        except TypeError:
-            return False
-
     def __iter__(self) -> Iterator[int]:
         epoch_limit = self.config.epochs
         while not self._stopped and (epoch_limit is None or self.epoch < epoch_limit):
-            self._batches_published_this_epoch = 0
-            # Flexible-mode slice numbering restarts every epoch; without the
-            # reset, batch indices drift upward epoch over epoch.
-            self._publish_seq = 0
+            self.runner.begin_epoch(self.epoch)
             self._window_cache.clear()
-            runner = (
-                self._run_epoch_flexible() if self.config.flexible_batching
-                else self._run_epoch_default()
-            )
             try:
-                for progress in runner:
+                for progress in self.runner.run(self.epoch):
                     yield progress
-            except _SkipEpoch:
+            except SkipEpoch:
                 pass
             self._finish_epoch()
-        # Iteration complete; callers are expected to call join() for cleanup.
+        # Iteration complete; callers call join() for cleanup.
 
     def _finish_epoch(self) -> None:
+        finished_epoch = self.epoch
         self._clear_window_cache()
         self._pub.send(
             MessageKind.EPOCH_END,
-            body={"epoch": self.epoch, "batches": self._batches_published_this_epoch},
+            body={"epoch": finished_epoch, "batches": self._batches_published_this_epoch},
             topic="broadcast",
         )
         self.epoch += 1
@@ -870,6 +460,11 @@ class TensorProducer:
         for state in self._consumers.values():
             if not state.active and state.admitted_epoch <= self.epoch:
                 state.active = True
+        # Notify listeners which epoch just completed (sharded group sessions
+        # record per-member progress; delivery-side epoch alignment lives in
+        # the GroupConsumer merge, not here).
+        if self.on_epoch_end is not None:
+            self.on_epoch_end(finished_epoch)
 
     # ------------------------------------------------------------------ shutdown
     def stop(self) -> None:
@@ -896,8 +491,7 @@ class TensorProducer:
                 self.ledger.acknowledge(consumer_id, key)
         self._clear_window_cache()
         # Cache holds are distinct from in-flight holds; release them last so
-        # `cached_bytes` (like `bytes_in_flight`) reads zero after join() on
-        # every exit path — normal completion, stop(), skip-epoch, churn.
+        # both buckets read zero after join() on every exit path.
         if self.cache is not None:
             self.cache.clear()
         self._control.close()
@@ -912,13 +506,10 @@ class TensorProducer:
     # ------------------------------------------------------------------ introspection
     def stats(self) -> Dict[str, object]:
         """Uniform statistics dict (the producer half of the pair that
-        :meth:`TensorConsumer.stats` completes).
-
-        Stable keys, suitable for logging/monitoring pipelines: counters for
-        loading and publishing, the cache's hit/miss/eviction figures (zeroed
-        when no cache is configured), and the pool's two memory buckets —
-        ``bytes_in_flight`` (staged batches consumers have not yet
-        acknowledged) vs ``cached_bytes`` (epochs pinned by the cache).
+        :meth:`TensorConsumer.stats` completes): load/publish counters, the
+        cache's hit/miss/eviction figures (zeroed when no cache is
+        configured), and the pool's two memory buckets — ``bytes_in_flight``
+        vs ``cached_bytes``.
         """
         cache_stats = (
             self.cache.stats() if self.cache is not None else CacheStats()

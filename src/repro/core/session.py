@@ -38,9 +38,64 @@ from repro.messaging.transport import InProcHub
 from repro.tensor.shared_memory import SharedMemoryPool
 
 # Directory of live sessions keyed by URI address, so repro.attach() can hand
-# out consumers without the caller holding the session object.
-_SESSIONS: Dict[str, "SharedLoaderSession"] = {}
+# out consumers without the caller holding the session object.  Sharded
+# sessions (repro.core.group.ShardedLoaderSession) register here too; every
+# entry answers .consumer(config) / .shutdown() / .stats().
+_SESSIONS: Dict[str, object] = {}
 _SESSIONS_LOCK = threading.Lock()
+
+
+def register_session(address: str, session) -> None:
+    """Put a live session in the process-wide directory (group sessions too)."""
+    with _SESSIONS_LOCK:
+        _SESSIONS[address] = session
+
+
+def unregister_session(address: str, session) -> None:
+    """Remove a session from the directory if it still owns the entry."""
+    with _SESSIONS_LOCK:
+        if _SESSIONS.get(address) is session:
+            del _SESSIONS[address]
+
+
+class DescribeService:
+    """Answer ``{address}/group`` describe requests with a session manifest.
+
+    Cross-process consumers cannot reach the in-process session directory, so
+    every serving session (plain and sharded) binds a tiny REQ/REP responder
+    next to its data channels.  ``repro.attach`` asks it how the address is
+    shaped — ``{"shards": 1}`` for a plain session, the member manifest for a
+    sharded one — and builds the matching consumer.
+    """
+
+    def __init__(self, hub, address: str, manifest: Dict[str, object]) -> None:
+        from repro.messaging.sockets import RepSocket
+
+        self._rep = RepSocket(hub, f"{address}/group", identity=f"describe-{address}")
+        self._manifest = dict(manifest)
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._serve, daemon=True, name="session-describe"
+        )
+        self._thread.start()
+
+    def _serve(self) -> None:
+        while not self._stop.is_set():
+            try:
+                request = self._rep.recv(timeout=0.2)
+            except Exception:
+                continue
+            try:
+                self._rep.reply(request, dict(self._manifest))
+            except Exception:
+                pass  # requester vanished; keep serving others
+
+    def stop(self) -> None:
+        if self._stop.is_set():
+            return
+        self._stop.set()
+        self._thread.join(timeout=2.0)
+        self._rep.close()
 
 
 class SharedLoaderSession:
@@ -70,13 +125,21 @@ class SharedLoaderSession:
         self._producer_error: Optional[BaseException] = None
         self._shutdown = False
         self._owner_pid = os.getpid()
+        self._describe: Optional[DescribeService] = None
         if self.producer.owns_address:
             # The producer's endpoint bind guarantees the address was free, so
             # this cannot clobber another live session.  Sessions wired from
             # an explicit hub= never bound the address and stay out of the
             # directory even when their config names a URI.
-            with _SESSIONS_LOCK:
-                _SESSIONS[self.address] = self
+            register_session(self.address, self)
+            # Remote attachers (who cannot see the directory) ask this
+            # responder how the address is shaped; one shard = plain consumer.
+            try:
+                self._describe = DescribeService(
+                    self.hub, self.address, {"shards": 1, "address": self.address}
+                )
+            except Exception:
+                self._describe = None  # a hub without bind support; discovery off
 
     # -- discovery ---------------------------------------------------------------------
     @classmethod
@@ -181,9 +244,9 @@ class SharedLoaderSession:
             if self._thread is not None:
                 self._thread.join(timeout=timeout)
         finally:
-            with _SESSIONS_LOCK:
-                if _SESSIONS.get(self.address) is self:
-                    del _SESSIONS[self.address]
+            unregister_session(self.address, self)
+            if self._describe is not None:
+                self._describe.stop()
             try:
                 self.pool.shutdown()
             finally:

@@ -24,6 +24,8 @@ from repro.data.samplers import (
     RandomSampler,
     Sampler,
     SequentialSampler,
+    ShardSampler,
+    SubsetSampler,
 )
 from repro.data.collate import default_collate
 from repro.data.dataloader import DataLoader, LoaderIterator
@@ -55,6 +57,8 @@ __all__ = [
     "SequentialSampler",
     "RandomSampler",
     "BatchSampler",
+    "ShardSampler",
+    "SubsetSampler",
     "default_collate",
     "DataLoader",
     "LoaderIterator",

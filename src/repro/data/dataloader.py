@@ -19,13 +19,20 @@ workers are sufficient for both the real-mode library and the experiments.
 
 from __future__ import annotations
 
+import copy
 import queue
 import threading
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.data.collate import default_collate
 from repro.data.dataset import Dataset
-from repro.data.samplers import BatchSampler, RandomSampler, Sampler, SequentialSampler
+from repro.data.samplers import (
+    BatchSampler,
+    RandomSampler,
+    Sampler,
+    SequentialSampler,
+    ShardSampler,
+)
 from repro.tensor.tensor import Tensor
 
 
@@ -92,6 +99,7 @@ class DataLoader:
         self.prefetch_factor = int(prefetch_factor)
         self.drop_last = bool(drop_last)
 
+        self._custom_batch_sampler = batch_sampler is not None
         if batch_sampler is not None:
             self.batch_sampler = batch_sampler
             self.sampler = batch_sampler.sampler
@@ -124,6 +132,57 @@ class DataLoader:
         if isinstance(probe, dict) and "stored_nbytes" in probe:
             return int(probe["stored_nbytes"])
         return 0
+
+    # -- epochs & sharding -----------------------------------------------------------
+    def set_epoch(self, epoch: int) -> None:
+        """Pin the sampler's permutation for the next iteration (if seeded).
+
+        The producer's epoch runner calls this at every epoch boundary so the
+        epoch's sample order is a pure function of ``(seed, epoch)`` — the
+        property that keeps N sharded loaders (see :meth:`shard`) deriving
+        the same base permutation for their disjoint shards.  Loaders whose
+        sampler has no ``set_epoch`` (e.g. sequential) ignore the call.
+        """
+        target = (
+            self.batch_sampler
+            if hasattr(self.batch_sampler, "set_epoch")
+            else self.sampler
+        )
+        set_epoch = getattr(target, "set_epoch", None)
+        if set_epoch is not None:
+            set_epoch(int(epoch))
+
+    def shard(self, shard_index: int, num_shards: int, *, mode: str = "strided") -> "DataLoader":
+        """A new loader serving one of ``num_shards`` disjoint sample shards.
+
+        The returned loader shares this loader's dataset, transform, collate
+        function and worker configuration, but samples through a
+        :class:`~repro.data.samplers.ShardSampler` over a copy of this
+        loader's sampler — so the N loaders produced by ``loader.shard(i, N)``
+        for ``i in range(N)`` together cover every sample exactly once per
+        epoch (provided each is pinned to the same epoch via
+        :meth:`set_epoch`, which the producer does automatically).
+        """
+        if self._custom_batch_sampler:
+            raise ValueError(
+                "cannot shard a DataLoader built around an explicit batch_sampler; "
+                "shard the underlying sampler and construct per-shard loaders directly"
+            )
+        # A shallow copy gives each shard its own iteration/epoch state while
+        # sharing the (potentially large) data source.
+        base = copy.copy(self.sampler)
+        return DataLoader(
+            self.dataset,
+            batch_size=self.batch_size,
+            sampler=ShardSampler(
+                base, num_shards=num_shards, shard_index=shard_index, mode=mode
+            ),
+            num_workers=self.num_workers,
+            transform=self.transform,
+            collate_fn=self.collate_fn,
+            prefetch_factor=self.prefetch_factor,
+            drop_last=self.drop_last,
+        )
 
     # -- iteration -------------------------------------------------------------------
     def __iter__(self) -> "LoaderIterator":

@@ -97,6 +97,82 @@ class SubsetSampler(Sampler):
         return len(self.indices)
 
 
+class ShardSampler(Sampler):
+    """One of ``num_shards`` disjoint shards of a base sampler's index stream.
+
+    Sharding happens by *position* in the base sampler's output, so it works
+    over any base sampler — sequential, random, subset — and the union of all
+    shards visits every index the base sampler yields exactly once:
+
+    * ``mode="strided"``: shard ``k`` keeps positions ``k, k+N, k+2N, ...``
+      (round-robin, the default — shards stay within one sample of each other
+      in length, which keeps a sharded producer group balanced);
+    * ``mode="contiguous"``: shard ``k`` keeps the ``k``-th block of
+      ``ceil(n/N)`` consecutive positions (CoorDL-style partitioning).
+
+    ``set_epoch`` forwards to the base sampler.  That is the property sharded
+    producer groups rely on: every member holds its own equal-seeded base
+    sampler, pins it to the same epoch, and therefore derives the same base
+    permutation — making the shards disjoint *per epoch* while successive
+    epochs still reshuffle.
+    """
+
+    MODES = ("strided", "contiguous")
+
+    def __init__(
+        self,
+        sampler: Sampler,
+        *,
+        num_shards: int,
+        shard_index: int,
+        mode: str = "strided",
+    ) -> None:
+        if num_shards < 1:
+            raise ValueError("num_shards must be at least 1")
+        if not (0 <= shard_index < num_shards):
+            raise ValueError(
+                f"shard_index must be in [0, {num_shards}), got {shard_index}"
+            )
+        if mode not in self.MODES:
+            raise ValueError(f"mode must be one of {self.MODES}, got {mode!r}")
+        self.sampler = sampler
+        self.num_shards = int(num_shards)
+        self.shard_index = int(shard_index)
+        self.mode = mode
+
+    def set_epoch(self, epoch: int) -> None:
+        """Pin the base sampler's permutation (no-op for unseeded samplers)."""
+        set_epoch = getattr(self.sampler, "set_epoch", None)
+        if set_epoch is not None:
+            set_epoch(int(epoch))
+
+    def _block_bounds(self, n: int) -> "tuple[int, int]":
+        per_shard = (n + self.num_shards - 1) // self.num_shards
+        start = self.shard_index * per_shard
+        return start, min(start + per_shard, n)
+
+    def __iter__(self) -> Iterator[int]:
+        if self.mode == "strided":
+            for position, index in enumerate(self.sampler):
+                if position % self.num_shards == self.shard_index:
+                    yield index
+        else:
+            start, stop = self._block_bounds(len(self.sampler))
+            for position, index in enumerate(self.sampler):
+                if position >= stop:
+                    break
+                if position >= start:
+                    yield index
+
+    def __len__(self) -> int:
+        n = len(self.sampler)
+        if self.mode == "strided":
+            # Positions p in [0, n) with p % num_shards == shard_index.
+            return max(0, (n - self.shard_index + self.num_shards - 1) // self.num_shards)
+        start, stop = self._block_bounds(n)
+        return max(0, stop - start)
+
+
 class BatchSampler(Sampler):
     """Group another sampler's indices into lists of ``batch_size``."""
 

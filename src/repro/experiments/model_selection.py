@@ -78,15 +78,14 @@ def run_figure13(fast: bool = False) -> ExperimentResult:
 
 def aggregate_series(run) -> List[Tuple[float, float]]:
     """Sum the per-workload throughput series into one aggregate series."""
-    merged = {}
-    for workload in run.workloads:
-        for time, value in workload.throughput_series:
-            bucket = round(time, 0)
-            merged.setdefault(bucket, 0.0)
-            merged[bucket] = max(merged[bucket], 0.0)
-    # A simple union of sampling points: for each bucket take the sum of each
-    # workload's most recent rate at or before that time.
-    times = sorted(merged)
+    # A simple union of sampling points (bucketed to whole seconds): for each
+    # bucket take the sum of each workload's most recent rate at or before it.
+    buckets = {
+        round(time, 0)
+        for workload in run.workloads
+        for time, _value in workload.throughput_series
+    }
+    times = sorted(buckets)
     series: List[Tuple[float, float]] = []
     for time in times:
         total = 0.0

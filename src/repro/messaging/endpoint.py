@@ -166,6 +166,7 @@ class Transport(ABC):
 
     def release(self, locator: str) -> None:
         """Stop serving ``locator`` (called by bind-side :meth:`Endpoint.release`)."""
+        return None  # deliberate no-op default: not every transport tracks binds
 
     def locators(self) -> List[str]:
         """Locators currently served (for introspection and error messages)."""

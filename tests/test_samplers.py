@@ -1,0 +1,227 @@
+"""Unit tests for :mod:`repro.data.samplers`.
+
+The samplers were previously only exercised incidentally through the loader
+tests; sharding makes their exact semantics (drop_last edges, seeding,
+set_epoch, disjoint shard arithmetic) load-bearing.
+"""
+
+import pytest
+
+from repro.data.samplers import (
+    BatchSampler,
+    RandomSampler,
+    SequentialSampler,
+    ShardSampler,
+    SubsetSampler,
+)
+
+
+class FakeSource:
+    def __init__(self, n):
+        self.n = n
+
+    def __len__(self):
+        return self.n
+
+
+# ---------------------------------------------------------------------------
+# BatchSampler drop_last edges
+# ---------------------------------------------------------------------------
+
+
+class TestBatchSampler:
+    def test_even_split(self):
+        batches = list(BatchSampler(SequentialSampler(FakeSource(8)), 4))
+        assert batches == [[0, 1, 2, 3], [4, 5, 6, 7]]
+
+    def test_trailing_partial_kept_by_default(self):
+        batches = list(BatchSampler(SequentialSampler(FakeSource(10)), 4))
+        assert batches[-1] == [8, 9]
+        assert len(batches) == 3
+
+    def test_trailing_partial_dropped_with_drop_last(self):
+        sampler = BatchSampler(SequentialSampler(FakeSource(10)), 4, drop_last=True)
+        batches = list(sampler)
+        assert batches == [[0, 1, 2, 3], [4, 5, 6, 7]]
+        assert len(sampler) == 2
+
+    def test_len_matches_iteration(self):
+        for n in (0, 1, 3, 4, 5, 8, 9):
+            for drop_last in (False, True):
+                sampler = BatchSampler(
+                    SequentialSampler(FakeSource(n)), 4, drop_last=drop_last
+                )
+                assert len(sampler) == len(list(sampler)), (n, drop_last)
+
+    def test_batch_smaller_than_batch_size(self):
+        batches = list(BatchSampler(SequentialSampler(FakeSource(3)), 8))
+        assert batches == [[0, 1, 2]]
+        assert list(BatchSampler(SequentialSampler(FakeSource(3)), 8, drop_last=True)) == []
+
+    def test_rejects_nonpositive_batch_size(self):
+        with pytest.raises(ValueError):
+            BatchSampler(SequentialSampler(FakeSource(4)), 0)
+
+
+# ---------------------------------------------------------------------------
+# SubsetSampler
+# ---------------------------------------------------------------------------
+
+
+class TestSubsetSampler:
+    def test_preserves_order_and_duplicates(self):
+        sampler = SubsetSampler([5, 1, 5, 3])
+        assert list(sampler) == [5, 1, 5, 3]
+        assert len(sampler) == 4
+
+    def test_coerces_to_int(self):
+        import numpy as np
+
+        sampler = SubsetSampler(np.array([2, 0], dtype=np.int64))
+        indices = list(sampler)
+        assert indices == [2, 0]
+        assert all(type(i) is int for i in sampler.indices)
+
+    def test_empty(self):
+        sampler = SubsetSampler([])
+        assert list(sampler) == []
+        assert len(sampler) == 0
+
+
+# ---------------------------------------------------------------------------
+# RandomSampler seeding
+# ---------------------------------------------------------------------------
+
+
+class TestRandomSamplerSeeding:
+    def test_same_seed_same_first_epoch(self):
+        a = RandomSampler(FakeSource(50), seed=9)
+        b = RandomSampler(FakeSource(50), seed=9)
+        assert list(a) == list(b)
+
+    def test_different_seeds_differ(self):
+        a = RandomSampler(FakeSource(50), seed=1)
+        b = RandomSampler(FakeSource(50), seed=2)
+        assert list(a) != list(b)
+
+    def test_reseed_each_epoch_advances(self):
+        sampler = RandomSampler(FakeSource(50), seed=4)
+        assert list(sampler) != list(sampler)
+
+    def test_no_reseed_repeats(self):
+        sampler = RandomSampler(FakeSource(50), seed=4, reseed_each_epoch=False)
+        assert list(sampler) == list(sampler)
+
+    def test_set_epoch_pins_permutation(self):
+        a = RandomSampler(FakeSource(50), seed=4)
+        b = RandomSampler(FakeSource(50), seed=4)
+        list(a)  # advance a past epoch 0
+        a.set_epoch(0)
+        b.set_epoch(0)
+        assert list(a) == list(b)
+
+    def test_epoch_is_permutation(self):
+        sampler = RandomSampler(FakeSource(31), seed=0)
+        assert sorted(sampler) == list(range(31))
+
+    def test_replacement_and_num_samples(self):
+        sampler = RandomSampler(
+            FakeSource(10), seed=0, replacement=True, num_samples=25
+        )
+        indices = list(sampler)
+        assert len(indices) == len(sampler) == 25
+        assert all(0 <= i < 10 for i in indices)
+
+
+# ---------------------------------------------------------------------------
+# ShardSampler
+# ---------------------------------------------------------------------------
+
+
+class TestShardSampler:
+    def _shards(self, base_factory, num_shards, mode, epoch=None):
+        shards = [
+            ShardSampler(
+                base_factory(), num_shards=num_shards, shard_index=k, mode=mode
+            )
+            for k in range(num_shards)
+        ]
+        if epoch is not None:
+            for shard in shards:
+                shard.set_epoch(epoch)
+        return shards
+
+    @pytest.mark.parametrize("mode", ["strided", "contiguous"])
+    @pytest.mark.parametrize("n,num_shards", [(24, 3), (23, 3), (5, 4), (3, 4), (10, 1)])
+    def test_disjoint_exact_cover(self, mode, n, num_shards):
+        shards = self._shards(
+            lambda: SequentialSampler(FakeSource(n)), num_shards, mode
+        )
+        per_shard = [list(s) for s in shards]
+        flat = [i for shard in per_shard for i in shard]
+        assert sorted(flat) == list(range(n))
+        for shard, indices in zip(shards, per_shard):
+            assert len(shard) == len(indices)
+
+    def test_strided_round_robin_positions(self):
+        shards = self._shards(lambda: SequentialSampler(FakeSource(7)), 3, "strided")
+        assert [list(s) for s in shards] == [[0, 3, 6], [1, 4], [2, 5]]
+
+    def test_contiguous_blocks(self):
+        shards = self._shards(lambda: SequentialSampler(FakeSource(7)), 3, "contiguous")
+        assert [list(s) for s in shards] == [[0, 1, 2], [3, 4, 5], [6]]
+
+    def test_shards_over_random_base_cover_with_same_epoch(self):
+        shards = self._shards(
+            lambda: RandomSampler(FakeSource(29), seed=3), 4, "strided", epoch=2
+        )
+        flat = [i for s in shards for i in s]
+        assert sorted(flat) == list(range(29))
+
+    def test_set_epoch_forwards_to_base(self):
+        base = RandomSampler(FakeSource(20), seed=1)
+        shard = ShardSampler(base, num_shards=2, shard_index=0)
+        shard.set_epoch(5)
+        assert base._epoch == 5
+
+    def test_set_epoch_ignored_for_unseeded_base(self):
+        shard = ShardSampler(
+            SequentialSampler(FakeSource(4)), num_shards=2, shard_index=0
+        )
+        shard.set_epoch(3)  # must not raise
+        assert list(shard) == [0, 2]
+
+    def test_same_epoch_same_partition_across_instances(self):
+        first = self._shards(
+            lambda: RandomSampler(FakeSource(40), seed=7), 2, "strided", epoch=1
+        )
+        second = self._shards(
+            lambda: RandomSampler(FakeSource(40), seed=7), 2, "strided", epoch=1
+        )
+        assert [list(s) for s in first] == [list(s) for s in second]
+
+    def test_different_epochs_reshuffle(self):
+        shard_a = ShardSampler(
+            RandomSampler(FakeSource(40), seed=7), num_shards=2, shard_index=0
+        )
+        shard_a.set_epoch(0)
+        epoch0 = list(shard_a)
+        shard_a.set_epoch(1)
+        assert list(shard_a) != epoch0
+
+    def test_validation(self):
+        base = SequentialSampler(FakeSource(4))
+        with pytest.raises(ValueError):
+            ShardSampler(base, num_shards=0, shard_index=0)
+        with pytest.raises(ValueError):
+            ShardSampler(base, num_shards=2, shard_index=2)
+        with pytest.raises(ValueError):
+            ShardSampler(base, num_shards=2, shard_index=-1)
+        with pytest.raises(ValueError):
+            ShardSampler(base, num_shards=2, shard_index=0, mode="zigzag")
+
+    def test_empty_trailing_contiguous_shard(self):
+        # 4 samples over 3 shards: ceil(4/3)=2 per block -> [0,1], [2,3], [].
+        shards = self._shards(lambda: SequentialSampler(FakeSource(4)), 3, "contiguous")
+        assert [list(s) for s in shards] == [[0, 1], [2, 3], []]
+        assert [len(s) for s in shards] == [2, 2, 0]
