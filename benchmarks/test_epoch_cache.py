@@ -90,7 +90,7 @@ def run_epochs(address, *, cache=None, epochs=EPOCHS):
 
 
 @pytest.mark.overlap_ratio
-def test_cached_epochs_at_least_2x_epoch0():
+def test_cached_epochs_at_least_2x_epoch0(bench_record):
     """Epoch >= 2 (the cached passes) must beat epoch 0 by >= 2x (criterion).
 
     Marked ``overlap_ratio``: wall-clock sensitive, so CI's main test step
@@ -101,6 +101,12 @@ def test_cached_epochs_at_least_2x_epoch0():
     epoch0 = epoch_times[0]
     cached = min(epoch_times[e] for e in range(1, EPOCHS))
     ratio = cached / epoch0
+    bench_record(
+        epoch0_batches_per_sec=epoch0,
+        cached_batches_per_sec=cached,
+        ratio=ratio,
+        per_epoch={str(e): epoch_times[e] for e in sorted(epoch_times)},
+    )
     rows = "\n".join(
         f"| {e} | {'loader' if e == 0 else 'cache'} | {epoch_times[e]:.1f} |"
         for e in sorted(epoch_times)

@@ -15,7 +15,7 @@ from repro.data.transforms import Compose, DecodeJpeg, Normalize, ToTensor
 from repro.tensor import BatchPayload, SharedMemoryPool, from_numpy
 
 
-def test_payload_pack_unpack_throughput(benchmark):
+def test_payload_pack_unpack_throughput(benchmark, bench_record):
     pool = SharedMemoryPool()
     images = pool.share_tensor(from_numpy(np.zeros((128, 3, 64, 64), dtype=np.float32)))
     labels = pool.share_tensor(from_numpy(np.zeros(128, dtype=np.int64)))
@@ -26,10 +26,12 @@ def test_payload_pack_unpack_throughput(benchmark):
 
     result = benchmark(pack_and_unpack)
     assert result["inputs"].shares_memory_with(images)
+    mean = benchmark.stats.stats.mean
+    bench_record(mean_seconds=mean, roundtrips_per_sec=1.0 / mean)
     pool.shutdown()
 
 
-def test_shared_loader_end_to_end_throughput(benchmark):
+def test_shared_loader_end_to_end_throughput(benchmark, bench_record):
     """One epoch through serve() + attach() on the inproc:// transport."""
 
     def one_epoch():
@@ -48,10 +50,12 @@ def test_shared_loader_end_to_end_throughput(benchmark):
         return batches
 
     batches = benchmark.pedantic(one_epoch, rounds=3, iterations=1)
+    mean = benchmark.stats.stats.mean
+    bench_record(mean_epoch_seconds=mean, batches_per_sec=batches / mean, transport="inproc")
     assert batches == 4
 
 
-def test_shared_loader_tcp_end_to_end_throughput(benchmark):
+def test_shared_loader_tcp_end_to_end_throughput(benchmark, bench_record):
     """The same epoch over the tcp:// transport, for comparison with the
     inproc:// number above: envelopes cross a real loopback socket through the
     broker while tensor bytes stay in posix shared memory.
@@ -79,4 +83,6 @@ def test_shared_loader_tcp_end_to_end_throughput(benchmark):
         return batches
 
     batches = benchmark.pedantic(one_epoch, rounds=3, iterations=1)
+    mean = benchmark.stats.stats.mean
+    bench_record(mean_epoch_seconds=mean, batches_per_sec=batches / mean, transport="tcp")
     assert batches == 4

@@ -98,7 +98,7 @@ def run_epoch(address, depth, *, direct_consumer=False):
 
 
 @pytest.mark.overlap_ratio
-def test_pipeline_overlap_speedup_inproc():
+def test_pipeline_overlap_speedup_inproc(bench_record):
     """Depth 4 must beat depth 1 by >= 1.3x on inproc:// (acceptance criterion).
 
     Marked ``overlap_ratio``: wall-clock sensitive, so CI's main test step
@@ -110,6 +110,11 @@ def test_pipeline_overlap_speedup_inproc():
         run_epoch(f"inproc://bench-overlap-d4-{attempt}", 4) for attempt in range(2)
     )
     ratio = overlapped / sequential
+    bench_record(
+        depth_1_batches_per_sec=sequential,
+        depth_4_batches_per_sec=overlapped,
+        ratio=ratio,
+    )
     print(
         f"\n| pipeline_depth | batches/sec |\n|---|---|\n"
         f"| 1 (sequential) | {sequential:.1f} |\n"
@@ -126,21 +131,23 @@ def test_pipeline_overlap_speedup_inproc():
         )
 
 
-def test_pipeline_overlap_tcp():
+def test_pipeline_overlap_tcp(bench_record):
     """The overlapped pipeline behind the tcp:// broker: same delivery
     guarantees (every batch once, pool drained); throughput is printed for
     comparison with the inproc:// numbers, not asserted (loopback jitter)."""
     throughput = run_epoch("tcp://127.0.0.1:0", 4, direct_consumer=True)
+    bench_record(batches_per_sec=throughput, depth=4, transport="tcp")
     print(f"\ntcp:// overlapped (depth 4): {throughput:.1f} batches/sec")
     assert throughput > 0
 
 
 @pytest.mark.parametrize("depth", [1, 4])
-def test_pipeline_end_to_end_throughput(benchmark, depth):
+def test_pipeline_end_to_end_throughput(benchmark, bench_record, depth):
     """pytest-benchmark timings per depth, for the bench_output.txt record."""
     batches = benchmark.pedantic(
         lambda: run_epoch(f"inproc://bench-overlap-b{depth}", depth),
         rounds=1,
         iterations=1,
     )
+    bench_record(batches_per_sec=batches, depth=depth)
     assert batches > 0

@@ -94,7 +94,7 @@ def run_epoch(address, shards, *, interleave="index"):
 
 
 @pytest.mark.overlap_ratio
-def test_shard_scaling_speedup_inproc():
+def test_shard_scaling_speedup_inproc(bench_record):
     """shards=4 must beat shards=1 by >= 1.5x on inproc:// (acceptance).
 
     Marked ``overlap_ratio``: wall-clock sensitive, so CI's main test step
@@ -106,6 +106,11 @@ def test_shard_scaling_speedup_inproc():
         run_epoch(f"inproc://bench-shards-4-{attempt}", 4) for attempt in range(2)
     )
     ratio = sharded / single
+    bench_record(
+        shards_1_batches_per_sec=single,
+        shards_4_batches_per_sec=sharded,
+        ratio=ratio,
+    )
     print(
         f"\n| shards | batches/sec |\n|---|---|\n"
         f"| 1 (single producer) | {single:.1f} |\n"
@@ -123,19 +128,21 @@ def test_shard_scaling_speedup_inproc():
 
 
 @pytest.mark.overlap_ratio
-def test_shard_scaling_any_interleave():
+def test_shard_scaling_any_interleave(bench_record):
     """Arrival-order delivery removes head-of-line blocking; it must be at
     least as live as the in-order merge (throughput printed, not ratio-
     asserted against it — both are dominated by the shard load path)."""
     throughput = run_epoch("inproc://bench-shards-any", 4, interleave="any")
+    bench_record(batches_per_sec=throughput, shards=4, interleave="any")
     print(f"\ninterleave='any' (4 shards): {throughput:.1f} batches/sec")
     assert throughput > 0
 
 
-def test_shard_scaling_tcp():
+def test_shard_scaling_tcp(bench_record):
     """The sharded group behind the tcp:// broker: same delivery guarantees
     (every batch once per consumer, pool drained); throughput printed, not
     asserted (loopback jitter)."""
     throughput = run_epoch("tcp://127.0.0.1:0", 4)
+    bench_record(batches_per_sec=throughput, shards=4, transport="tcp")
     print(f"\ntcp:// sharded (4 members): {throughput:.1f} batches/sec")
     assert throughput > 0

@@ -46,7 +46,13 @@ on:
 * :mod:`repro.experiments` — one driver per figure/table of the evaluation.
 """
 
-from repro.api import DEFAULT_ADDRESS, attach, serve
+# The broker *package* must be imported before the api's broker() function
+# takes over the `repro.broker` attribute: sys.modules keeps
+# `python -m repro.broker` / `from repro.broker import DatasetBroker` working
+# while `repro.broker(...)` calls the ergonomic constructor.
+import repro.broker as _broker_package  # noqa: F401
+from repro.api import DEFAULT_ADDRESS, attach, broker, serve
+from repro.broker.service import DatasetBroker
 from repro.cache import BatchCache, CachePolicy
 from repro.core import (
     ConsumerConfig,
@@ -67,6 +73,8 @@ __version__ = "1.2.0"
 __all__ = [
     "serve",
     "attach",
+    "broker",
+    "DatasetBroker",
     "DEFAULT_ADDRESS",
     "TensorProducer",
     "TensorConsumer",

@@ -25,11 +25,12 @@ runs in this process, falling back to a transport connect otherwise.
 
 from __future__ import annotations
 
+import os
 from typing import Optional
 
 from repro.core.config import ConsumerConfig, ProducerConfig
 from repro.core.group import ShardedLoaderSession, attach_address
-from repro.core.session import SharedLoaderSession
+from repro.core.session import SharedLoaderSession, live_sessions
 from repro.messaging.endpoint import is_uri, parse_address
 
 #: Where ``serve()`` puts a loader when the caller does not name an address.
@@ -157,4 +158,64 @@ def attach(
     session = SharedLoaderSession.at(address)
     if session is not None:
         return session.consumer(consumer_config)
+    resolved = _resolve_broker_dataset(address)
+    if resolved is not None:
+        plane, dataset = resolved
+        return plane.attach_dataset(dataset, consumer_config)
     return attach_address(address, consumer_config)
+
+
+def _resolve_broker_dataset(address: str):
+    """Match ``address`` against an in-process broker's dataset namespace.
+
+    A broker-mounted dataset registers its session under the full mount
+    address, so the exact-match lookup in :func:`attach` normally wins; this
+    prefix scan is what makes *lazily registered* (or evicted) datasets
+    attachable by address — the broker mounts them on the way through.  Only
+    objects exposing ``attach_dataset`` (brokers) participate, so plain
+    sessions whose address happens to prefix another's are never matched.
+    """
+    for base, candidate in live_sessions().items():
+        if not hasattr(candidate, "attach_dataset"):
+            continue
+        if address.startswith(f"{base}/"):
+            if candidate._owner_pid != os.getpid():  # inherited via fork(): stale
+                continue
+            return candidate, address[len(base) + 1 :]
+    return None
+
+
+def broker(
+    address: Optional[str] = None,
+    *,
+    idle_ttl: Optional[float] = None,
+    sweep_interval: float = 1.0,
+    default_quota_bytes: Optional[int] = None,
+):
+    """Open a multi-tenant :class:`~repro.broker.DatasetBroker` at ``address``.
+
+    One bound address (and one shared-memory pool) hosting many named
+    datasets::
+
+        plane = repro.broker("tcp://0.0.0.0:5555")
+        plane.publish("imagenet", imagenet_loader, quota_bytes=2 << 30)
+        plane.publish("audio", audio_loader, shards=2)
+
+        # any process:
+        for batch in repro.attach("tcp://host:5555/imagenet"):
+            ...
+
+    ``idle_ttl`` evicts datasets with no consumers for that many seconds
+    (they remount on the next attach); ``default_quota_bytes`` caps each
+    dataset's live shared-memory footprint unless its ``publish`` overrides
+    it.  When ``address`` is omitted the plane binds
+    :data:`repro.broker.DEFAULT_BROKER_ADDRESS`.
+    """
+    from repro.broker.service import DatasetBroker
+
+    return DatasetBroker(
+        address,
+        idle_ttl=idle_ttl,
+        sweep_interval=sweep_interval,
+        default_quota_bytes=default_quota_bytes,
+    )

@@ -1,0 +1,21 @@
+"""Multi-tenant dataset broker: many named datasets behind one address.
+
+See :mod:`repro.broker.service` for the full story.  Note the top-level
+package also exposes ``repro.broker(...)`` as a *function* (the ergonomic
+constructor in :mod:`repro.api`); ``from repro.broker import DatasetBroker``
+and ``python -m repro.broker`` resolve to this package either way.
+"""
+
+from repro.broker.service import (
+    DEFAULT_BROKER_ADDRESS,
+    RESERVED_DATASET_NAMES,
+    CatalogService,
+    DatasetBroker,
+)
+
+__all__ = [
+    "DatasetBroker",
+    "CatalogService",
+    "DEFAULT_BROKER_ADDRESS",
+    "RESERVED_DATASET_NAMES",
+]

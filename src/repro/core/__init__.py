@@ -35,6 +35,7 @@ from repro.core.consumer import TensorConsumer
 from repro.core.epoch_runner import EpochRunner, SkipEpoch
 from repro.core.flexible_batch import ConsumerSlicePlan, FlexibleBatcher, SliceSpec, plan_slices
 from repro.core.group import GroupConsumer, ShardedLoaderSession
+from repro.core.manifest import MANIFEST_SCHEMA_VERSION, SessionManifest
 from repro.core.pipeline import StagedItem, StagePipeline
 from repro.core.producer import TensorProducer
 from repro.core.rubberband import JoinDecision, RubberbandPolicy
@@ -61,4 +62,6 @@ __all__ = [
     "SharedLoaderSession",
     "ShardedLoaderSession",
     "GroupConsumer",
+    "SessionManifest",
+    "MANIFEST_SCHEMA_VERSION",
 ]

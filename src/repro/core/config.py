@@ -79,6 +79,13 @@ class ProducerConfig:
         expressed as ``"lru"``; pairing a budget with ``"all"`` or
         ``"none"`` is rejected rather than silently changing the policy's
         meaning.
+    max_inflight_batches:
+        Hard cap on batches published-but-unacknowledged at once (the
+        ledger's pending count).  Per-consumer ``buffer_size`` already bounds
+        each consumer's drift; this bounds the *producer's* total footprint
+        regardless of how many consumers attach — the broker sets it per
+        dataset so one popular tenant cannot monopolise the shared plane.
+        ``None`` (default) leaves only the per-consumer bound.
     """
 
     address: str = "tensorsocket"
@@ -98,10 +105,13 @@ class ProducerConfig:
     pipeline_workers: Optional[int] = None
     cache_policy: str = "none"
     cache_bytes: Optional[int] = None
+    max_inflight_batches: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.buffer_size < 1:
             raise ValueError("buffer_size must be at least 1")
+        if self.max_inflight_batches is not None and self.max_inflight_batches < 1:
+            raise ValueError("max_inflight_batches must be at least 1 when given")
         if not (0.0 <= self.rubberband_fraction <= 1.0):
             raise ValueError("rubberband_fraction must be within [0, 1]")
         if self.epochs is not None and self.epochs < 1:

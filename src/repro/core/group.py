@@ -44,6 +44,7 @@ from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.core.config import ConsumerConfig, ProducerConfig
 from repro.core.consumer import TensorConsumer
+from repro.core.manifest import SessionManifest
 from repro.core.producer import TensorProducer
 from repro.core.session import DescribeService, register_session, unregister_session
 from repro.messaging import endpoint as endpoints
@@ -54,6 +55,7 @@ __all__ = [
     "GroupConsumer",
     "ShardedLoaderSession",
     "attach_address",
+    "catalog_resolve",
     "describe_address",
     "member_address",
 ]
@@ -118,6 +120,42 @@ def describe_address(hub, address: str, timeout: float = GROUP_DISCOVERY_TIMEOUT
         return None
     finally:
         req.close()
+
+
+def catalog_resolve(
+    hub,
+    base_address: str,
+    dataset: str,
+    *,
+    consumer_id: Optional[str] = None,
+    timeout: float = GROUP_DISCOVERY_TIMEOUT,
+):
+    """Resolve ``dataset`` through a broker's ``{base_address}/catalog`` channel.
+
+    Sends a ``subscribe`` request — which also marks the dataset active for
+    idle-eviction purposes and spins up lazily registered datasets — and
+    returns the manifest dict, or ``None`` when no catalog answers (the
+    address is not served by a :class:`~repro.broker.DatasetBroker`).
+    """
+    from repro.messaging.sockets import ReqSocket
+
+    try:
+        req = ReqSocket(hub, f"{base_address}/catalog")
+    except Exception:
+        return None
+    try:
+        reply = req.request(
+            {"op": "subscribe", "dataset": dataset, "consumer_id": consumer_id},
+            timeout=timeout,
+        )
+    except MessagingError:
+        return None
+    finally:
+        req.close()
+    if not isinstance(reply, dict) or not reply.get("ok"):
+        return None
+    manifest = reply.get("manifest")
+    return manifest if isinstance(manifest, dict) else None
 
 
 class GroupConsumer:
@@ -380,6 +418,10 @@ class ShardedLoaderSession:
         shards: int,
         producer_config: Optional[ProducerConfig] = None,
         shard_mode: str = "strided",
+        hub=None,
+        pool=None,
+        embedded: bool = False,
+        dataset: Optional[str] = None,
     ) -> None:
         if shards < 2:
             raise ValueError(
@@ -391,13 +433,28 @@ class ShardedLoaderSession:
                 f"{type(data_loader).__name__} cannot be sharded: it has no .shard() "
                 f"(wrap the dataset in repro.data.DataLoader to serve it sharded)"
             )
+        if embedded and (hub is None or pool is None):
+            raise ValueError(
+                "an embedded sharded session rides a shared transport: pass "
+                "both hub= and pool= (the broker owns the bind)"
+            )
         config = producer_config or ProducerConfig()
         self.shards = int(shards)
         self.shard_mode = shard_mode
-        self._endpoint = endpoints.bind(address)
-        self.address = self._endpoint.address
-        self.hub = self._endpoint.hub
-        self.pool = self._endpoint.pool
+        self.dataset = dataset
+        self._embedded = embedded
+        if embedded:
+            # The broker bound the base address; member channels hang off the
+            # mount path, so no further endpoint registration is needed.
+            self._endpoint = None
+            self.address = address
+            self.hub = hub
+            self.pool = pool
+        else:
+            self._endpoint = endpoints.bind(address)
+            self.address = self._endpoint.address
+            self.hub = self._endpoint.hub
+            self.pool = self._endpoint.pool
         self.members: List[TensorProducer] = []
         self._describe: Optional[DescribeService] = None
         try:
@@ -431,14 +488,17 @@ class ShardedLoaderSession:
                         shard_loader, hub=self.hub, pool=self.pool, config=member_config
                     )
                 )
-            self._describe = DescribeService(self.hub, self.address, self.manifest())
+            self._describe = DescribeService(
+                self.hub, self.address, self.manifest().to_dict()
+            )
         except BaseException:
             for member in self.members:
                 try:
                     member.join(timeout=0.1)
                 except Exception:
                     pass
-            self._endpoint.release()
+            if self._endpoint is not None:
+                self._endpoint.release()
             raise
         # Soft epoch tracking: members report boundary crossings; surfaced in
         # stats() so drift between shards is observable.
@@ -460,16 +520,18 @@ class ShardedLoaderSession:
 
         return note
 
-    def manifest(self) -> Dict[str, object]:
+    def manifest(self) -> SessionManifest:
         """What remote attachers need to construct a :class:`GroupConsumer`."""
-        return {
-            "address": self.address,
-            "shards": self.shards,
-            "shard_mode": self.shard_mode,
-            "member_addresses": [
+        return SessionManifest(
+            address=self.address,
+            kind="dataset" if self.dataset is not None else "group",
+            shards=self.shards,
+            shard_mode=self.shard_mode,
+            member_addresses=tuple(
                 member_address(self.address, rank) for rank in range(self.shards)
-            ],
-        }
+            ),
+            dataset=self.dataset,
+        )
 
     # ------------------------------------------------------------------ lifecycle
     def start(self) -> "ShardedLoaderSession":
@@ -623,9 +685,13 @@ class ShardedLoaderSession:
             if self._describe is not None:
                 self._describe.stop()
             try:
-                self.pool.shutdown()
+                if not self._embedded:
+                    # Embedded groups share the broker's pool: their bytes
+                    # drained through the member joins above.
+                    self.pool.shutdown()
             finally:
-                self._endpoint.release()
+                if self._endpoint is not None:
+                    self._endpoint.release()
         self.raise_producer_error()
         if close_error is not None:
             raise close_error
@@ -648,17 +714,35 @@ def attach_address(address: str, config: ConsumerConfig):
     """Attach to ``address`` without an in-process session (the remote path).
 
     Resolves the address through the transport registry, asks the serving
-    side's describe responder how it is shaped, and returns a
-    :class:`GroupConsumer` for sharded addresses or a plain
-    :class:`~repro.core.consumer.TensorConsumer` otherwise (including when
-    nothing answers the describe probe — a bare producer served by address).
+    side how it is shaped, and returns a :class:`GroupConsumer` for sharded
+    addresses or a plain :class:`~repro.core.consumer.TensorConsumer`
+    otherwise (including when nothing answers any probe — a bare producer
+    served by address).  An address carrying a dataset path
+    (``tcp://host:port/imagenet``) is resolved through the broker's catalog
+    channel first — which also lazily mounts registered-but-unmounted
+    datasets — falling back to the mount's own describe responder.
     """
     endpoint = endpoints.connect(address)
-    try:
-        manifest = describe_address(endpoint.hub, address)
-    except Exception:
-        manifest = None
-    shards = int(manifest.get("shards", 1)) if manifest else 1
+    base, dataset = endpoints.split_dataset_address(address)
+    manifest = None
+    if dataset is not None:
+        try:
+            manifest = catalog_resolve(
+                endpoint.hub, base, dataset, consumer_id=config.consumer_id
+            )
+        except Exception:
+            manifest = None
+    if manifest is None:
+        try:
+            manifest = describe_address(endpoint.hub, address)
+        except Exception:
+            manifest = None
+    if manifest is not None:
+        try:
+            manifest = SessionManifest.from_dict(manifest)
+        except ValueError:
+            manifest = None
+    shards = manifest.shards if manifest else 1
     if shards <= 1:
         # Reuse the live connection instead of tearing it down and letting
         # the consumer redial (for tcp:// that is a second broker handshake

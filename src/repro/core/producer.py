@@ -369,6 +369,13 @@ class TensorProducer:
                 + [state.buffer_size for state in self._consumers.values() if state.active]
             )
             capacity_ok = self.ledger.all_have_capacity(active, buffer_limit)
+            inflight_cap = self.config.max_inflight_batches
+            if inflight_cap is not None and self.ledger.pending_batches >= inflight_cap:
+                # Total-footprint bound: even with room in every consumer's
+                # buffer, the producer holds publishing until acks drain the
+                # ledger below the cap (keeps one dataset's shared-memory use
+                # bounded when it shares a pool with other tenants).
+                capacity_ok = False
             if capacity_ok and not self.rubberband.halting:
                 return
             if time.monotonic() > deadline:

@@ -32,8 +32,8 @@ from typing import Dict, List, Optional
 
 from repro.core.config import ConsumerConfig, ProducerConfig
 from repro.core.consumer import TensorConsumer
+from repro.core.manifest import SessionManifest
 from repro.core.producer import TensorProducer
-from repro.messaging import endpoint as endpoints
 from repro.messaging.transport import InProcHub
 from repro.tensor.shared_memory import SharedMemoryPool
 
@@ -56,6 +56,12 @@ def unregister_session(address: str, session) -> None:
     with _SESSIONS_LOCK:
         if _SESSIONS.get(address) is session:
             del _SESSIONS[address]
+
+
+def live_sessions() -> Dict[str, object]:
+    """A snapshot of the directory (brokers use it for prefix resolution)."""
+    with _SESSIONS_LOCK:
+        return dict(_SESSIONS)
 
 
 class DescribeService:
@@ -109,7 +115,14 @@ class SharedLoaderSession:
         producer_config: Optional[ProducerConfig] = None,
         hub: Optional[InProcHub] = None,
         pool: Optional[SharedMemoryPool] = None,
+        embedded: bool = False,
+        dataset: Optional[str] = None,
     ) -> None:
+        if embedded and (hub is None or address is None):
+            raise ValueError(
+                "an embedded session rides a shared transport: pass both hub= "
+                "and address= (the broker owns the bind)"
+            )
         self.producer = TensorProducer(
             data_loader,
             address=address,
@@ -120,26 +133,39 @@ class SharedLoaderSession:
         self.hub = self.producer.hub
         self.pool = self.producer.pool
         self.address = self.producer.address
+        self.dataset = dataset
+        self._embedded = embedded
         self._thread: Optional[threading.Thread] = None
         self._consumers: List[TensorConsumer] = []
         self._producer_error: Optional[BaseException] = None
         self._shutdown = False
         self._owner_pid = os.getpid()
         self._describe: Optional[DescribeService] = None
-        if self.producer.owns_address:
+        if self.producer.owns_address or embedded:
             # The producer's endpoint bind guarantees the address was free, so
             # this cannot clobber another live session.  Sessions wired from
             # an explicit hub= never bound the address and stay out of the
-            # directory even when their config names a URI.
+            # directory even when their config names a URI — unless they are
+            # embedded into a broker's transport, whose mount path guarantees
+            # uniqueness under the broker's base address instead.
             register_session(self.address, self)
             # Remote attachers (who cannot see the directory) ask this
             # responder how the address is shaped; one shard = plain consumer.
             try:
                 self._describe = DescribeService(
-                    self.hub, self.address, {"shards": 1, "address": self.address}
+                    self.hub, self.address, self.manifest().to_dict()
                 )
             except Exception:
                 self._describe = None  # a hub without bind support; discovery off
+
+    def manifest(self) -> SessionManifest:
+        """This session's shape in the unified describe/catalog schema."""
+        return SessionManifest(
+            address=self.address,
+            kind="dataset" if self.dataset is not None else "session",
+            shards=1,
+            dataset=self.dataset,
+        )
 
     # -- discovery ---------------------------------------------------------------------
     @classmethod
@@ -248,7 +274,11 @@ class SharedLoaderSession:
             if self._describe is not None:
                 self._describe.stop()
             try:
-                self.pool.shutdown()
+                if not self._embedded:
+                    # An embedded session's pool is the broker's shared pool
+                    # (scoped to this tenant): its bytes drain through normal
+                    # releases above, and other tenants' segments live on.
+                    self.pool.shutdown()
             finally:
                 # Normally released by the producer thread's join(); covers
                 # producers that errored out before reaching it.

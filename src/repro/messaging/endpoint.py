@@ -226,10 +226,17 @@ class InProcTransport(Transport):
             return sorted(self._served)
 
 
-def _split_host_port(address: str) -> Tuple[str, int]:
-    """Split a ``tcp://host:port`` locator; raises :class:`AddressError`."""
+def _split_host_port(address: str) -> Tuple[str, int, str]:
+    """Split a ``tcp://host:port[/path]`` locator; raises :class:`AddressError`.
+
+    Returns ``(host, port, path)`` with ``path`` empty when absent.  The path
+    names a dataset behind a broker (``tcp://host:port/imagenet``): connects
+    dial the broker at host:port and route by path, binds claim the bare
+    authority.
+    """
     _, locator = parse_address(address)
-    host, sep, port_text = locator.rpartition(":")
+    netloc, _, path = locator.partition("/")
+    host, sep, port_text = netloc.rpartition(":")
     if not sep or not host:
         raise AddressError(
             f"address {address!r} needs a 'tcp://<host>:<port>' locator "
@@ -241,7 +248,31 @@ def _split_host_port(address: str) -> Tuple[str, int]:
         raise AddressError(f"invalid port {port_text!r} in address {address!r}") from exc
     if not (0 <= port <= 65535):
         raise AddressError(f"port {port} out of range in address {address!r}")
-    return host, port
+    return host, port, path
+
+
+def split_dataset_address(address: str) -> Tuple[str, Optional[str]]:
+    """Split an address into ``(base, dataset)`` when it names a broker path.
+
+    ``tcp://host:port/imagenet`` → ``("tcp://host:port", "imagenet")``; an
+    address with no path — or a scheme whose locators have no authority/path
+    structure (``inproc://`` locators may legitimately contain slashes) —
+    returns ``(address, None)``.  Non-tcp brokers are resolved through the
+    in-process session directory instead, where no splitting is needed.
+    """
+    try:
+        scheme, _ = parse_address(address)
+    except AddressError:
+        return address, None
+    if scheme != "tcp":
+        return address, None
+    try:
+        host, port, path = _split_host_port(address)
+    except AddressError:
+        return address, None
+    if not path:
+        return address, None
+    return f"tcp://{host}:{port}", path
 
 
 class TcpTransport(Transport):
@@ -268,7 +299,13 @@ class TcpTransport(Transport):
 
         if resource is not None:
             raise AddressError("tcp:// endpoints create their own broker and pool")
-        host, port = _split_host_port(address)
+        host, port, path = _split_host_port(address)
+        if path:
+            raise AddressError(
+                f"cannot bind {address!r}: a tcp:// bind claims the bare "
+                f"'tcp://<host>:<port>' authority; dataset paths are mounted "
+                f"behind a DatasetBroker (repro.broker)"
+            )
         try:
             tcp_hub = TcpHub(host, port)
         except OSError as exc:
@@ -287,7 +324,7 @@ class TcpTransport(Transport):
     def connect(self, address: str) -> Endpoint:
         from repro.tensor.shared_memory import SharedMemoryPool
 
-        host, port = _split_host_port(address)
+        host, port, _path = _split_host_port(address)
         if port == 0:
             raise AddressError(f"cannot connect to port 0 ({address!r}); use the "
                                f"resolved address the serving side reports")

@@ -27,11 +27,12 @@ from repro.tensor.dtype import DType, float32, float16, int64, int32, uint8
 from repro.tensor.errors import (
     DeviceMismatchError,
     PayloadError,
+    QuotaExceededError,
     SharedMemoryError,
     TensorError,
 )
 from repro.tensor.payload import BatchPayload, TensorPayload
-from repro.tensor.shared_memory import SharedMemoryPool, SharedSegment
+from repro.tensor.shared_memory import SharedMemoryPool, SharedSegment, TenantPool
 from repro.tensor.tensor import Tensor, cat, empty, from_numpy, full, stack, zeros
 
 __all__ = [
@@ -53,10 +54,12 @@ __all__ = [
     "cat",
     "SharedMemoryPool",
     "SharedSegment",
+    "TenantPool",
     "TensorPayload",
     "BatchPayload",
     "TensorError",
     "DeviceMismatchError",
     "SharedMemoryError",
+    "QuotaExceededError",
     "PayloadError",
 ]

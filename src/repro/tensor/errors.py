@@ -13,5 +13,9 @@ class SharedMemoryError(TensorError):
     """Raised when a shared-memory segment cannot be created, mapped or freed."""
 
 
+class QuotaExceededError(SharedMemoryError):
+    """Raised when an allocation would push a tenant past its byte quota."""
+
+
 class PayloadError(TensorError):
     """Raised when a :class:`TensorPayload` cannot be packed or unpacked."""

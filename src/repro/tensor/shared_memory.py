@@ -33,7 +33,7 @@ import numpy as np
 
 from repro.tensor.dtype import DTypeLike, as_dtype
 from repro.tensor.device import DeviceLike
-from repro.tensor.errors import SharedMemoryError
+from repro.tensor.errors import QuotaExceededError, SharedMemoryError
 from repro.tensor.tensor import Tensor
 
 try:  # pragma: no cover - availability depends on the platform
@@ -246,6 +246,12 @@ class SharedMemoryPool:
         self._attach_by_name = attach_by_name
         self._attach_cache_limit = max(1, int(attach_cache_limit))
         self._attached: "OrderedDict[str, SharedSegment]" = OrderedDict()
+        # Multi-tenant accounting (the broker's per-dataset quotas): segments
+        # allocated through a tenant view are tagged with the tenant name and
+        # counted against its quota until freed.  A tenant without a quota
+        # entry is unlimited; its usage is still tracked.
+        self._tenant_quotas: Dict[str, Optional[int]] = {}
+        self._tenant_bytes: Dict[str, int] = {}
 
     # -- allocation -------------------------------------------------------------
     def allocate_tensor(
@@ -255,16 +261,48 @@ class SharedMemoryPool:
         device: DeviceLike = "cpu",
         *,
         initial_refcount: int = 1,
+        tenant: Optional[str] = None,
     ) -> Tensor:
-        """Allocate an uninitialized tensor inside a fresh shared segment."""
+        """Allocate an uninitialized tensor inside a fresh shared segment.
+
+        ``tenant`` charges the segment to a named tenant's byte account (see
+        :meth:`set_tenant_quota` / :class:`TenantPool`); the quota check runs
+        *before* the segment is created, so a rejected allocation never
+        touches ``/dev/shm``.
+        """
         dt = as_dtype(dtype)
         count = int(np.prod(shape)) if shape else 1
         nbytes = max(count * dt.itemsize, 1)
+        if tenant is not None:
+            with self._lock:
+                quota = self._tenant_quotas.get(tenant)
+                used = self._tenant_bytes.get(tenant, 0)
+                if quota is not None and used + nbytes > quota:
+                    raise QuotaExceededError(
+                        f"tenant {tenant!r} shared-memory quota exceeded: "
+                        f"{used} + {nbytes} bytes > quota {quota}"
+                    )
         name = _new_segment_name(self._prefix)
         segment = SharedSegment(name, nbytes, create=True, backend=self._backend)
         array = segment.ndarray(tuple(shape), dt, offset=0)
         with self._lock:
-            self._records[name] = _SegmentRecord(segment, int(initial_refcount), nbytes)
+            if tenant is not None:
+                # Re-check under the same lock that commits the record: two
+                # tenant allocations racing past the pre-check above must not
+                # overshoot the quota together.
+                quota = self._tenant_quotas.get(tenant)
+                used = self._tenant_bytes.get(tenant, 0)
+                if quota is not None and used + nbytes > quota:
+                    segment.unlink()
+                    raise QuotaExceededError(
+                        f"tenant {tenant!r} shared-memory quota exceeded: "
+                        f"{used} + {nbytes} bytes > quota {quota}"
+                    )
+                self._tenant_bytes[tenant] = used + nbytes
+            record = _SegmentRecord(segment, int(initial_refcount), nbytes)
+            if tenant is not None:
+                record.metadata["tenant"] = tenant
+            self._records[name] = record
             self._bytes_in_flight += nbytes
             self._total_allocated += nbytes
             self._note_peak_locked()
@@ -276,10 +314,16 @@ class SharedMemoryPool:
         whole epochs."""
         self._peak_bytes = max(self._peak_bytes, self._bytes_in_flight + self._cached_bytes)
 
-    def share_tensor(self, tensor: Tensor, *, initial_refcount: int = 1) -> Tensor:
+    def share_tensor(
+        self, tensor: Tensor, *, initial_refcount: int = 1, tenant: Optional[str] = None
+    ) -> Tensor:
         """Copy an ordinary tensor into the pool so it can be handed off zero-copy."""
         shared = self.allocate_tensor(
-            tensor.shape, tensor.dtype, tensor.device, initial_refcount=initial_refcount
+            tensor.shape,
+            tensor.dtype,
+            tensor.device,
+            initial_refcount=initial_refcount,
+            tenant=tenant,
         )
         shared.numpy()[...] = tensor.numpy()
         return shared
@@ -354,6 +398,10 @@ class SharedMemoryPool:
             self._cached_bytes -= record.nbytes
         else:
             self._bytes_in_flight -= record.nbytes
+        tenant = record.metadata.get("tenant")
+        if tenant is not None:
+            remaining = self._tenant_bytes.get(tenant, 0) - record.nbytes
+            self._tenant_bytes[tenant] = max(0, remaining)
         self._total_released += record.nbytes
         record.segment.unlink()
 
@@ -514,6 +562,40 @@ class SharedMemoryPool:
         with self._lock:
             return len(self._records)
 
+    # -- tenants -------------------------------------------------------------------
+    def set_tenant_quota(self, tenant: str, quota_bytes: Optional[int]) -> None:
+        """Register (or resize) a tenant's byte quota; ``None`` is unlimited."""
+        if quota_bytes is not None and quota_bytes <= 0:
+            raise ValueError("quota_bytes must be positive when given")
+        with self._lock:
+            self._tenant_quotas[tenant] = quota_bytes
+            self._tenant_bytes.setdefault(tenant, 0)
+
+    def drop_tenant(self, tenant: str) -> int:
+        """Forget a tenant's quota entry; returns the bytes it still held.
+
+        Live segments stay tagged and keep decrementing the (now orphaned)
+        usage counter as they free, so a non-zero return flags an eviction
+        that ran before the tenant's session finished draining.
+        """
+        with self._lock:
+            self._tenant_quotas.pop(tenant, None)
+            return self._tenant_bytes.pop(tenant, 0)
+
+    def tenant_bytes(self, tenant: str) -> int:
+        """Live bytes currently charged to ``tenant`` (in-flight + cached)."""
+        with self._lock:
+            return self._tenant_bytes.get(tenant, 0)
+
+    def tenant_quota(self, tenant: str) -> Optional[int]:
+        with self._lock:
+            return self._tenant_quotas.get(tenant)
+
+    def tenant_view(self, tenant: str, quota_bytes: Optional[int] = None) -> "TenantPool":
+        """A quota-scoped view of this pool charging allocations to ``tenant``."""
+        self.set_tenant_quota(tenant, quota_bytes)
+        return TenantPool(self, tenant)
+
     def shutdown(self) -> None:
         """Free every live segment regardless of refcount (end-of-run cleanup)."""
         with self._lock:
@@ -528,10 +610,78 @@ class SharedMemoryPool:
                 except (BufferError, ValueError):
                     pass
             self._attached.clear()
+            for tenant in self._tenant_bytes:
+                self._tenant_bytes[tenant] = 0
 
     def __repr__(self) -> str:
         return (
             f"SharedMemoryPool(backend={self._backend!r}, live={self.live_segments}, "
             f"in_flight={self._bytes_in_flight}B, cached={self._cached_bytes}B, "
             f"peak={self._peak_bytes}B)"
+        )
+
+
+class TenantPool:
+    """One tenant's quota-scoped view of a shared :class:`SharedMemoryPool`.
+
+    The broker hands each mounted dataset's producers a ``TenantPool`` instead
+    of the shared pool itself: allocations (the only operations that consume
+    memory) are charged to the tenant and rejected with
+    :class:`~repro.tensor.errors.QuotaExceededError` past its quota, while
+    every other operation — refcounting, cache holds, attach, accounting
+    reads — passes straight through to the shared pool, so payloads staged by
+    one tenant stay reachable to every consumer of the same transport.
+
+    ``shutdown()`` is deliberately a no-op: the shared pool outlives any one
+    tenant, and a tenant's bytes drain through ordinary releases when its
+    session shuts down (the broker asserts they reach zero).
+    """
+
+    def __init__(self, pool: SharedMemoryPool, tenant: str) -> None:
+        self._pool = pool
+        self.tenant = tenant
+
+    def allocate_tensor(
+        self,
+        shape: Tuple[int, ...],
+        dtype: DTypeLike = "float32",
+        device: DeviceLike = "cpu",
+        *,
+        initial_refcount: int = 1,
+    ) -> Tensor:
+        return self._pool.allocate_tensor(
+            shape,
+            dtype,
+            device,
+            initial_refcount=initial_refcount,
+            tenant=self.tenant,
+        )
+
+    def share_tensor(self, tensor: Tensor, *, initial_refcount: int = 1) -> Tensor:
+        return self._pool.share_tensor(
+            tensor, initial_refcount=initial_refcount, tenant=self.tenant
+        )
+
+    @property
+    def bytes_used(self) -> int:
+        """Live bytes charged to this tenant."""
+        return self._pool.tenant_bytes(self.tenant)
+
+    @property
+    def quota_bytes(self) -> Optional[int]:
+        return self._pool.tenant_quota(self.tenant)
+
+    def shutdown(self) -> None:
+        """No-op: only the transport owner may shut the shared pool down."""
+
+    def __getattr__(self, name: str):
+        # Everything not overridden (retain/release/cache holds/attach/
+        # accounting properties) acts on the shared pool.
+        return getattr(self._pool, name)
+
+    def __repr__(self) -> str:
+        quota = self.quota_bytes
+        return (
+            f"TenantPool(tenant={self.tenant!r}, used={self.bytes_used}B, "
+            f"quota={'unlimited' if quota is None else f'{quota}B'})"
         )
