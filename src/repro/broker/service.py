@@ -137,7 +137,7 @@ class CatalogService:
         )
         self._stop = threading.Event()
         self._thread = threading.Thread(
-            target=self._serve, daemon=True, name="broker-catalog"
+            target=self._serve, daemon=True, name="repro-broker-catalog"
         )
         self._thread.start()
 
@@ -248,7 +248,7 @@ class DatasetBroker:
             self._catalog = CatalogService(self)
             if idle_ttl is not None:
                 self._janitor = threading.Thread(
-                    target=self._sweep_idle, daemon=True, name="broker-janitor"
+                    target=self._sweep_idle, daemon=True, name="repro-broker-janitor"
                 )
                 self._janitor.start()
         except BaseException:

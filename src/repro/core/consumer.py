@@ -12,11 +12,22 @@ payloads over the PUB/SUB data channel, rebuilds tensors zero-copy (step 4 in
 Figure 4), buffers up to N pending batches, acknowledges each batch once the
 training loop moves past it (step 6), emits heartbeats, and departs cleanly
 with BYE.
+
+Message reception rides the per-process :class:`~repro.messaging.reactor.
+ConsumerReactor` rather than a private blocking receive loop: the reactor
+fans the data channel out to this consumer's **mailbox** (a bounded queue)
+and runs its heartbeat/registration-retry timer, so attaching K consumers
+costs O(1) threads, not O(K).  The reactor thread does only eager signal
+work (the registration REPLY, SHUTDOWN) — everything that affects epoch
+accounting, admission, dedupe, and acknowledgement happens on the training
+thread, in arrival order, exactly as the old pump did.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import queue
+import threading
 import time
 import uuid
 from typing import Dict, Iterator, Optional, Tuple
@@ -27,7 +38,8 @@ from repro.messaging import endpoint as endpoints
 from repro.messaging.errors import DuplicateConsumerError, MessagingError, TimeoutError_
 from repro.messaging.heartbeat import HeartbeatSender
 from repro.messaging.message import Message, MessageKind
-from repro.messaging.sockets import PushSocket, SubSocket
+from repro.messaging.reactor import get_reactor
+from repro.messaging.sockets import PushSocket
 from repro.messaging.transport import InProcHub
 from repro.tensor.payload import BatchPayload
 from repro.tensor.shared_memory import SharedMemoryPool
@@ -36,6 +48,17 @@ from repro.tensor.tensor import Tensor
 
 class _ShutdownReceived(Exception):
     """Internal: the producer announced shutdown."""
+
+
+#: Sentinels returned by the non-blocking :meth:`TensorConsumer._try_take`
+#: step; the group merge drives members through it without feeder threads.
+_WAIT = object()
+_DONE = object()
+
+#: Mailbox bound.  Flow control (the producer's outstanding-ack ledger) keeps
+#: live consumers far below this; it only trips when a training thread has
+#: wedged, in which case dropping beats unbounded growth.
+_MAILBOX_LIMIT = 4096
 
 
 class TensorConsumer:
@@ -71,24 +94,6 @@ class TensorConsumer:
         #: from this consumer apart from another consumer reusing its id.
         self._token = uuid.uuid4().hex
 
-        try:
-            self._sub = SubSocket(
-                hub,
-                self.config.data_address,
-                topics=("broadcast", f"consumer/{self.consumer_id}"),
-                identity=self.consumer_id,
-            )
-            self._push = PushSocket(hub, self.config.control_address, identity=self.consumer_id)
-            self._heartbeat = HeartbeatSender(
-                self._push, self.consumer_id, interval=self.config.heartbeat_interval
-            )
-        except BaseException:
-            # A socket failing mid-construction (e.g. the broker died after
-            # the endpoint connected) must not leak the endpoint's client
-            # connections, reader threads, or attach pool.
-            if self._endpoint is not None:
-                self._endpoint.release()
-            raise
         self._buffer = BatchBuffer(self.config.buffer_size)
         self._admitted_epoch: Optional[int] = None
         # Group sessions raise the effective start epoch above the admitted
@@ -98,7 +103,25 @@ class TensorConsumer:
         self._epochs_ended = 0
         self._closed = False
         self._shutdown = False
+        # Iteration stops only when the training thread *processes* the
+        # SHUTDOWN in arrival order; the eager ``_shutdown`` flag above is a
+        # signal for shutdown_received / wait_until_registered, and must not
+        # cut off batches that arrived before the SHUTDOWN.
+        self._shutdown_processed = False
         self._registered = False
+        # Reactor-thread view of the registration handshake.  The admitted
+        # epoch used for *filtering* stays trainer-side (``_admitted_epoch``,
+        # set when the REPLY is processed in order); this eager copy only
+        # feeds wait_until_registered so it need not drain the mailbox.
+        self._reactor_admitted: Optional[int] = None
+        self._registration_error: Optional[BaseException] = None
+        self._registered_event = threading.Event()
+        # Inbound messages, reactor -> training thread, in arrival order.
+        self._mailbox: "queue.Queue[Message]" = queue.Queue(maxsize=_MAILBOX_LIMIT)
+        self.mailbox_overflows = 0
+        # Callbacks poked on every mailbox put (the group merge parks on one
+        # condition across all members instead of one thread per member).
+        self._wakeups: list = []
         # Delivery dedupe: a consumer that subscribed before its HELLO was
         # processed can receive an early-epoch batch twice — once on
         # ``broadcast`` and again via the rubberband replay on its personal
@@ -121,6 +144,37 @@ class TensorConsumer:
         self.samples_consumed = 0
         self.duplicates_dropped = 0
 
+        self._reactor = get_reactor()
+        self._subscription = None
+        self._timer = None
+        try:
+            self._subscription = self._reactor.subscribe(
+                hub,
+                self.config.data_address,
+                ("broadcast", f"consumer/{self.consumer_id}"),
+                self._on_reactor_message,
+            )
+            self._push = PushSocket(hub, self.config.control_address, identity=self.consumer_id)
+            self._heartbeat = HeartbeatSender(
+                self._push, self.consumer_id, interval=self.config.heartbeat_interval
+            )
+            # Heartbeats and registration retries run from the reactor's
+            # timer wheel — no per-consumer heartbeat thread.
+            self._timer = self._reactor.every(
+                self.config.heartbeat_interval, self._on_reactor_timer
+            )
+        except BaseException:
+            # A socket failing mid-construction (e.g. the broker died after
+            # the endpoint connected) must not leak the endpoint's client
+            # connections, subscriptions, or attach pool.
+            if self._timer is not None:
+                self._timer.cancel()
+            if self._subscription is not None:
+                self._subscription.unsubscribe()
+            if self._endpoint is not None:
+                self._endpoint.release()
+            raise
+
         self._register()
 
     # ------------------------------------------------------------------ registration
@@ -129,7 +183,7 @@ class TensorConsumer:
 
         The producer may not be up yet (consumers can be launched first, the
         paper's always-available-loading scenario in reverse); in that case the
-        registration is retried from the receive loop until it succeeds.
+        registration is retried from the reactor's timer until it succeeds.
         """
         try:
             self._push.send(
@@ -148,11 +202,13 @@ class TensorConsumer:
 
     @property
     def admitted_epoch(self) -> Optional[int]:
-        return self._admitted_epoch
+        if self._admitted_epoch is not None:
+            return self._admitted_epoch
+        return self._reactor_admitted
 
     @property
     def is_admitted(self) -> bool:
-        return self._admitted_epoch is not None
+        return self.admitted_epoch is not None
 
     @property
     def shutdown_received(self) -> bool:
@@ -168,32 +224,90 @@ class TensorConsumer:
         at the first epoch all members agree on).  Safe to call before
         iterating: while unadmitted, every BATCH message predates this
         consumer's admission and is filtered, not consumed.
+
+        Waits on the reactor-delivered registration event — no polling
+        receive loop; the reactor's timer keeps re-sending HELLO while the
+        producer is not up yet.
         """
-        if self._admitted_epoch is not None:
-            return self._admitted_epoch
         deadline = time.monotonic() + timeout
-        while self._admitted_epoch is None:
+        if not self._registered:
+            self._register()
+        while True:
+            if self._registration_error is not None:
+                raise self._registration_error
+            if self._reactor_admitted is not None:
+                return self._reactor_admitted
             if self._shutdown:
                 raise MessagingError(
                     f"producer shut down before admitting consumer {self.consumer_id!r}"
                 )
-            if not self._registered:
-                self._register()
             remaining = deadline - time.monotonic()
             if remaining <= 0:
                 raise TimeoutError_(
                     f"consumer {self.consumer_id!r} received no registration reply "
                     f"within {timeout}s; is the producer running?"
                 )
+            self._registered_event.wait(remaining)
+
+    # ------------------------------------------------------------------ reactor callbacks
+    def _on_reactor_message(self, message: Message) -> None:
+        """Reactor thread: eager signal extraction, then forward to the mailbox.
+
+        Only registration/shutdown *signals* are acted on here (they unblock
+        wait_until_registered without a trainer present).  The message itself
+        always goes to the mailbox so the training thread replays everything
+        in arrival order — epoch accounting and admission depend on it.
+        """
+        if self._closed:
+            return
+        if message.kind is MessageKind.REPLY:
+            body = message.body or {}
+            if body.get("consumer_id") == self.consumer_id:
+                token = body.get("token")
+                if token is None or token == self._token:
+                    if body.get("error"):
+                        if self._registration_error is None:
+                            self._registration_error = DuplicateConsumerError(
+                                body["error"]
+                            )
+                    else:
+                        self._reactor_admitted = int(body.get("admitted_epoch", 0))
+                    self._registered_event.set()
+        elif message.kind is MessageKind.SHUTDOWN:
+            self._shutdown = True
+            self._registered_event.set()
+        try:
+            self._mailbox.put_nowait(message)
+        except queue.Full:
+            self.mailbox_overflows += 1
+            return
+        for wakeup in list(self._wakeups):
             try:
-                message = self._sub.recv(timeout=min(remaining, self.config.heartbeat_interval))
-            except TimeoutError_:
-                continue
-            try:
-                self._handle_message(message)
-            except _ShutdownReceived:
-                continue  # loop re-checks self._shutdown and raises
-        return self._admitted_epoch
+                wakeup()
+            except Exception:
+                pass
+
+    def _on_reactor_timer(self) -> None:
+        """Reactor timer wheel: heartbeats and registration retries."""
+        if self._closed or self._shutdown:
+            return
+        if not self._registered or self._reactor_admitted is None:
+            # Not registered, or registered but unanswered — the HELLO (or
+            # its REPLY) may have been lost; resend until admitted.  The
+            # producer treats a repeat HELLO from the same token as idempotent.
+            self._register()
+            return
+        try:
+            self._heartbeat.maybe_send()
+        except MessagingError:
+            self._registered = False
+
+    def _add_mailbox_listener(self, wakeup) -> None:
+        self._wakeups.append(wakeup)
+
+    def _remove_mailbox_listener(self, wakeup) -> None:
+        if wakeup in self._wakeups:
+            self._wakeups.remove(wakeup)
 
     # ------------------------------------------------------------------ message handling
     def _handle_message(self, message: Message) -> Optional[BatchPayload]:
@@ -259,36 +373,15 @@ class TensorConsumer:
             return payload
         return None
 
-    def _pump_messages(self, block: bool) -> None:
-        """Move arrived messages into the batch buffer."""
-        deadline = time.monotonic() + self.config.receive_timeout
-        while True:
-            if not self._registered:
-                self._register()
-            message = self._sub.try_recv()
-            if message is None:
-                if not block or not self._buffer.is_empty:
-                    return
-                try:
-                    self._heartbeat.maybe_send()
-                except MessagingError:
-                    pass
-                try:
-                    message = self._sub.recv(timeout=self.config.heartbeat_interval)
-                except TimeoutError_:
-                    if time.monotonic() > deadline:
-                        raise TimeoutError_(
-                            f"consumer {self.consumer_id!r} received no data for "
-                            f"{self.config.receive_timeout}s; is the producer running?"
-                        ) from None
-                    continue
+    def _ingest(self, message: Message) -> None:
+        """Training thread: process one mailbox message into the buffer."""
+        try:
             payload = self._handle_message(message)
-            if payload is not None:
-                self._buffer.put(payload)
-                # Only block until at least one batch is available.
-                block = False
-            if not block and self._sub.pending() == 0:
-                return
+        except _ShutdownReceived:
+            self._shutdown_processed = True
+            return
+        if payload is not None:
+            self._buffer.put(payload)
 
     # ------------------------------------------------------------------ acknowledgements
     def _acknowledge(self, payload: BatchPayload) -> None:
@@ -313,6 +406,78 @@ class TensorConsumer:
             and self._epochs_ended >= self.config.max_epochs
         )
 
+    def _begin_iteration(self, min_epoch: Optional[int]) -> None:
+        if self._closed:
+            raise RuntimeError("consumer has been closed")
+        if min_epoch is not None:
+            self._min_epoch = min_epoch
+
+    def _drop_buffered(self) -> None:
+        """Acknowledge everything buffered so nothing stays pinned."""
+        for leftover in self._buffer.clear():
+            self._acknowledge(leftover)
+
+    def _try_take(self):
+        """One non-blocking consume step.
+
+        Returns ``(payload, batch)`` when a batch is ready, ``_WAIT`` when
+        nothing is available yet, or ``_DONE`` when the stream has ended
+        (epoch limit or producer shutdown).  This is the engine under both
+        :meth:`iter_batches` and the group merge — the merge drives many
+        members through it from one thread.
+        """
+        while True:
+            if self._shutdown_processed:
+                self._drop_buffered()
+                return _DONE
+            while True:
+                try:
+                    message = self._mailbox.get_nowait()
+                except queue.Empty:
+                    break
+                self._ingest(message)
+                if self._shutdown_processed:
+                    break
+            if self._shutdown_processed:
+                continue
+            # Stop once the producer has closed max_epochs epochs and every
+            # batch from those epochs has been consumed.  (The producer sends
+            # EPOCH_END after the epoch's batches, and the reactor preserves
+            # per-channel ordering into the mailbox, so this check is
+            # race-free.)
+            if (
+                self._reached_epoch_limit()
+                and self._buffer.is_empty
+                and self._mailbox.qsize() == 0
+            ):
+                return _DONE
+            payload = self._buffer.get()
+            if payload is None:
+                if self._reached_epoch_limit():
+                    return _DONE
+                return _WAIT
+            start_epoch = max(self._admitted_epoch or 0, self._min_epoch or 0)
+            if self._reached_epoch_limit() and payload.epoch >= start_epoch + (
+                self.config.max_epochs or 0
+            ):
+                # A batch from an epoch beyond our limit: acknowledge and drop
+                # it so the producer does not wait on us.
+                self._acknowledge(payload)
+                self._drop_buffered()
+                return _DONE
+            if self._min_epoch is not None and payload.epoch < self._min_epoch:
+                # Admitted earlier than the group: this member's pre-group
+                # epochs are not trained on, but their holds must be returned.
+                self._acknowledge(payload)
+                continue
+            batch = payload.unpack(self.pool)
+            self.batches_consumed += 1
+            self.samples_consumed += payload.batch_size
+            self._consumed_per_epoch[payload.epoch] = (
+                self._consumed_per_epoch.get(payload.epoch, 0) + 1
+            )
+            return (payload, batch)
+
     def __iter__(self) -> Iterator[Dict[str, Tensor]]:
         for _payload, batch in self.iter_batches():
             yield batch
@@ -332,53 +497,47 @@ class TensorConsumer:
         next-epoch by another starts every member at the same epoch.  The
         skipped epochs do not count toward ``max_epochs``.
         """
-        if self._closed:
-            raise RuntimeError("consumer has been closed")
-        if min_epoch is not None:
-            self._min_epoch = min_epoch
-        while not self._shutdown:
-            # Stop once the producer has closed max_epochs epochs and every
-            # batch from those epochs has been consumed.  (The producer sends
-            # EPOCH_END after the epoch's batches, and the hub preserves
-            # per-subscriber ordering, so this check is race-free.)
-            if self._reached_epoch_limit() and self._buffer.is_empty and self._sub.pending() == 0:
+        self._begin_iteration(min_epoch)
+        # The receive deadline measures time *without a batch*: it is armed
+        # when the stream runs dry and reset whenever a batch is delivered,
+        # matching the old pump's per-blocking-call deadline.
+        deadline: Optional[float] = None
+        while True:
+            step = self._try_take()
+            if step is _DONE:
                 break
-            try:
-                self._pump_messages(block=self._buffer.is_empty)
-            except _ShutdownReceived:
-                break
-            payload = self._buffer.get()
-            if payload is None:
-                if self._reached_epoch_limit():
-                    break
+            if step is _WAIT:
+                if deadline is None:
+                    deadline = time.monotonic() + self.config.receive_timeout
+                if not self._registered:
+                    self._register()
+                try:
+                    self._heartbeat.maybe_send()
+                except MessagingError:
+                    pass
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise TimeoutError_(
+                        f"consumer {self.consumer_id!r} received no data for "
+                        f"{self.config.receive_timeout}s; is the producer running?"
+                    )
+                try:
+                    message = self._mailbox.get(
+                        timeout=min(self.config.heartbeat_interval, remaining)
+                    )
+                except queue.Empty:
+                    continue
+                self._ingest(message)
                 continue
-            start_epoch = max(self._admitted_epoch or 0, self._min_epoch or 0)
-            if self._reached_epoch_limit() and payload.epoch >= start_epoch + (
-                self.config.max_epochs or 0
-            ):
-                # A batch from an epoch beyond our limit: acknowledge and drop
-                # it so the producer does not wait on us.
-                self._acknowledge(payload)
-                break
-            if min_epoch is not None and payload.epoch < min_epoch:
-                # Admitted earlier than the group: this member's pre-group
-                # epochs are not trained on, but their holds must be returned.
-                self._acknowledge(payload)
-                continue
-            batch = payload.unpack(self.pool)
-            self.batches_consumed += 1
-            self.samples_consumed += payload.batch_size
-            self._consumed_per_epoch[payload.epoch] = (
-                self._consumed_per_epoch.get(payload.epoch, 0) + 1
-            )
+            deadline = None
+            payload, batch = step
             yield payload, batch
             # The training loop finished with the batch: acknowledge it so
             # the producer can release the shared memory.
             self._acknowledge(payload)
             self._heartbeat.maybe_send()
         # Acknowledge anything left in the buffer so nothing stays pinned.
-        for leftover in self._buffer.clear():
-            self._acknowledge(leftover)
+        self._drop_buffered()
 
     def __len__(self) -> int:
         """Batches consumed in the last *completed* epoch.
@@ -407,7 +566,7 @@ class TensorConsumer:
             "epochs_seen": self.epochs_seen,
             "duplicates_dropped": self.duplicates_dropped,
             "buffered": len(self._buffer),
-            "admitted_epoch": self._admitted_epoch,
+            "admitted_epoch": self.admitted_epoch,
         }
 
     # ------------------------------------------------------------------ shutdown
@@ -416,6 +575,8 @@ class TensorConsumer:
         if self._closed:
             return
         self._closed = True
+        if self._timer is not None:
+            self._timer.cancel()
         self._heartbeat.stop()
         try:
             self._push.send(
@@ -424,11 +585,12 @@ class TensorConsumer:
             )
         except Exception:
             pass
-        self._sub.close()
+        if self._subscription is not None:
+            self._subscription.unsubscribe()
         self._push.close()
         if self._endpoint is not None:
-            # Connect-side release: a no-op for inproc://, but tcp:// closes
-            # this consumer's broker connections and attach handles.
+            # Connect-side release: a no-op for inproc://, but tcp:// drops
+            # this consumer's refcount on the shared broker connection.
             self._endpoint.release()
 
     def __enter__(self) -> "TensorConsumer":

@@ -217,7 +217,7 @@ class EpochRunner:
             depth=self.config.pipeline_depth,
             release_fn=self.release_staged,
             source_close=source_close,
-            name=f"{self.identity}-stage",
+            name=f"repro-{self.identity}-stage",
         )
 
     def release_staged(self, item: StagedItem) -> None:

@@ -37,18 +37,18 @@ from __future__ import annotations
 
 import dataclasses
 import os
-import queue
 import threading
+import time
 import uuid
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.core.config import ConsumerConfig, ProducerConfig
-from repro.core.consumer import TensorConsumer
+from repro.core.consumer import _DONE, _WAIT, TensorConsumer
 from repro.core.manifest import SessionManifest
 from repro.core.producer import TensorProducer
 from repro.core.session import DescribeService, register_session, unregister_session
 from repro.messaging import endpoint as endpoints
-from repro.messaging.errors import MessagingError
+from repro.messaging.errors import MessagingError, TimeoutError_
 from repro.tensor.tensor import Tensor
 
 __all__ = [
@@ -255,86 +255,109 @@ class GroupConsumer:
             yield batch
 
     def _iter_any(self, min_epoch: int) -> Iterator[Dict[str, Tensor]]:
-        """Arrival-order merge with an epoch barrier.
+        """Arrival-order merge with an epoch barrier — and no feeder threads.
 
-        One feeder thread per member forwards ``(payload, batch)`` pairs into
-        a shared queue and then *blocks* until the group loop signals the
-        batch was consumed — preserving ack-after-training per member.  A
-        batch from a future epoch parks its member (the pair is stashed, the
-        feeder stays blocked); when every live member is parked or done the
-        epoch advances and the stashed pairs are delivered first.
+        Every member's reactor mailbox pokes one shared condition variable;
+        this loop drives all members through their non-blocking
+        ``_try_take()`` step from the calling thread.  At most one taken,
+        not-yet-delivered head rides per member — the batch is acknowledged
+        right after the training loop moves past it, preserving
+        ack-after-training and each member's flow-control budget.  A head
+        from a future epoch parks its member; only when every live member's
+        head has crossed the boundary does the epoch advance.
 
         Only a *cleanly ended* member stream (producer shutdown — group
-        churn) is survivable; a member that dies with an exception (e.g. a
-        receive timeout) re-raises it here, exactly like the in-order merge —
-        swallowing it would silently drop a whole shard from training.
+        churn) is survivable; a member that starves re-raises the same
+        receive timeout its own iteration would have, exactly like the
+        in-order merge — swallowing it would silently drop a whole shard
+        from training.
         """
-        done_marker = object()
-        out: "queue.Queue" = queue.Queue()
-        stop = threading.Event()
+        wake = threading.Condition()
+        # A counter, not an event: a wake-up landing between a fruitless poll
+        # round and the wait() below must not be lost.
+        state = {"events": 0}
 
-        def feed(rank: int, member: TensorConsumer) -> None:
-            try:
-                for pair in member.iter_batches(min_epoch=min_epoch):
-                    event = threading.Event()
-                    out.put((rank, pair, event))
-                    while not event.wait(timeout=0.1):
-                        if stop.is_set():
-                            out.put((rank, done_marker, None))
-                            return
-            except Exception as exc:
-                out.put((rank, exc, None))
-                return
-            out.put((rank, done_marker, None))
+        def on_delivery() -> None:
+            with wake:
+                state["events"] += 1
+                wake.notify_all()
 
-        threads = [
-            threading.Thread(
-                target=feed, args=(rank, member), daemon=True, name=f"group-feed-{rank}"
-            )
-            for rank, member in enumerate(self.members)
-        ]
-        for thread in threads:
-            thread.start()
+        members = list(self.members)
+        for member in members:
+            member._begin_iteration(min_epoch)
+            member._add_mailbox_listener(on_delivery)
 
+        heads: Dict[int, Tuple] = {}  # rank -> (payload, batch) taken, undelivered
+        done: set = set()
+        waiting_since: Dict[int, float] = {}  # rank -> start of batch-less stretch
         current_epoch = min_epoch
-        parked: Dict[int, Tuple] = {}  # rank -> (pair, event), future-epoch holds
-        ready: List[Tuple] = []  # (rank, pair, event) deliverable now
-        done = 0
         try:
             while True:
+                with wake:
+                    events_before = state["events"]
+                progressed = False
+                for rank, member in enumerate(members):
+                    if rank in done or rank in heads:
+                        continue
+                    step = member._try_take()
+                    if step is _DONE:
+                        done.add(rank)
+                        waiting_since.pop(rank, None)
+                        progressed = True
+                    elif step is _WAIT:
+                        waiting_since.setdefault(rank, time.monotonic())
+                    else:
+                        heads[rank] = step
+                        waiting_since.pop(rank, None)
+                        progressed = True
+                ready = [
+                    rank for rank, (payload, _batch) in heads.items()
+                    if payload.epoch <= current_epoch
+                ]
                 if ready:
-                    _rank, (payload, batch), event = ready.pop(0)
-                    yield batch
-                    event.set()  # resume the feeder → member acks the batch
+                    for rank in ready:
+                        payload, batch = heads.pop(rank)
+                        yield batch
+                        # The training loop moved past the batch: ack it so
+                        # the member's producer can release the hold.
+                        members[rank]._acknowledge(payload)
                     continue
-                if done == len(self.members) and not parked:
+                if len(done) == len(members) and not heads:
                     return
-                if parked and len(parked) == len(self.members) - done:
-                    # Everyone still alive has crossed the boundary: advance.
-                    current_epoch = min(pair[0].epoch for pair, _ in parked.values())
-                    for rank in [
-                        r for r, (pair, _) in parked.items()
-                        if pair[0].epoch == current_epoch
-                    ]:
-                        pair, event = parked.pop(rank)
-                        ready.append((rank, pair, event))
+                if len(heads) == len(members) - len(done) and heads:
+                    # Every live member's head is beyond the barrier: advance.
+                    current_epoch = min(
+                        payload.epoch for payload, _batch in heads.values()
+                    )
                     continue
-                rank, item, event = out.get()
-                if item is done_marker:
-                    done += 1
+                if progressed:
                     continue
-                if isinstance(item, BaseException):
-                    raise item
-                if item[0].epoch > current_epoch:
-                    parked[rank] = (item, event)
-                else:
-                    ready.append((rank, item, event))
+                # Nothing moved: park until a mailbox delivery (or a member's
+                # receive timeout) — the per-member deadline mirrors what its
+                # own iter_batches would raise.
+                now = time.monotonic()
+                wait_timeout = 0.2
+                for rank, since in waiting_since.items():
+                    member = members[rank]
+                    remaining = since + member.config.receive_timeout - now
+                    if remaining <= 0:
+                        raise TimeoutError_(
+                            f"consumer {member.consumer_id!r} received no data for "
+                            f"{member.config.receive_timeout}s; is the producer "
+                            f"running?"
+                        )
+                    wait_timeout = min(wait_timeout, remaining)
+                with wake:
+                    if state["events"] == events_before:
+                        wake.wait(timeout=wait_timeout)
         finally:
-            stop.set()
-            for _pair, event in parked.values():
-                event.set()
-            for _rank, _item, event in ready:
-                event.set()
+            for rank, (payload, _batch) in heads.items():
+                try:
+                    members[rank]._acknowledge(payload)
+                except Exception:
+                    pass
+            for member in members:
+                member._remove_mailbox_listener(on_delivery)
 
     # ------------------------------------------------------------------ introspection
     @property
@@ -548,7 +571,7 @@ class ShardedLoaderSession:
                 target=self._run_member,
                 args=(member,),
                 daemon=True,
-                name=f"producer-shard{rank}",
+                name=f"repro-producer-shard{rank}",
             )
             for rank, member in enumerate(self.members)
         ]

@@ -100,7 +100,7 @@ class StagePipeline:
         depth: int = 1,
         release_fn: Optional[Callable[[StagedItem], None]] = None,
         source_close: Optional[Callable[[], None]] = None,
-        name: str = "stage-worker",
+        name: str = "repro-stage-worker",
     ) -> None:
         if depth < 1:
             raise ValueError("pipeline depth must be at least 1")

@@ -81,7 +81,7 @@ class DescribeService:
         self._manifest = dict(manifest)
         self._stop = threading.Event()
         self._thread = threading.Thread(
-            target=self._serve, daemon=True, name="session-describe"
+            target=self._serve, daemon=True, name="repro-session-describe"
         )
         self._thread.start()
 
@@ -191,7 +191,9 @@ class SharedLoaderSession:
             )
         if self._thread is not None:
             raise RuntimeError("session already started")
-        self._thread = threading.Thread(target=self._run_producer, daemon=True, name="producer")
+        self._thread = threading.Thread(
+            target=self._run_producer, daemon=True, name="repro-producer"
+        )
         self._thread.start()
         return self
 

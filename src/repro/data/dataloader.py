@@ -269,7 +269,9 @@ class LoaderIterator:
             self._task_queue.put(self._SENTINEL)
 
         self._workers = [
-            threading.Thread(target=self._worker_loop, daemon=True, name=f"loader-worker-{i}")
+            threading.Thread(
+                target=self._worker_loop, daemon=True, name=f"repro-loader-worker-{i}"
+            )
             for i in range(workers)
         ]
         for worker in self._workers:

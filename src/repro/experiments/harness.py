@@ -126,7 +126,11 @@ def measure_epoch_throughput(
         consumer.close()
 
     threads = [
-        threading.Thread(target=consume, args=(f"epoch-rate-{i}", epoch_rates if i == 0 else None))
+        threading.Thread(
+            target=consume,
+            args=(f"epoch-rate-{i}", epoch_rates if i == 0 else None),
+            name=f"repro-epoch-rate-{i}",
+        )
         for i in range(consumers)
     ]
     for thread in threads:

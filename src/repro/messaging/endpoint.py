@@ -59,7 +59,7 @@ from repro.messaging.errors import (
     MessagingError,
     UnknownSchemeError,
 )
-from repro.messaging.transport import InProcHub, TcpHub, TcpHubClient, TcpServerHub
+from repro.messaging.transport import InProcHub, TcpHub, TcpServerHub
 
 _SCHEME_RE = re.compile(r"^[a-z][a-z0-9+.-]*$")
 
@@ -322,32 +322,29 @@ class TcpTransport(Transport):
         )
 
     def connect(self, address: str) -> Endpoint:
-        from repro.tensor.shared_memory import SharedMemoryPool
+        # Dial through the reactor's connection table: every consumer of the
+        # same broker (tcp://host:port/imagenet, .../audio, ...) shares one
+        # refcounted TcpHubClient + attach pool instead of opening its own.
+        from repro.messaging.reactor import get_reactor
 
         host, port, _path = _split_host_port(address)
         if port == 0:
             raise AddressError(f"cannot connect to port 0 ({address!r}); use the "
                                f"resolved address the serving side reports")
         try:
-            client = TcpHubClient(host, port)
+            entry = get_reactor().shared_tcp_client(host, port)
         except (OSError, MessagingError) as exc:
             raise AddressNotServedError(
                 f"nothing is serving {address!r} ({exc}); start the producer with "
                 f"repro.serve(loader, address={address!r}) first"
             ) from exc
-        pool = SharedMemoryPool(backend="posix", attach_by_name=True)
-
-        def close_client() -> None:
-            client.close()
-            pool.close_attached()
-
         return Endpoint(
             address,
             transport=self,
             role="connect",
-            hub=client,
-            pool=pool,
-            closer=close_client,
+            hub=entry.client,
+            pool=entry.pool,
+            closer=entry.release,
         )
 
     def release(self, locator: str) -> None:

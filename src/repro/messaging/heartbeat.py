@@ -168,7 +168,9 @@ class HeartbeatSender:
         if self._thread is not None:
             return
         self._stop_event.clear()
-        self._thread = threading.Thread(target=self._loop, daemon=True, name="heartbeat")
+        self._thread = threading.Thread(
+            target=self._loop, daemon=True, name="repro-heartbeat"
+        )
         self._thread.start()
 
     def _loop(self) -> None:

@@ -32,7 +32,7 @@ import uuid
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.messaging.errors import EndpointClosedError, MessagingError, TimeoutError_
-from repro.messaging.message import Message
+from repro.messaging.message import Message, MessageKind
 
 
 class Endpoint:
@@ -49,6 +49,8 @@ class Endpoint:
         self.subscriptions: Set[str] = set()
         self._queue: "queue.Queue[Message]" = queue.Queue()
         self._closed = False
+        self._sink = None
+        self._sink_lock = threading.Lock()
 
     # -- subscription management ---------------------------------------------------
     def subscribe(self, prefix: str = "") -> None:
@@ -63,10 +65,33 @@ class Endpoint:
         return any(message.matches_topic(prefix) for prefix in self.subscriptions)
 
     # -- queue interface --------------------------------------------------------------
+    def set_sink(self, sink) -> None:
+        """Route future deliveries to ``sink(message)`` instead of the queue.
+
+        The reactor installs a sink so deliveries push into its event loop
+        rather than sitting in a queue behind a blocking reader.  Messages
+        already queued are drained through the sink first, in order, so the
+        handover cannot reorder or drop anything.
+        """
+        with self._sink_lock:
+            self._sink = sink
+            if sink is None:
+                return
+            while True:
+                try:
+                    backlog = self._queue.get_nowait()
+                except queue.Empty:
+                    break
+                sink(backlog)
+
     def deliver(self, message: Message) -> None:
         if self._closed:
             return
-        self._queue.put(message)
+        with self._sink_lock:
+            if self._sink is not None:
+                self._sink(message)
+                return
+            self._queue.put(message)
 
     def receive(self, timeout: Optional[float] = None, block: bool = True) -> Message:
         if self._closed and self._queue.empty():
@@ -265,7 +290,7 @@ class TcpHub:
         self._forwarded: List[Endpoint] = []
         self._clients_lock = threading.Lock()
         self._accept_thread = threading.Thread(
-            target=self._accept_loop, name="tcp-hub-accept", daemon=True
+            target=self._accept_loop, name="repro-tcp-accept", daemon=True
         )
         self._accept_thread.start()
 
@@ -285,7 +310,10 @@ class TcpHub:
             with self._clients_lock:
                 self._clients.append(client)
             threading.Thread(
-                target=self._serve_client, args=(client,), daemon=True
+                target=self._serve_client,
+                args=(client,),
+                name="repro-tcp-serve",
+                daemon=True,
             ).start()
 
     def _serve_client(self, client: socket.socket) -> None:
@@ -322,13 +350,31 @@ class TcpHub:
                     with self._clients_lock:
                         self._forwarded.append(endpoint)
                     threading.Thread(
-                        target=self._forward_loop, args=(endpoint, client), daemon=True
+                        target=self._forward_loop,
+                        args=(endpoint, client),
+                        name="repro-tcp-forward",
+                        daemon=True,
                     ).start()
                 elif op == "open":
                     # A send-only channel (publish/push source, no endpoint).
                     _send_frame(client, pickle.dumps({"ok": True}))
                 elif op == "subscribe" and endpoint is not None:
                     endpoint.subscribe(frame["prefix"])
+                    token = frame.get("ack")
+                    if token is not None:
+                        # The confirmation rides the delivery stream (the
+                        # forward loop is this connection's only writer after
+                        # the handshake), so once the client sees it the new
+                        # prefix is live for every later publish — even one
+                        # triggered through another connection, e.g. a REPLY
+                        # raced by a control-plane HELLO.
+                        endpoint.deliver(
+                            Message(
+                                f"__suback__/{token}",
+                                MessageKind.REPLY,
+                                "broker",
+                            )
+                        )
                 elif op == "publish":
                     message = Message.from_bytes(frame["message"])
                     try:
@@ -438,6 +484,7 @@ class TcpClientEndpoint:
         op: str,
         address: str = "",
         subscriptions: Optional[List[str]] = None,
+        reactor=None,
     ) -> None:
         self.address = address
         self.name = f"tcp-{uuid.uuid4().hex[:8]}"
@@ -446,11 +493,27 @@ class TcpClientEndpoint:
         self._send_lock = threading.Lock()
         self._queue: "queue.Queue[Message]" = queue.Queue()
         self._closed = False
+        self._sink = None
+        self._sink_lock = threading.Lock()
+        self._reactor = reactor
+        self._rbuf = bytearray()
+        self._acks: Dict[str, threading.Event] = {}
+        self._reader: Optional[threading.Thread] = None
+        # The registration handshake is a plain blocking request/reply in
+        # both modes; only steady-state I/O differs.
         self._request(
             {"op": op, "address": address, "subscriptions": list(self.subscriptions)}
         )
-        self._reader = threading.Thread(target=self._read_loop, daemon=True)
-        self._reader.start()
+        if reactor is not None:
+            # Reactor mode: no reader thread.  The socket goes non-blocking
+            # and the reactor's selector drives frame parsing.
+            self._sock.setblocking(False)
+            reactor.register_socket(self._sock, self._on_readable)
+        else:
+            self._reader = threading.Thread(
+                target=self._read_loop, name="repro-tcp-reader", daemon=True
+            )
+            self._reader.start()
 
     def _request(self, frame: dict) -> None:
         try:
@@ -467,11 +530,35 @@ class TcpClientEndpoint:
         as :class:`MessagingError` so protocol code can treat TCP like a hub."""
         if self._closed:
             raise EndpointClosedError(f"endpoint {self.name!r} is closed")
+        payload = pickle.dumps(frame)
         try:
             with self._send_lock:
-                _send_frame(self._sock, pickle.dumps(frame))
+                if self._reactor is not None:
+                    self._send_all_nonblocking(_HEADER.pack(len(payload)) + payload)
+                else:
+                    _send_frame(self._sock, pickle.dumps(frame))
         except OSError as exc:
             raise MessagingError(f"broker connection lost: {exc}") from exc
+
+    def _send_all_nonblocking(self, data: bytes) -> None:
+        """sendall() for the non-blocking reactor-mode socket.
+
+        Caller holds ``_send_lock``.  A full kernel buffer parks this sender
+        in short writability waits instead of busy-spinning; ``close()``
+        concurrently flips ``_closed`` to break the wait.
+        """
+        import select as _select
+
+        view = memoryview(data)
+        while view:
+            if self._closed:
+                raise OSError("endpoint closed during send")
+            try:
+                sent = self._sock.send(view)
+            except (BlockingIOError, InterruptedError):
+                _select.select([], [self._sock], [], 0.5)
+                continue
+            view = view[sent:]
 
     def _read_loop(self) -> None:
         while not self._closed:
@@ -480,7 +567,69 @@ class TcpClientEndpoint:
             except (ConnectionError, EOFError, OSError):
                 break
             if frame.get("op") == "deliver":
-                self._queue.put(Message.from_bytes(frame["message"]))
+                self._dispatch(Message.from_bytes(frame["message"]))
+
+    # -- reactor-mode receive path ------------------------------------------------------
+    def _on_readable(self) -> None:
+        """Selector callback (reactor thread): pull bytes, parse whole frames."""
+        while not self._closed:
+            try:
+                chunk = self._sock.recv(65536)
+            except (BlockingIOError, InterruptedError):
+                break
+            except OSError:
+                self._detach_from_reactor()
+                return
+            if not chunk:
+                # EOF: the broker went away; nothing more will arrive.
+                self._detach_from_reactor()
+                return
+            self._rbuf.extend(chunk)
+        self._drain_rbuf()
+
+    def _drain_rbuf(self) -> None:
+        while len(self._rbuf) >= _HEADER.size:
+            (length,) = _HEADER.unpack(bytes(self._rbuf[: _HEADER.size]))
+            end = _HEADER.size + length
+            if len(self._rbuf) < end:
+                return
+            payload = bytes(self._rbuf[_HEADER.size : end])
+            del self._rbuf[:end]
+            try:
+                frame = pickle.loads(payload)
+            except Exception:
+                continue
+            if frame.get("op") == "deliver":
+                self._dispatch(Message.from_bytes(frame["message"]))
+
+    def _detach_from_reactor(self) -> None:
+        if self._reactor is not None:
+            self._reactor.unregister_socket(self._sock)
+
+    def _dispatch(self, message: Message) -> None:
+        if message.topic.startswith("__suback__/"):
+            waiter = self._acks.pop(message.topic.split("/", 1)[1], None)
+            if waiter is not None:
+                waiter.set()
+            return
+        with self._sink_lock:
+            if self._sink is not None:
+                self._sink(message)
+                return
+            self._queue.put(message)
+
+    def set_sink(self, sink) -> None:
+        """Same handover contract as :meth:`Endpoint.set_sink`."""
+        with self._sink_lock:
+            self._sink = sink
+            if sink is None:
+                return
+            while True:
+                try:
+                    backlog = self._queue.get_nowait()
+                except queue.Empty:
+                    break
+                sink(backlog)
 
     # -- sending ----------------------------------------------------------------------
     def send_publish(self, address: str, message: Message) -> None:
@@ -491,8 +640,26 @@ class TcpClientEndpoint:
 
     # -- receiving ---------------------------------------------------------------------
     def subscribe(self, prefix: str = "") -> None:
+        """Add ``prefix`` and wait for the broker to confirm it is live.
+
+        The subscribe op travels on this endpoint's socket but a dependent
+        send (e.g. the consumer's HELLO) may travel on another — without the
+        confirmation the broker could admit the consumer and publish to the
+        new prefix before it ever processed the subscribe, silently dropping
+        the first messages (a rubberband catch-up replay, most visibly)."""
         self.subscriptions.add(prefix)
-        self._send({"op": "subscribe", "prefix": prefix})
+        token = uuid.uuid4().hex
+        waiter = threading.Event()
+        self._acks[token] = waiter
+        try:
+            self._send({"op": "subscribe", "prefix": prefix, "ack": token})
+            # The reactor thread parses this socket's inbound frames; if it
+            # is the caller, blocking here would deadlock the confirmation.
+            on_reactor = getattr(self._reactor, "on_reactor_thread", None)
+            if on_reactor is None or not on_reactor():
+                waiter.wait(timeout=5.0)
+        finally:
+            self._acks.pop(token, None)
 
     def receive(self, timeout: Optional[float] = None, block: bool = True) -> Message:
         try:
@@ -513,6 +680,19 @@ class TcpClientEndpoint:
         if self._closed:
             return
         self._closed = True
+        if self._reactor is not None:
+            payload = pickle.dumps({"op": "close"})
+            try:
+                with self._send_lock:
+                    # Best-effort single write; a full buffer just means the
+                    # broker learns about the close from the FIN instead.
+                    self._sock.send(_HEADER.pack(len(payload)) + payload)
+            except OSError:
+                pass
+            # The socket must leave the selector before it is closed, and the
+            # selector lives on the reactor thread — so the close rides along.
+            self._reactor.unregister_socket(self._sock, after=self._sock.close)
+            return
         try:
             with self._send_lock:
                 _send_frame(self._sock, pickle.dumps({"op": "close"}))
@@ -618,20 +798,29 @@ class TcpHubClient:
     go through a single send-only channel.
     """
 
-    def __init__(self, host: str, port: int) -> None:
+    def __init__(self, host: str, port: int, *, reactor=None) -> None:
         self.host = host
         self.port = int(port)
         self._lock = threading.Lock()
         self._endpoints: List[TcpClientEndpoint] = []
         self._closed = False
+        # With a reactor, every endpoint's socket lives on its selector
+        # instead of spawning a reader thread per connection.
+        self._reactor = reactor
         # Opened eagerly so connecting to a dead broker fails here, not on
         # the first send.
-        self._sender = TcpClientEndpoint(self.host, self.port, op="open")
+        self._sender = TcpClientEndpoint(self.host, self.port, op="open", reactor=reactor)
 
     # -- endpoint management -----------------------------------------------------------
     def bind(self, address: str, name: Optional[str] = None) -> TcpClientEndpoint:
         return self._track(
-            TcpClientEndpoint(self.host, self.port, op="bind", address=channel_key(address))
+            TcpClientEndpoint(
+                self.host,
+                self.port,
+                op="bind",
+                address=channel_key(address),
+                reactor=self._reactor,
+            )
         )
 
     def connect(
@@ -651,6 +840,7 @@ class TcpHubClient:
                 op="connect",
                 address=channel_key(address),
                 subscriptions=list(subscriptions or ()),
+                reactor=self._reactor,
             )
         )
 

@@ -1,0 +1,44 @@
+"""Shared test fixtures.
+
+The thread-leak sentinel below guards the reactor refactor's central claim:
+tests must not leave stray *non-daemon* threads behind (a leaked non-daemon
+thread hangs interpreter shutdown).  Daemon threads — the process-wide
+reactor, loader workers mid-teardown — are reaped by the interpreter and are
+not failures, but anything non-daemon that outlives the session is.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+
+@pytest.fixture(scope="session", autouse=True)
+def fail_on_leaked_threads():
+    """Snapshot threads at session start; fail on new non-daemon survivors."""
+    before = set(threading.enumerate())
+    yield
+    # Give orderly teardowns a grace period to join their workers.
+    deadline = time.monotonic() + 5.0
+    while time.monotonic() < deadline:
+        leaked = [
+            t
+            for t in threading.enumerate()
+            if t not in before and t.is_alive() and not t.daemon
+        ]
+        if not leaked:
+            return
+        time.sleep(0.05)
+    leaked = [
+        t
+        for t in threading.enumerate()
+        if t not in before and t.is_alive() and not t.daemon
+    ]
+    if leaked:
+        names = ", ".join(sorted(t.name for t in leaked))
+        pytest.fail(
+            f"test session leaked {len(leaked)} non-daemon thread(s): {names}",
+            pytrace=False,
+        )
