@@ -1,0 +1,54 @@
+"""Baseline files: committed lists of accepted finding ids.
+
+The baseline is a plain text file, one finding id per line, with ``#``
+comments allowed (and encouraged — every baselined finding should say *why*
+it is accepted).  Ids are the stable fingerprinted ids from
+:mod:`repro.analysis.findings`, so unrelated edits do not churn the file.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, List, Set, Tuple
+
+from repro.analysis.findings import Finding
+
+_HEADER = """\
+# reprolint baseline — accepted findings, one id per line.
+# Regenerate with:  reprolint --write-baseline <paths>
+# Every entry should carry a comment explaining why it is accepted.
+"""
+
+
+def load_baseline(path: Path) -> Set[str]:
+    ids: Set[str] = set()
+    for raw in path.read_text(encoding="utf-8").splitlines():
+        line = raw.split("#", 1)[0].strip()
+        if line:
+            ids.add(line)
+    return ids
+
+
+def write_baseline(path: Path, findings: Iterable[Finding]) -> None:
+    lines = [_HEADER]
+    for finding in sorted(findings, key=lambda f: f.finding_id):
+        lines.append(f"# {finding.path}:{finding.line}: {finding.message}")
+        lines.append(finding.finding_id)
+    path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+
+
+def partition(
+    findings: List[Finding], baseline_ids: Set[str]
+) -> Tuple[List[Finding], List[Finding], Set[str]]:
+    """Split findings into (new, baselined) and report stale baseline ids."""
+    new: List[Finding] = []
+    baselined: List[Finding] = []
+    seen: Set[str] = set()
+    for finding in findings:
+        if finding.finding_id in baseline_ids:
+            baselined.append(finding)
+            seen.add(finding.finding_id)
+        else:
+            new.append(finding)
+    stale = baseline_ids - seen
+    return new, baselined, stale

@@ -1,0 +1,147 @@
+"""``reprolint`` command line interface.
+
+Exit codes: 0 — clean (or everything baselined); 1 — unbaselined findings or
+parse errors; 2 — usage errors (bad paths, missing baseline file).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.analysis.baseline import load_baseline, partition, write_baseline
+from repro.analysis.driver import CHECKS, analyze_paths
+
+#: Picked up automatically when present in the working directory.
+DEFAULT_BASELINE = "reprolint.baseline"
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="reprolint",
+        description="Concurrency-invariant static analysis for this repository.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to analyze (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        default=None,
+        help=f"baseline file of accepted finding ids "
+        f"(default: {DEFAULT_BASELINE} if it exists)",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="write all current findings to the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="RULES",
+        default=None,
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-checks",
+        action="store_true",
+        help="list the available checks and exit",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_checks:
+        for rule in sorted(CHECKS):
+            print(f"{rule}  {CHECKS[rule]}")
+        return 0
+
+    checks = None
+    if args.select:
+        checks = [code.strip() for code in args.select.split(",") if code.strip()]
+        unknown = [code for code in checks if code not in CHECKS]
+        if unknown:
+            print(f"reprolint: unknown check(s): {', '.join(unknown)}", file=sys.stderr)
+            return 2
+
+    try:
+        result = analyze_paths(args.paths, checks=checks)
+    except FileNotFoundError as exc:
+        print(f"reprolint: no such file or directory: {exc.args[0]}", file=sys.stderr)
+        return 2
+
+    baseline_path: Optional[Path] = None
+    if args.baseline is not None:
+        baseline_path = Path(args.baseline)
+    elif Path(DEFAULT_BASELINE).is_file():
+        baseline_path = Path(DEFAULT_BASELINE)
+
+    if args.write_baseline:
+        target = baseline_path or Path(DEFAULT_BASELINE)
+        write_baseline(target, result.findings)
+        print(f"reprolint: wrote {len(result.findings)} finding(s) to {target}")
+        return 0
+
+    baseline_ids = set()
+    if baseline_path is not None:
+        if not baseline_path.is_file():
+            print(f"reprolint: baseline not found: {baseline_path}", file=sys.stderr)
+            return 2
+        baseline_ids = load_baseline(baseline_path)
+
+    new, baselined, stale = partition(result.findings, baseline_ids)
+
+    if args.format == "json":
+        print(
+            json.dumps(
+                {
+                    "version": 1,
+                    "files": result.files,
+                    "findings": [finding.to_dict() for finding in new],
+                    "baselined": [finding.finding_id for finding in baselined],
+                    "stale_baseline": sorted(stale),
+                    "suppressed": result.suppressed,
+                    "errors": result.errors,
+                },
+                indent=2,
+            )
+        )
+    else:
+        for error in result.errors:
+            print(f"error: {error}")
+        for finding in new:
+            print(finding.render())
+        bits = [
+            f"{result.files} file(s)",
+            f"{len(new)} finding(s)",
+        ]
+        if baselined:
+            bits.append(f"{len(baselined)} baselined")
+        if result.suppressed:
+            bits.append(f"{result.suppressed} suppressed by pragma")
+        if stale:
+            bits.append(f"{len(stale)} stale baseline entr(y/ies)")
+        print("reprolint: " + ", ".join(bits))
+        for stale_id in sorted(stale):
+            print(f"reprolint: stale baseline entry (fixed? remove it): {stale_id}")
+
+    return 1 if (new or result.errors) else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,134 @@
+"""Analysis driver: file discovery, per-module checks, cross-module RL003.
+
+The per-module checks run against each file's symbol table in isolation; the
+RL003 lock-order check runs once over *all* modules because its acquisition
+graph is interprocedural (``BatchCache`` acquiring the shm pool's lock is an
+edge between two modules).  Pragma suppression and occurrence numbering are
+applied here so every entry point (CLI, tests, library use) sees identical
+findings.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.analysis.findings import Finding, assign_occurrences
+from repro.analysis.graph import check_lock_order
+from repro.analysis.hygiene import (
+    check_hold_pairing,
+    check_reactor_affinity,
+    check_thread_hygiene,
+)
+from repro.analysis.locks import (
+    check_blocking_under_lock,
+    check_check_then_act,
+    check_guarded_attributes,
+)
+from repro.analysis.symbols import ModuleInfo, build_module
+
+#: rule code -> (summary, per-module checker or None for cross-module checks)
+CHECKS: Dict[str, str] = {
+    "RL001": "guarded attribute accessed without its lock",
+    "RL002": "blocking call while a lock is held",
+    "RL003": "lock-order cycle (potential deadlock)",
+    "RL004": "refcounted hold not released on a finally path",
+    "RL005": "thread without name=/daemon= hygiene kwargs",
+    "RL006": "reactor-affinity violation (blocking or selector escape)",
+    "RL007": "check-then-act on a shared container outside a lock",
+}
+
+_MODULE_CHECKERS: Dict[str, Callable[[ModuleInfo], List[Finding]]] = {
+    "RL001": check_guarded_attributes,
+    "RL002": check_blocking_under_lock,
+    "RL004": check_hold_pairing,
+    "RL005": check_thread_hygiene,
+    "RL006": check_reactor_affinity,
+    "RL007": check_check_then_act,
+}
+
+
+@dataclass
+class AnalysisResult:
+    findings: List[Finding] = field(default_factory=list)
+    files: int = 0
+    suppressed: int = 0
+    errors: List[str] = field(default_factory=list)
+
+
+def _discover(paths: Sequence[str]) -> List[str]:
+    files: List[str] = []
+    for path in paths:
+        if os.path.isfile(path):
+            files.append(path)
+        elif os.path.isdir(path):
+            for root, dirs, names in os.walk(path):
+                dirs[:] = sorted(d for d in dirs if d != "__pycache__")
+                for name in sorted(names):
+                    if name.endswith(".py"):
+                        files.append(os.path.join(root, name))
+        else:
+            raise FileNotFoundError(path)
+    return files
+
+
+def _display_path(path: str) -> str:
+    relative = os.path.relpath(path)
+    if relative.startswith(".."):
+        relative = path
+    return relative.replace(os.sep, "/")
+
+
+def _run_checks(
+    modules: List[ModuleInfo],
+    checks: Optional[Sequence[str]],
+) -> AnalysisResult:
+    enabled = set(checks) if checks is not None else set(CHECKS)
+    result = AnalysisResult(files=len(modules))
+    raw: List[Finding] = []
+    for module in modules:
+        for rule, checker in _MODULE_CHECKERS.items():
+            if rule in enabled:
+                raw.extend(checker(module))
+    if "RL003" in enabled:
+        raw.extend(check_lock_order(modules))
+    by_path = {module.path: module for module in modules}
+    kept: List[Finding] = []
+    for finding in raw:
+        module = by_path.get(finding.path)
+        if module is not None and module.suppressed(finding.line, finding.rule):
+            result.suppressed += 1
+            continue
+        kept.append(finding)
+    result.findings = assign_occurrences(kept)
+    return result
+
+
+def analyze_paths(
+    paths: Sequence[str], checks: Optional[Sequence[str]] = None
+) -> AnalysisResult:
+    """Analyze files and directories; returns findings with stable ids."""
+    modules: List[ModuleInfo] = []
+    errors: List[str] = []
+    for file_path in _discover(paths):
+        display = _display_path(file_path)
+        try:
+            with open(file_path, "r", encoding="utf-8") as handle:
+                source = handle.read()
+            modules.append(build_module(display, source))
+        except (SyntaxError, UnicodeDecodeError) as exc:
+            errors.append(f"{display}: {exc}")
+    result = _run_checks(modules, checks)
+    result.errors = errors
+    return result
+
+
+def analyze_source(
+    source: str,
+    path: str = "<string>",
+    checks: Optional[Sequence[str]] = None,
+) -> List[Finding]:
+    """Analyze a single in-memory module (the unit-test entry point)."""
+    module = build_module(path, source)
+    return _run_checks([module], checks).findings

@@ -1,0 +1,102 @@
+"""Finding model and stable finding identifiers.
+
+A finding's identity must survive unrelated edits to the file it lives in —
+otherwise the committed baseline churns on every refactor.  The fingerprint
+therefore hashes *what* was flagged (rule, file, enclosing qualname, the
+normalized source line) and deliberately excludes the line number.  Two
+identical violations in the same function are disambiguated by an occurrence
+counter assigned in source order.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, List
+
+
+def normalize_source(line: str) -> str:
+    """Collapse whitespace so reformatting does not change a fingerprint."""
+    return " ".join(line.split())
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one site."""
+
+    rule: str  #: e.g. ``"RL001"``
+    path: str  #: posix-style path relative to the scan root
+    line: int  #: 1-based line number (display only; not part of the id)
+    qualname: str  #: enclosing ``Class.method`` / function / ``<module>``
+    message: str  #: human-readable description of the violation
+    source: str = ""  #: the offending source line, stripped
+    occurrence: int = 0  #: disambiguates identical findings in one scope
+
+    @property
+    def fingerprint(self) -> str:
+        """12 hex chars identifying this finding independent of line number."""
+        payload = "|".join(
+            (
+                self.rule,
+                self.path,
+                self.qualname,
+                normalize_source(self.source),
+                str(self.occurrence),
+            )
+        )
+        return hashlib.sha1(payload.encode("utf-8")).hexdigest()[:12]
+
+    @property
+    def finding_id(self) -> str:
+        """The stable id recorded in baselines, e.g. ``RL005:a/b.py:C.m:3f2b...``."""
+        return f"{self.rule}:{self.path}:{self.qualname}:{self.fingerprint}"
+
+    def render(self) -> str:
+        return (
+            f"{self.path}:{self.line}: {self.rule} {self.message}"
+            f"  [{self.finding_id}]"
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "id": self.finding_id,
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "qualname": self.qualname,
+            "message": self.message,
+            "source": self.source,
+        }
+
+
+def assign_occurrences(findings: List[Finding]) -> List[Finding]:
+    """Number otherwise-identical findings in source order.
+
+    Input findings all carry ``occurrence=0``; the returned list carries the
+    per-(rule, path, qualname, normalized-source) index so fingerprints of
+    duplicate sites stay distinct *and* stable under unrelated edits.
+    """
+    ordered = sorted(findings, key=lambda f: (f.path, f.line, f.rule, f.message))
+    counters: Dict[tuple, int] = {}
+    out: List[Finding] = []
+    for finding in ordered:
+        key = (
+            finding.rule,
+            finding.path,
+            finding.qualname,
+            normalize_source(finding.source),
+        )
+        index = counters.get(key, 0)
+        counters[key] = index + 1
+        if index:
+            finding = Finding(
+                rule=finding.rule,
+                path=finding.path,
+                line=finding.line,
+                qualname=finding.qualname,
+                message=finding.message,
+                source=finding.source,
+                occurrence=index,
+            )
+        out.append(finding)
+    return out

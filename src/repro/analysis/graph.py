@@ -1,0 +1,316 @@
+"""RL003 — interprocedural lock-order cycle detection.
+
+Builds an acquisition-order graph whose nodes are lock tokens (see
+:mod:`repro.analysis.regions`) and whose edges ``A -> B`` mean "somewhere, B
+is acquired while A is held".  Acquisition may be indirect: while holding A, a
+function may call a method that (transitively) acquires B.  Callees are
+resolved through the symbol table — ``self.m()`` to the same class,
+``self._pool.m()`` through attribute class tags (``self._pool =
+SharedMemoryPool(...)`` or an annotated ``__init__`` parameter), annotated
+locals/parameters, and bare names to same-module functions.
+
+Any strongly connected component in the graph is a potential deadlock and is
+reported once.  A self-edge on a *reentrant* lock (``threading.RLock``) is
+legal and skipped; a self-edge on a plain ``Lock`` is an immediate deadlock
+and is reported.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis.findings import Finding
+from repro.analysis.regions import LockToken, acquisition_sites, walk_held
+from repro.analysis.symbols import FunctionInfo, ModuleInfo
+
+#: A function key: ("method", ClassName, name) or ("function", module_path, name).
+FuncKey = Tuple[str, str, str]
+
+
+@dataclass
+class _Edge:
+    src: LockToken
+    dst: LockToken
+    path: str
+    line: int
+    via: str  #: qualname of the function where the edge was observed
+
+
+@dataclass
+class _FunctionFacts:
+    fn: FunctionInfo
+    module: ModuleInfo
+    key: FuncKey
+    #: locks acquired directly in this function
+    direct: Set[LockToken] = field(default_factory=set)
+    #: (held-at-call, callee key, lineno) for resolvable calls
+    calls: List[Tuple[Tuple[LockToken, ...], FuncKey, int]] = field(
+        default_factory=list
+    )
+    #: (held-before, token, lineno) for direct acquisitions
+    acquires: List[Tuple[Tuple[LockToken, ...], LockToken, int]] = field(
+        default_factory=list
+    )
+
+
+def _function_key(fn: FunctionInfo, module: ModuleInfo) -> FuncKey:
+    if fn.class_name and "." not in fn.qualname.replace(
+        f"{fn.class_name}.", "", 1
+    ):
+        return ("method", fn.class_name, fn.node.name)
+    if fn.class_name:
+        return ("method", fn.class_name, fn.qualname)
+    return ("function", module.path, fn.qualname)
+
+
+def _param_classes(fn: FunctionInfo, module: ModuleInfo) -> Dict[str, str]:
+    """Parameter / local name -> class name, from annotations and constructor
+    assignments, for callee resolution."""
+    out: Dict[str, str] = {}
+    args = fn.node.args
+    for arg in list(args.args) + list(args.kwonlyargs) + list(args.posonlyargs):
+        if arg.annotation is not None:
+            name = module.annotation_class(arg.annotation)
+            if name:
+                out[arg.arg] = name
+    for stmt in ast.walk(fn.node):
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+            target = stmt.targets[0]
+            if isinstance(target, ast.Name):
+                name = module.constructor_class(stmt.value)
+                if name:
+                    out[target.id] = name
+        elif isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+            name = module.annotation_class(stmt.annotation)
+            if name:
+                out[stmt.target.id] = name
+    return out
+
+
+def _resolve_callee(
+    call: ast.Call,
+    fn: FunctionInfo,
+    module: ModuleInfo,
+    class_registry: Dict[str, ModuleInfo],
+    local_classes: Dict[str, str],
+) -> Optional[FuncKey]:
+    func = call.func
+    if isinstance(func, ast.Attribute):
+        base = func.value
+        # self.method(...)
+        if isinstance(base, ast.Name) and base.id == "self" and fn.class_name:
+            return ("method", fn.class_name, func.attr)
+        # self.attr.method(...) through attribute class tags
+        if (
+            isinstance(base, ast.Attribute)
+            and isinstance(base.value, ast.Name)
+            and base.value.id == "self"
+            and fn.class_name
+        ):
+            cls = module.classes.get(fn.class_name)
+            if cls is not None:
+                owner = cls.attr_classes.get(base.attr)
+                if owner and owner in class_registry:
+                    return ("method", owner, func.attr)
+        # name.method(...) through annotated params / constructor locals
+        if isinstance(base, ast.Name):
+            owner = local_classes.get(base.id)
+            if owner and owner in class_registry:
+                return ("method", owner, func.attr)
+            # ClassName.classmethod(...) — e.g. SharedSegment.attach(...)
+            if base.id in class_registry:
+                return ("method", base.id, func.attr)
+        return None
+    if isinstance(func, ast.Name):
+        return ("function", module.path, func.id)
+    return None
+
+
+def _collect_facts(modules: List[ModuleInfo]) -> Tuple[
+    Dict[FuncKey, _FunctionFacts], Dict[str, ModuleInfo]
+]:
+    class_registry: Dict[str, ModuleInfo] = {}
+    for module in modules:
+        for name in module.classes:
+            class_registry.setdefault(name, module)
+    facts: Dict[FuncKey, _FunctionFacts] = {}
+    for module in modules:
+        for fn in module.functions:
+            key = _function_key(fn, module)
+            fact = _FunctionFacts(fn=fn, module=module, key=key)
+            local_classes = _param_classes(fn, module)
+            for _node, token, held in acquisition_sites(fn, module):
+                fact.direct.add(token)
+                fact.acquires.append((held, token, _node.lineno))
+            for node, held in walk_held(fn, module):
+                if not isinstance(node, ast.Call):
+                    continue
+                callee = _resolve_callee(
+                    node, fn, module, class_registry, local_classes
+                )
+                if callee is not None:
+                    fact.calls.append((held, callee, node.lineno))
+            facts.setdefault(key, fact)
+    return facts, class_registry
+
+
+def _transitive_summaries(
+    facts: Dict[FuncKey, _FunctionFacts]
+) -> Dict[FuncKey, Set[LockToken]]:
+    summary: Dict[FuncKey, Set[LockToken]] = {
+        key: set(fact.direct) for key, fact in facts.items()
+    }
+    changed = True
+    while changed:
+        changed = False
+        for key, fact in facts.items():
+            current = summary[key]
+            before = len(current)
+            for _held, callee, _line in fact.calls:
+                callee_summary = summary.get(callee)
+                if callee_summary:
+                    current |= callee_summary
+            if len(current) != before:
+                changed = True
+    return summary
+
+
+def _build_edges(
+    facts: Dict[FuncKey, _FunctionFacts],
+    summary: Dict[FuncKey, Set[LockToken]],
+) -> List[_Edge]:
+    edges: List[_Edge] = []
+    seen: Set[Tuple[LockToken, LockToken]] = set()
+
+    def add(src: LockToken, dst: LockToken, module: ModuleInfo, line: int, via: str):
+        if src == dst:
+            # Re-acquiring a reentrant lock is legal; re-acquiring a plain
+            # Lock from the same thread deadlocks immediately.
+            if src[3] != "lock":
+                return
+        if (src, dst) in seen:
+            return
+        seen.add((src, dst))
+        edges.append(_Edge(src=src, dst=dst, path=module.path, line=line, via=via))
+
+    for fact in facts.values():
+        for held, token, line in fact.acquires:
+            for src in held:
+                add(src, token, fact.module, line, fact.fn.qualname)
+        for held, callee, line in fact.calls:
+            if not held:
+                continue
+            for dst in summary.get(callee, ()):  # transitive acquisitions
+                for src in held:
+                    add(src, dst, fact.module, line, fact.fn.qualname)
+    return edges
+
+
+def _token_label(token: LockToken) -> str:
+    scope, owner, name, _kind = token
+    if scope == "attr":
+        return f"{owner}.{name}"
+    if scope == "global":
+        return f"{owner}:{name}"
+    return name
+
+
+def _strongly_connected(
+    nodes: Set[LockToken], adjacency: Dict[LockToken, Set[LockToken]]
+) -> List[List[LockToken]]:
+    """Iterative Tarjan SCC."""
+    index: Dict[LockToken, int] = {}
+    lowlink: Dict[LockToken, int] = {}
+    on_stack: Set[LockToken] = set()
+    stack: List[LockToken] = []
+    counter = [0]
+    components: List[List[LockToken]] = []
+
+    for root in sorted(nodes):
+        if root in index:
+            continue
+        work: List[Tuple[LockToken, List[LockToken], int]] = [
+            (root, sorted(adjacency.get(root, ())), 0)
+        ]
+        index[root] = lowlink[root] = counter[0]
+        counter[0] += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, children, child_index = work.pop()
+            advanced = False
+            for position in range(child_index, len(children)):
+                child = children[position]
+                if child not in index:
+                    work.append((node, children, position + 1))
+                    index[child] = lowlink[child] = counter[0]
+                    counter[0] += 1
+                    stack.append(child)
+                    on_stack.add(child)
+                    work.append((child, sorted(adjacency.get(child, ())), 0))
+                    advanced = True
+                    break
+                if child in on_stack:
+                    lowlink[node] = min(lowlink[node], index[child])
+            if advanced:
+                continue
+            if lowlink[node] == index[node]:
+                component: List[LockToken] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                components.append(component)
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+    return components
+
+
+def check_lock_order(modules: List[ModuleInfo]) -> List[Finding]:
+    facts, _registry = _collect_facts(modules)
+    summary = _transitive_summaries(facts)
+    edges = _build_edges(facts, summary)
+    adjacency: Dict[LockToken, Set[LockToken]] = {}
+    nodes: Set[LockToken] = set()
+    for edge in edges:
+        nodes.add(edge.src)
+        nodes.add(edge.dst)
+        adjacency.setdefault(edge.src, set()).add(edge.dst)
+
+    findings: List[Finding] = []
+    for component in _strongly_connected(nodes, adjacency):
+        members = set(component)
+        cyclic = len(component) > 1 or (
+            component[0] in adjacency.get(component[0], set())
+        )
+        if not cyclic:
+            continue
+        cycle_edges = [e for e in edges if e.src in members and e.dst in members]
+        cycle_edges.sort(key=lambda e: (e.path, e.line))
+        anchor = cycle_edges[0]
+        labels = " -> ".join(_token_label(t) for t in sorted(members))
+        detail = "; ".join(
+            f"{_token_label(e.src)} held while acquiring {_token_label(e.dst)} "
+            f"in {e.via} ({e.path}:{e.line})"
+            for e in cycle_edges[:4]
+        )
+        module = next(m for m in modules if m.path == anchor.path)
+        source = ""
+        if 1 <= anchor.line <= len(module.lines):
+            source = module.lines[anchor.line - 1].strip()
+        findings.append(
+            Finding(
+                rule="RL003",
+                path=anchor.path,
+                line=anchor.line,
+                qualname=anchor.via,
+                message=f"lock-order cycle among {{{labels}}}: {detail}",
+                source=source,
+            )
+        )
+    return findings

@@ -1,0 +1,329 @@
+"""RL001 guarded-attribute, RL002 blocking-under-lock, RL007 check-then-act.
+
+These three checks share the held-lock region machinery from
+:mod:`repro.analysis.regions`: RL001 demands a lock *is* held where a guarded
+attribute is touched, RL002 demands nothing blocking happens *while* one is
+held, and RL007 demands membership-test-then-mutate sequences happen *under*
+one.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis.findings import Finding
+from repro.analysis.regions import (
+    LockToken,
+    receiver_kind,
+    resolve_lock,
+    walk_held,
+)
+from repro.analysis.symbols import FunctionInfo, ModuleInfo
+
+#: Methods exempt from RL001: construction/destruction run single-threaded,
+#: and the ``*_locked`` suffix is this codebase's "caller holds the lock"
+#: convention (the call sites are checked instead).
+_RL001_EXEMPT_NAMES = {"__init__", "__del__", "__post_init__"}
+
+#: Container-mutating method names for RL007.
+_MUTATORS = {
+    "add",
+    "append",
+    "appendleft",
+    "clear",
+    "discard",
+    "extend",
+    "insert",
+    "pop",
+    "popitem",
+    "popleft",
+    "remove",
+    "update",
+}
+
+
+def _source_line(module: ModuleInfo, lineno: int) -> str:
+    if 1 <= lineno <= len(module.lines):
+        return module.lines[lineno - 1].strip()
+    return ""
+
+
+def _finding(
+    rule: str, module: ModuleInfo, node: ast.AST, qualname: str, message: str
+) -> Finding:
+    return Finding(
+        rule=rule,
+        path=module.path,
+        line=node.lineno,
+        qualname=qualname,
+        message=message,
+        source=_source_line(module, node.lineno),
+    )
+
+
+def _lock_names(held: Tuple[LockToken, ...]) -> str:
+    names = []
+    for token in held:
+        scope, owner, name, _kind = token
+        label = f"{owner}.{name}" if scope == "attr" else name
+        if label not in names:
+            names.append(label)
+    return ", ".join(names)
+
+
+# ---------------------------------------------------------------------------
+# RL001 — guarded attributes touched without their lock
+# ---------------------------------------------------------------------------
+
+
+def check_guarded_attributes(module: ModuleInfo) -> List[Finding]:
+    findings: List[Finding] = []
+    for fn in module.functions:
+        name = fn.node.name
+        if name in _RL001_EXEMPT_NAMES or name.endswith("_locked"):
+            continue
+        if module.global_guarded:
+            for node, held in walk_held(fn, module):
+                if not isinstance(node, ast.Name):
+                    continue
+                guard = module.global_guarded.get(node.id)
+                if guard is None:
+                    continue
+                guard_kind = module.global_kinds.get(guard, "lock")
+                token = ("global", module.path, guard, guard_kind)
+                if token in held:
+                    continue
+                findings.append(
+                    _finding(
+                        "RL001",
+                        module,
+                        node,
+                        fn.qualname,
+                        f"module global '{node.id}' is declared guarded by "
+                        f"'{guard}' but is accessed without holding it",
+                    )
+                )
+        if fn.class_name is None:
+            continue
+        cls = module.classes.get(fn.class_name)
+        if cls is None or not cls.guarded_by:
+            continue
+        for node, held in walk_held(fn, module):
+            if not isinstance(node, ast.Attribute):
+                continue
+            if not (isinstance(node.value, ast.Name) and node.value.id == "self"):
+                continue
+            guard = cls.guarded_by.get(node.attr)
+            if guard is None:
+                continue
+            guard_kind = cls.attr_kinds.get(guard, "lock")
+            token = ("attr", fn.class_name, guard, guard_kind)
+            if token in held:
+                continue
+            findings.append(
+                _finding(
+                    "RL001",
+                    module,
+                    node,
+                    fn.qualname,
+                    f"attribute 'self.{node.attr}' is declared guarded by "
+                    f"'{guard}' but is accessed without holding it",
+                )
+            )
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# RL002 — blocking calls while a lock is held
+# ---------------------------------------------------------------------------
+
+_SOCKET_BLOCKERS = {"recv", "recv_into", "recvfrom", "send", "sendall", "accept", "connect"}
+
+
+def _queue_call_is_blocking(call: ast.Call) -> bool:
+    """``q.get()`` / ``q.put(x)`` block unless ``block=False`` is passed."""
+    for kw in call.keywords:
+        if kw.arg == "block" and isinstance(kw.value, ast.Constant):
+            return bool(kw.value.value)
+    return True
+
+
+def classify_blocking_call(
+    call: ast.Call, fn: FunctionInfo, module: ModuleInfo
+) -> Optional[Tuple[str, Optional[str]]]:
+    """Return ``(description, receiver_kind)`` if the call can block.
+
+    ``receiver_kind`` lets RL002 apply the condition-on-own-lock exemption
+    and RL006 allow ``self._selector.select`` in the reactor loop.
+    """
+    target = module.resolve_call_target(call.func)
+    if target == ("time", "sleep"):
+        return ("time.sleep()", None)
+    if target == ("select", "select"):
+        return ("select.select()", None)
+    if target == ("socket", "create_connection"):
+        return ("socket.create_connection()", "socket")
+    if not isinstance(call.func, ast.Attribute):
+        return None
+    method = call.func.attr
+    kind = receiver_kind(call.func.value, fn, module)
+    if kind == "queue" and method in {"get", "put"}:
+        if _queue_call_is_blocking(call):
+            return (f"Queue.{method}() without block=False", kind)
+        return None
+    if kind == "socket" and method in _SOCKET_BLOCKERS:
+        return (f"socket.{method}()", kind)
+    if kind == "thread" and method == "join":
+        return ("Thread.join()", kind)
+    if kind == "event" and method == "wait":
+        return ("Event.wait()", kind)
+    if kind == "condition" and method in {"wait", "wait_for"}:
+        return (f"Condition.{method}()", kind)
+    if kind == "selector" and method == "select":
+        return ("selector.select()", kind)
+    return None
+
+
+def check_blocking_under_lock(module: ModuleInfo) -> List[Finding]:
+    findings: List[Finding] = []
+    for fn in module.functions:
+        for node, held in walk_held(fn, module):
+            if not isinstance(node, ast.Call) or not held:
+                continue
+            classified = classify_blocking_call(node, fn, module)
+            if classified is None:
+                continue
+            description, kind = classified
+            if kind == "condition":
+                # Waiting on a Condition releases *its own* lock; that is the
+                # whole point of a condition variable.  It only deadlocks if
+                # some *other* lock is also held across the wait.
+                token = resolve_lock(node.func.value, fn, module)  # type: ignore[union-attr]
+                others = set(held) - ({token} if token else set())
+                if token is not None and token in held and not others:
+                    continue
+            if kind == "selector":
+                # The selector's own select() is the event loop's wait; RL002
+                # still flags it if a lock is held around it, which is correct.
+                pass
+            findings.append(
+                _finding(
+                    "RL002",
+                    module,
+                    node,
+                    fn.qualname,
+                    f"blocking call {description} while holding "
+                    f"{_lock_names(held)}",
+                )
+            )
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# RL007 — check-then-act on shared containers outside a lock
+# ---------------------------------------------------------------------------
+
+
+def _container_key(expr: ast.AST) -> Optional[str]:
+    """Identity of a container expression: ``self.x`` or a bare name."""
+    if (
+        isinstance(expr, ast.Attribute)
+        and isinstance(expr.value, ast.Name)
+        and expr.value.id == "self"
+    ):
+        return f"self.{expr.attr}"
+    if isinstance(expr, ast.Name):
+        return expr.id
+    return None
+
+
+def _module_global_containers(module: ModuleInfo) -> Set[str]:
+    """Module-level mutable containers (dict/list/set literals or calls)."""
+    names: Set[str] = set()
+    for stmt in module.tree.body:
+        if isinstance(stmt, ast.Assign):
+            value = stmt.value
+            is_container = isinstance(value, (ast.Dict, ast.List, ast.Set)) or (
+                isinstance(value, ast.Call)
+                and isinstance(value.func, ast.Name)
+                and value.func.id in {"dict", "list", "set", "defaultdict", "OrderedDict", "deque"}
+            )
+            if is_container:
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name):
+                        names.add(target.id)
+    return names
+
+
+def _mutations_of(body: List[ast.stmt], key: str) -> List[ast.AST]:
+    """Nodes inside ``body`` that mutate the container identified by ``key``."""
+    hits: List[ast.AST] = []
+    for stmt in body:
+        for node in ast.walk(stmt):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            if isinstance(node, ast.Subscript) and isinstance(
+                node.ctx, (ast.Store, ast.Del)
+            ):
+                if _container_key(node.value) == key:
+                    hits.append(node)
+            elif isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+                if (
+                    node.func.attr in _MUTATORS
+                    and _container_key(node.func.value) == key
+                ):
+                    hits.append(node)
+    return hits
+
+
+def check_check_then_act(module: ModuleInfo) -> List[Finding]:
+    findings: List[Finding] = []
+    global_containers = _module_global_containers(module)
+    module_has_global_lock = any(
+        kind in {"lock", "rlock", "condition"} for kind in module.global_kinds.values()
+    )
+    for fn in module.functions:
+        if fn.node.name in {"__init__", "__del__"}:
+            continue
+        cls = module.classes.get(fn.class_name) if fn.class_name else None
+        for node, held in walk_held(fn, module):
+            if not isinstance(node, ast.If) or held:
+                continue
+            test = node.test
+            if not (
+                isinstance(test, ast.Compare)
+                and len(test.ops) == 1
+                and isinstance(test.ops[0], (ast.In, ast.NotIn))
+                and len(test.comparators) == 1
+            ):
+                continue
+            container = test.comparators[0]
+            key = _container_key(container)
+            if key is None:
+                continue
+            if key.startswith("self."):
+                attr = key[len("self.") :]
+                if cls is None or not cls.is_concurrent():
+                    continue
+                if attr in cls.guarded_by:
+                    continue  # RL001 owns guarded attributes
+            else:
+                # Bare names: only module globals in modules that bother to
+                # define a module-level lock are considered shared state.
+                if key not in global_containers or not module_has_global_lock:
+                    continue
+            mutations = _mutations_of(node.body, key)
+            if not mutations:
+                continue
+            findings.append(
+                _finding(
+                    "RL007",
+                    module,
+                    node,
+                    fn.qualname,
+                    f"check-then-act on '{key}': membership test and mutation "
+                    f"(line {mutations[0].lineno}) are not atomic without a lock",
+                )
+            )
+    return findings

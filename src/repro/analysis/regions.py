@@ -1,0 +1,148 @@
+"""Held-lock region tracking over a function body.
+
+Several checks need to know, at every AST node, *which locks are held* — the
+stack of enclosing ``with self._lock:`` blocks.  :func:`walk_held` yields
+``(node, held)`` pairs where ``held`` is the tuple of lock tokens acquired by
+enclosing ``with`` statements, resolved through the module symbol table.
+
+A lock token is a tuple identifying the lock across functions:
+
+* ``("attr", ClassName, attr, kind)`` — ``self._lock`` style instance locks
+* ``("global", module_path, name, kind)`` — module-level locks
+* ``("local", qualname, name, kind)`` — function-local locks
+
+``kind`` is ``"lock"``, ``"rlock"`` or ``"condition"`` and rides along so the
+checks can special-case reentrant locks and condition variables.
+
+Nested function definitions are *not* descended into: a closure's body runs
+at some later time, possibly on another thread, so locks held at its
+definition site say nothing about locks held when it executes.  Closures are
+analyzed separately as their own functions (with an empty initial held set).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Tuple
+
+from repro.analysis.symbols import (
+    LOCK_KINDS,
+    FunctionInfo,
+    ModuleInfo,
+)
+
+LockToken = Tuple[str, str, str, str]
+
+
+def resolve_lock(
+    expr: ast.AST, fn: FunctionInfo, module: ModuleInfo
+) -> Optional[LockToken]:
+    """Map a ``with`` context expression to a lock token, if it is a lock."""
+    if (
+        isinstance(expr, ast.Attribute)
+        and isinstance(expr.value, ast.Name)
+        and expr.value.id == "self"
+        and fn.class_name
+    ):
+        cls = module.classes.get(fn.class_name)
+        if cls is not None:
+            kind = cls.attr_kinds.get(expr.attr)
+            if kind in LOCK_KINDS:
+                return ("attr", fn.class_name, expr.attr, kind)
+        return None
+    if isinstance(expr, ast.Name):
+        kind = fn.local_kinds.get(expr.id)
+        if kind in LOCK_KINDS:
+            return ("local", fn.qualname, expr.id, kind)
+        kind = module.global_kinds.get(expr.id)
+        if kind in LOCK_KINDS:
+            return ("global", module.path, expr.id, kind)
+    return None
+
+
+def receiver_kind(
+    expr: ast.AST, fn: FunctionInfo, module: ModuleInfo
+) -> Optional[str]:
+    """Concurrency kind of a method call's receiver expression, if known."""
+    if (
+        isinstance(expr, ast.Attribute)
+        and isinstance(expr.value, ast.Name)
+        and expr.value.id == "self"
+        and fn.class_name
+    ):
+        cls = module.classes.get(fn.class_name)
+        if cls is not None:
+            return cls.attr_kinds.get(expr.attr)
+        return None
+    if isinstance(expr, ast.Name):
+        kind = fn.local_kinds.get(expr.id)
+        if kind:
+            return kind
+        return module.global_kinds.get(expr.id)
+    return None
+
+
+def walk_held(
+    fn: FunctionInfo, module: ModuleInfo
+) -> Iterator[Tuple[ast.AST, Tuple[LockToken, ...]]]:
+    """Yield every node of ``fn`` with the tuple of locks held at that node."""
+    held: List[LockToken] = []
+
+    def _walk(node: ast.AST) -> Iterator[Tuple[ast.AST, Tuple[LockToken, ...]]]:
+        yield node, tuple(held)
+        if (
+            isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda))
+            and node is not fn.node
+        ):
+            return  # closure body runs later; held set does not apply
+        if isinstance(node, ast.With):
+            acquired = 0
+            for item in node.items:
+                yield from _walk(item.context_expr)
+                if item.optional_vars is not None:
+                    yield from _walk(item.optional_vars)
+                token = resolve_lock(item.context_expr, fn, module)
+                if token is not None:
+                    held.append(token)
+                    acquired += 1
+            for stmt in node.body:
+                yield from _walk(stmt)
+            for _ in range(acquired):
+                held.pop()
+            return
+        for child in ast.iter_child_nodes(node):
+            yield from _walk(child)
+
+    yield from _walk(fn.node)
+
+
+def acquisition_sites(
+    fn: FunctionInfo, module: ModuleInfo
+) -> Iterator[Tuple[ast.With, LockToken, Tuple[LockToken, ...]]]:
+    """Yield ``(with_node, acquired_token, held_before)`` for every lock
+    acquisition in ``fn`` (used by the RL003 lock-order graph)."""
+    held: List[LockToken] = []
+
+    def _walk(node: ast.AST) -> Iterator:
+        if (
+            isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda))
+            and node is not fn.node
+        ):
+            return
+        if isinstance(node, ast.With):
+            acquired = 0
+            for item in node.items:
+                token = resolve_lock(item.context_expr, fn, module)
+                if token is not None:
+                    yield node, token, tuple(held)
+                    held.append(token)
+                    acquired += 1
+            for stmt in node.body:
+                yield from _walk(stmt)
+            for _ in range(acquired):
+                held.pop()
+            return
+        for child in ast.iter_child_nodes(node):
+            yield from _walk(child)
+
+    yield from _walk(fn.node)

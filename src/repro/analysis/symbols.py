@@ -1,0 +1,444 @@
+"""Lightweight symbol table over one module's AST.
+
+The checkers need three kinds of facts that plain ``ast`` walks do not give
+them directly:
+
+* **what an attribute is** — ``self._lock = threading.Lock()`` tags ``_lock``
+  as a lock; ``self._mailbox = queue.Queue(...)`` tags a queue; annotations
+  like ``Optional[threading.Thread]`` tag threads.  Blocking-call
+  classification (RL002/RL006) keys off these kinds.
+* **what guards an attribute** — ``#: guarded by _lock`` comments, either
+  trailing the assignment or on the line above it.  Comments are invisible to
+  ``ast``, so these are recovered from the raw source lines and joined to the
+  assignment nodes by line number (RL001).
+* **which code is reactor-affine** — ``@reactor_only`` decorations, including
+  on closures nested inside methods (RL006).
+
+Everything here is derived in a single pass per module and shared by all
+checkers; nothing imports the code under analysis.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Set, Tuple, Union
+
+FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+#: Constructors whose result gets a concurrency "kind" tag.
+_CONSTRUCTOR_KINDS: Dict[Tuple[str, str], str] = {
+    ("threading", "Lock"): "lock",
+    ("threading", "RLock"): "rlock",
+    ("threading", "Condition"): "condition",
+    ("threading", "Event"): "event",
+    ("threading", "Semaphore"): "semaphore",
+    ("threading", "BoundedSemaphore"): "semaphore",
+    ("threading", "Thread"): "thread",
+    ("multiprocessing", "Lock"): "lock",
+    ("multiprocessing", "RLock"): "rlock",
+    ("multiprocessing", "Event"): "event",
+    ("queue", "Queue"): "queue",
+    ("queue", "LifoQueue"): "queue",
+    ("queue", "PriorityQueue"): "queue",
+    ("queue", "SimpleQueue"): "queue",
+    ("socket", "socket"): "socket",
+    ("socket", "create_connection"): "socket",
+    ("selectors", "DefaultSelector"): "selector",
+    ("selectors", "SelectSelector"): "selector",
+    ("selectors", "PollSelector"): "selector",
+    ("selectors", "EpollSelector"): "selector",
+}
+
+#: Kinds that count as mutexes for held-region tracking.
+LOCK_KINDS = frozenset({"lock", "rlock", "condition"})
+
+#: Kinds that make a class "concurrent" for RL007 scoping purposes.
+CONCURRENT_KINDS = frozenset(
+    {"lock", "rlock", "condition", "event", "queue", "thread", "socket", "selector"}
+)
+
+_GUARDED_BY_RE = re.compile(r"#:\s*guarded\s+by\s+([A-Za-z_]\w*)")
+_PRAGMA_RE = re.compile(r"#\s*reprolint:\s*disable=([A-Za-z0-9_,\s*]+)")
+
+
+def _dotted_parts(node: ast.AST) -> Optional[Tuple[str, ...]]:
+    """``a.b.c`` -> ("a", "b", "c"); None for anything not a dotted name."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return tuple(reversed(parts))
+    return None
+
+
+def _annotation_identifiers(node: ast.AST) -> Iterator[Tuple[str, ...]]:
+    """Yield every dotted name mentioned inside a type annotation.
+
+    Handles ``threading.Thread``, ``Optional[threading.Thread]``, string
+    annotations like ``"SharedMemoryPool"`` and subscripted generics.
+    """
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        try:
+            node = ast.parse(node.value, mode="eval").body
+        except SyntaxError:
+            return
+    for sub in ast.walk(node):
+        if isinstance(sub, (ast.Name, ast.Attribute)):
+            parts = _dotted_parts(sub)
+            if parts:
+                yield parts
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method (including nested closures)."""
+
+    node: FunctionNode
+    qualname: str  #: e.g. ``SharedMemoryPool.release`` or ``f.<locals>.g``
+    class_name: Optional[str]  #: owning class, if a method
+    reactor_only: bool = False  #: carries the ``@reactor_only`` decorator
+    #: local variable name -> concurrency kind, from simple assignments like
+    #: ``t = threading.Thread(...)``.
+    local_kinds: Dict[str, str] = field(default_factory=dict)
+
+
+@dataclass
+class ClassInfo:
+    name: str
+    module: "ModuleInfo"
+    node: ast.ClassDef
+    #: instance attribute -> concurrency kind ("lock", "queue", ...)
+    attr_kinds: Dict[str, str] = field(default_factory=dict)
+    #: instance attribute -> class name it holds (``self._pool = Pool(...)``)
+    attr_classes: Dict[str, str] = field(default_factory=dict)
+    #: instance attribute -> lock attribute guarding it (from ``#: guarded by``)
+    guarded_by: Dict[str, str] = field(default_factory=dict)
+    #: method name -> node (top-level methods only, not closures)
+    methods: Dict[str, FunctionNode] = field(default_factory=dict)
+
+    def lock_attrs(self) -> Set[str]:
+        return {a for a, k in self.attr_kinds.items() if k in LOCK_KINDS}
+
+    def is_concurrent(self) -> bool:
+        if self.guarded_by:
+            return True
+        return any(k in CONCURRENT_KINDS for k in self.attr_kinds.values())
+
+
+@dataclass
+class ModuleInfo:
+    path: str  #: posix relpath used in findings
+    source: str
+    tree: ast.Module
+    lines: List[str]
+    #: line number -> suppressed rule codes ("*" suppresses all)
+    pragmas: Dict[int, Set[str]] = field(default_factory=dict)
+    #: module-global name -> concurrency kind (``_REGISTRY_LOCK = Lock()``)
+    global_kinds: Dict[str, str] = field(default_factory=dict)
+    #: module-global name -> the module-level lock guarding it
+    global_guarded: Dict[str, str] = field(default_factory=dict)
+    classes: Dict[str, ClassInfo] = field(default_factory=dict)
+    functions: List[FunctionInfo] = field(default_factory=list)
+    #: imported alias -> canonical module name ("thr" -> "threading")
+    import_aliases: Dict[str, str] = field(default_factory=dict)
+    #: from-imported alias -> (module, original name)
+    from_imports: Dict[str, Tuple[str, str]] = field(default_factory=dict)
+
+    # -- call/attribute classification -------------------------------------
+    def resolve_call_target(self, func: ast.AST) -> Optional[Tuple[str, str]]:
+        """Resolve a call's callee to a ``(module, name)`` pair if possible."""
+        if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+            base = self.import_aliases.get(func.value.id, func.value.id)
+            return (base, func.attr)
+        if isinstance(func, ast.Name):
+            if func.id in self.from_imports:
+                return self.from_imports[func.id]
+        return None
+
+    def constructor_kind(self, node: ast.AST) -> Optional[str]:
+        """Kind produced by an expression, if it is a known constructor call."""
+        if not isinstance(node, ast.Call):
+            return None
+        target = self.resolve_call_target(node.func)
+        if target is None:
+            return None
+        return _CONSTRUCTOR_KINDS.get(target)
+
+    def constructor_class(self, node: ast.AST) -> Optional[str]:
+        """Class name produced by ``SomeClass(...)`` (unqualified or dotted)."""
+        if not isinstance(node, ast.Call):
+            return None
+        parts = _dotted_parts(node.func)
+        if parts and parts[-1][:1].isupper():
+            return parts[-1]
+        return None
+
+    def annotation_kind(self, node: ast.AST) -> Optional[str]:
+        for parts in _annotation_identifiers(node):
+            if len(parts) >= 2 and _CONSTRUCTOR_KINDS.get((parts[-2], parts[-1])):
+                return _CONSTRUCTOR_KINDS[(parts[-2], parts[-1])]
+            if len(parts) == 1 and parts[0] in self.from_imports:
+                target = self.from_imports[parts[0]]
+                if target in _CONSTRUCTOR_KINDS:
+                    return _CONSTRUCTOR_KINDS[target]
+        return None
+
+    def annotation_class(self, node: ast.AST) -> Optional[str]:
+        for parts in _annotation_identifiers(node):
+            if parts[-1][:1].isupper() and parts[-1] not in {
+                "Optional",
+                "Dict",
+                "List",
+                "Tuple",
+                "Set",
+                "Mapping",
+                "Sequence",
+                "Union",
+                "Any",
+                "Callable",
+                "Iterator",
+                "Iterable",
+                "Type",
+                "None",
+            }:
+                return parts[-1]
+        return None
+
+    def suppressed(self, line: int, rule: str) -> bool:
+        rules = self.pragmas.get(line)
+        if not rules:
+            return False
+        return "*" in rules or rule in rules
+
+
+def _is_reactor_only(node: FunctionNode) -> bool:
+    for dec in node.decorator_list:
+        parts = _dotted_parts(dec)
+        if parts and parts[-1] == "reactor_only":
+            return True
+    return False
+
+
+def _self_attr(node: ast.AST) -> Optional[str]:
+    """``self.x`` -> ``"x"``."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+class _ModuleScanner(ast.NodeVisitor):
+    """Single pass filling a :class:`ModuleInfo`."""
+
+    def __init__(self, info: ModuleInfo):
+        self.info = info
+        self._class_stack: List[ClassInfo] = []
+        self._qual_stack: List[str] = []
+
+    # -- imports -----------------------------------------------------------
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            self.info.import_aliases[alias.asname or alias.name] = alias.name
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module:
+            for alias in node.names:
+                self.info.from_imports[alias.asname or alias.name] = (
+                    node.module,
+                    alias.name,
+                )
+
+    # -- module globals ----------------------------------------------------
+    def visit_Assign(self, node: ast.Assign) -> None:
+        if not self._class_stack and not self._qual_stack:
+            kind = self.info.constructor_kind(node.value)
+            for target in node.targets:
+                if not isinstance(target, ast.Name):
+                    continue
+                if kind:
+                    self.info.global_kinds[target.id] = kind
+                guard = self._guarded_by_comment(node.lineno)
+                if guard:
+                    self.info.global_guarded[target.id] = guard
+        self._record_self_assignment(node, node.value, annotation=None)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        self._record_self_assignment(node, node.value, annotation=node.annotation)
+        self.generic_visit(node)
+
+    def _record_self_assignment(
+        self,
+        stmt: ast.stmt,
+        value: Optional[ast.AST],
+        annotation: Optional[ast.AST],
+    ) -> None:
+        if not self._class_stack or not self._qual_stack:
+            return
+        cls = self._class_stack[-1]
+        targets = (
+            stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]  # type: ignore[attr-defined]
+        )
+        for target in targets:
+            attr = _self_attr(target)
+            if attr is None:
+                continue
+            kind = None
+            if value is not None:
+                kind = self.info.constructor_kind(value)
+            if kind is None and annotation is not None:
+                kind = self.info.annotation_kind(annotation)
+            if kind and attr not in cls.attr_kinds:
+                cls.attr_kinds[attr] = kind
+            held_class = None
+            if value is not None:
+                held_class = self.info.constructor_class(value)
+            if held_class is None and annotation is not None:
+                held_class = self.info.annotation_class(annotation)
+            if held_class and attr not in cls.attr_classes:
+                cls.attr_classes[attr] = held_class
+            self._record_guarded_by(cls, attr, stmt.lineno)
+
+    def _guarded_by_comment(self, lineno: int) -> Optional[str]:
+        """``#: guarded by <lock>`` trailing ``lineno`` or on the line above."""
+        lines = self.info.lines
+        for candidate in (lineno, lineno - 1):
+            if not 1 <= candidate <= len(lines):
+                continue
+            text = lines[candidate - 1]
+            if candidate == lineno - 1 and not text.lstrip().startswith("#"):
+                continue
+            match = _GUARDED_BY_RE.search(text)
+            if match:
+                return match.group(1)
+        return None
+
+    def _record_guarded_by(self, cls: ClassInfo, attr: str, lineno: int) -> None:
+        guard = self._guarded_by_comment(lineno)
+        if guard:
+            cls.guarded_by[attr] = guard
+
+    # -- classes and functions ---------------------------------------------
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        cls = ClassInfo(name=node.name, module=self.info, node=node)
+        self.info.classes[node.name] = cls
+        self._class_stack.append(cls)
+        self._qual_stack.append(node.name)
+        for item in node.body:
+            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                cls.methods[item.name] = item
+        self.generic_visit(node)
+        self._qual_stack.pop()
+        self._class_stack.pop()
+
+    def _visit_function(self, node: FunctionNode) -> None:
+        owning_class = self._class_stack[-1].name if self._class_stack else None
+        in_function = bool(self._qual_stack) and not (
+            self._class_stack and self._qual_stack[-1] == self._class_stack[-1].name
+        )
+        if in_function:
+            qualname = f"{self._qual_stack[-1]}.<locals>.{node.name}"
+        elif owning_class:
+            qualname = f"{owning_class}.{node.name}"
+        else:
+            qualname = node.name
+        fn = FunctionInfo(
+            node=node,
+            qualname=qualname,
+            class_name=owning_class,
+            reactor_only=_is_reactor_only(node),
+        )
+        self._collect_local_kinds(fn)
+        self.info.functions.append(fn)
+        # Propagate annotated __init__ params into attr_classes/attr_kinds:
+        # ``def __init__(self, pool: SharedMemoryPool)`` + ``self._pool = pool``.
+        if owning_class and node.name == "__init__":
+            self._propagate_param_annotations(node, self._class_stack[-1])
+        self._qual_stack.append(qualname)
+        self.generic_visit(node)
+        self._qual_stack.pop()
+
+    visit_FunctionDef = _visit_function
+    visit_AsyncFunctionDef = _visit_function
+
+    def _collect_local_kinds(self, fn: FunctionInfo) -> None:
+        for stmt in ast.walk(fn.node):
+            if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                target = stmt.targets[0]
+                if isinstance(target, ast.Name):
+                    kind = self.info.constructor_kind(stmt.value)
+                    if kind:
+                        fn.local_kinds[target.id] = kind
+
+    def _propagate_param_annotations(self, node: FunctionNode, cls: ClassInfo) -> None:
+        param_classes: Dict[str, str] = {}
+        param_kinds: Dict[str, str] = {}
+        for arg in list(node.args.args) + list(node.args.kwonlyargs):
+            if arg.annotation is None:
+                continue
+            name = self.info.annotation_class(arg.annotation)
+            if name:
+                param_classes[arg.arg] = name
+            kind = self.info.annotation_kind(arg.annotation)
+            if kind:
+                param_kinds[arg.arg] = kind
+        if not param_classes and not param_kinds:
+            return
+        for stmt in ast.walk(node):
+            if isinstance(stmt, ast.Assign) and isinstance(stmt.value, ast.Name):
+                source = stmt.value.id
+                for target in stmt.targets:
+                    attr = _self_attr(target)
+                    if attr is None:
+                        continue
+                    if source in param_classes and attr not in cls.attr_classes:
+                        cls.attr_classes[attr] = param_classes[source]
+                    if source in param_kinds and attr not in cls.attr_kinds:
+                        cls.attr_kinds[attr] = param_kinds[source]
+
+
+def _scan_pragmas(info: ModuleInfo) -> None:
+    for lineno, text in enumerate(info.lines, start=1):
+        match = _PRAGMA_RE.search(text)
+        if match:
+            rules = {part.strip() for part in match.group(1).split(",") if part.strip()}
+            info.pragmas[lineno] = rules
+
+
+def own_walk(root: FunctionNode) -> Iterator[ast.AST]:
+    """Like ``ast.walk`` but does not descend into nested function bodies.
+
+    Closures get their own :class:`FunctionInfo` and are checked separately;
+    walking them from the enclosing function would double-report findings.
+    """
+    stack: List[ast.AST] = [root]
+    while stack:
+        node = stack.pop()
+        yield node
+        for child in ast.iter_child_nodes(node):
+            if (
+                isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda))
+            ):
+                continue
+            stack.append(child)
+
+
+def build_module(path: str, source: str) -> ModuleInfo:
+    """Parse one module and derive its symbol table."""
+    tree = ast.parse(source, filename=path)
+    info = ModuleInfo(
+        path=path,
+        source=source,
+        tree=tree,
+        lines=source.splitlines(),
+    )
+    _scan_pragmas(info)
+    _ModuleScanner(info).visit(tree)
+    return info

@@ -234,9 +234,9 @@ class DatasetBroker:
         self.idle_ttl = idle_ttl
         self.sweep_interval = sweep_interval
         self.default_quota_bytes = default_quota_bytes
-        self._mounts: Dict[str, _Mount] = {}
         self._lock = threading.RLock()
-        self._shutdown = False
+        self._mounts: Dict[str, _Mount] = {}  #: guarded by _lock
+        self._shutdown = False  #: guarded by _lock
         # Read by SharedLoaderSession.at(): a fork()ed child must not resolve
         # names through this parent-process broker object.
         self._owner_pid = os.getpid()
@@ -558,7 +558,10 @@ class DatasetBroker:
             }
 
     def _ensure_open(self) -> None:
-        if self._shutdown:
+        # _lock is reentrant, so callers that already hold it can still ask.
+        with self._lock:
+            shut = self._shutdown
+        if shut:
             raise RuntimeError(
                 f"broker at {self.address!r} has been shut down; "
                 f"create a new broker to serve again"
@@ -597,7 +600,7 @@ class DatasetBroker:
         with self._lock:
             mounted = sum(1 for mount in self._mounts.values() if mount.mounted)
             total = len(self._mounts)
-        state = "shutdown" if self._shutdown else "open"
+            state = "shutdown" if self._shutdown else "open"
         return (
             f"DatasetBroker(address={self.address!r}, datasets={total}, "
             f"mounted={mounted}, state={state})"

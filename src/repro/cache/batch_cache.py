@@ -132,22 +132,22 @@ class BatchCache:
         self.budget_bytes = budget_bytes
         self._lock = threading.Lock()
         # Insertion/recency order: last entry = most recently used.
-        self._entries: "OrderedDict[int, _CacheEntry]" = OrderedDict()
-        self._bytes = 0
+        self._entries: "OrderedDict[int, _CacheEntry]" = OrderedDict()  #: guarded by _lock
+        self._bytes = 0  #: guarded by _lock
         # Number of producer batches in the last fully-inserted epoch, for
         # flexible-mode replay (where the epoch length is only known after
         # the FlexibleBatcher has re-chunked the loader's output).
-        self._complete_epoch_len: Optional[int] = None
+        self._complete_epoch_len: Optional[int] = None  #: guarded by _lock
         # Indices the current epoch planned as hits but has not served yet.
         # Protected from eviction: evicting them would turn every planned
         # hit into a fallback load (the LRU cyclic-access thrash).
-        self._protected: set = set()
+        self._protected: set = set()  #: guarded by _lock
         # The sampler composition (per-batch index lists) of the epoch that
         # filled the cache.  Partially cached epochs MUST reload their misses
         # from this same composition: mixing cached epoch-0 batches with a
         # fresh shuffle's batches would duplicate some samples and drop
         # others within one epoch.
-        self._epoch_composition: Optional[list] = None
+        self._epoch_composition: Optional[list] = None  #: guarded by _lock
         self.hits = 0
         self.misses = 0
         self.insertions = 0

@@ -38,7 +38,7 @@ from repro.messaging import endpoint as endpoints
 from repro.messaging.errors import DuplicateConsumerError, MessagingError, TimeoutError_
 from repro.messaging.heartbeat import HeartbeatSender
 from repro.messaging.message import Message, MessageKind
-from repro.messaging.reactor import get_reactor
+from repro.messaging.reactor import get_reactor, reactor_only
 from repro.messaging.sockets import PushSocket
 from repro.messaging.transport import InProcHub
 from repro.tensor.payload import BatchPayload
@@ -250,6 +250,7 @@ class TensorConsumer:
             self._registered_event.wait(remaining)
 
     # ------------------------------------------------------------------ reactor callbacks
+    @reactor_only
     def _on_reactor_message(self, message: Message) -> None:
         """Reactor thread: eager signal extraction, then forward to the mailbox.
 
@@ -287,6 +288,7 @@ class TensorConsumer:
             except Exception:
                 pass
 
+    @reactor_only
     def _on_reactor_timer(self) -> None:
         """Reactor timer wheel: heartbeats and registration retries."""
         if self._closed or self._shutdown:
@@ -306,8 +308,15 @@ class TensorConsumer:
         self._wakeups.append(wakeup)
 
     def _remove_mailbox_listener(self, wakeup) -> None:
-        if wakeup in self._wakeups:
+        # The reactor thread snapshots this list while group members add and
+        # remove themselves from training threads; a membership test followed
+        # by remove() is a TOCTOU window where two concurrent removals both
+        # pass the test and the loser raises.  A single remove() is atomic
+        # under the GIL, so catch the miss instead of testing first.
+        try:
             self._wakeups.remove(wakeup)
+        except ValueError:
+            pass
 
     # ------------------------------------------------------------------ message handling
     def _handle_message(self, message: Message) -> Optional[BatchPayload]:

@@ -523,9 +523,11 @@ class ShardedLoaderSession:
             if self._endpoint is not None:
                 self._endpoint.release()
             raise
-        # Soft epoch tracking: members report boundary crossings; surfaced in
-        # stats() so drift between shards is observable.
-        self._epoch_progress: Dict[int, int] = {}
+        # Soft epoch tracking: members report boundary crossings (each on
+        # its own producer thread); surfaced in stats() so drift between
+        # shards is observable.
+        self._progress_lock = threading.Lock()
+        self._epoch_progress: Dict[int, int] = {}  #: guarded by _progress_lock
         for rank, member in enumerate(self.members):
             member.on_epoch_end = self._note_epoch_end(rank)
         self._threads: List[threading.Thread] = []
@@ -539,9 +541,15 @@ class ShardedLoaderSession:
 
     def _note_epoch_end(self, rank: int):
         def note(epoch: int) -> None:
-            self._epoch_progress[rank] = epoch
+            with self._progress_lock:
+                self._epoch_progress[rank] = epoch
 
         return note
+
+    def epoch_progress(self) -> Dict[int, int]:
+        """Per-rank last-completed-epoch snapshot."""
+        with self._progress_lock:
+            return dict(self._epoch_progress)
 
     def manifest(self) -> SessionManifest:
         """What remote attachers need to construct a :class:`GroupConsumer`."""
@@ -644,7 +652,7 @@ class ShardedLoaderSession:
             "cached_bytes": self.pool.cached_bytes,
             "peak_bytes": self.pool.peak_bytes,
             "cache": cache_totals,
-            "epoch_progress": dict(self._epoch_progress),
+            "epoch_progress": self.epoch_progress(),
         }
         return {
             "address": self.address,

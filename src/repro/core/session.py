@@ -41,8 +41,8 @@ from repro.tensor.shared_memory import SharedMemoryPool
 # out consumers without the caller holding the session object.  Sharded
 # sessions (repro.core.group.ShardedLoaderSession) register here too; every
 # entry answers .consumer(config) / .shutdown() / .stats().
-_SESSIONS: Dict[str, object] = {}
 _SESSIONS_LOCK = threading.Lock()
+_SESSIONS: Dict[str, object] = {}  #: guarded by _SESSIONS_LOCK
 
 
 def register_session(address: str, session) -> None:

@@ -257,8 +257,8 @@ class LoaderIterator:
 
         self._mode = "threaded"
         self._task_queue: "queue.Queue" = queue.Queue()
-        self._results: Dict[int, Dict[str, Tensor]] = {}
         self._results_lock = threading.Condition()
+        self._results: Dict[int, Dict[str, Tensor]] = {}  #: guarded by _results_lock
         self._stop = threading.Event()
         budget = workers * loader.prefetch_factor if max_in_flight is None else int(max_in_flight)
         self._in_flight = threading.Semaphore(max(1, budget))

@@ -130,6 +130,7 @@ def measure_epoch_throughput(
             target=consume,
             args=(f"epoch-rate-{i}", epoch_rates if i == 0 else None),
             name=f"repro-epoch-rate-{i}",
+            daemon=True,
         )
         for i in range(consumers)
     ]

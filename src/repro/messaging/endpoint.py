@@ -185,7 +185,7 @@ class InProcTransport(Transport):
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
-        self._served: Dict[str, Tuple[InProcHub, Any]] = {}
+        self._served: Dict[str, Tuple[InProcHub, Any]] = {}  #: guarded by _lock
 
     def bind(self, address: str, resource: Optional[Any] = None) -> Endpoint:
         from repro.tensor.shared_memory import SharedMemoryPool
@@ -292,7 +292,7 @@ class TcpTransport(Transport):
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
-        self._served: Dict[str, TcpHub] = {}
+        self._served: Dict[str, TcpHub] = {}  #: guarded by _lock
 
     def bind(self, address: str, resource: Optional[Any] = None) -> Endpoint:
         from repro.tensor.shared_memory import SharedMemoryPool
@@ -370,7 +370,7 @@ class LocalObjectTransport(Transport):
     def __init__(self, scheme: str) -> None:
         self.scheme = scheme
         self._lock = threading.Lock()
-        self._served: Dict[str, Any] = {}
+        self._served: Dict[str, Any] = {}  #: guarded by _lock
 
     def bind(self, address: str, resource: Optional[Any] = None) -> Endpoint:
         _, locator = parse_address(address)
@@ -410,7 +410,7 @@ class TransportRegistry:
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
-        self._transports: Dict[str, Transport] = {}
+        self._transports: Dict[str, Transport] = {}  #: guarded by _lock
 
     def register(self, scheme: str, transport: Transport, *, replace: bool = False) -> None:
         if not _SCHEME_RE.match(scheme):

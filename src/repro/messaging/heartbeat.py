@@ -51,8 +51,8 @@ class HeartbeatMonitor:
             raise ValueError("detach_timeout must be positive")
         self._detach_timeout = detach_timeout
         self._clock = clock
-        self._peers: Dict[str, PeerLiveness] = {}
-        self._detached: Dict[str, PeerLiveness] = {}
+        self._peers: Dict[str, PeerLiveness] = {}  #: guarded by _lock
+        self._detached: Dict[str, PeerLiveness] = {}  #: guarded by _lock
         self._lock = threading.Lock()
 
     # -- recording -------------------------------------------------------------

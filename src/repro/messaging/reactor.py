@@ -46,9 +46,30 @@ import time
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.messaging.message import Message
-from repro.messaging.transport import channel_key
 
-__all__ = ["ConsumerReactor", "SubscriptionHandle", "TimerHandle", "get_reactor"]
+__all__ = [
+    "ConsumerReactor",
+    "SubscriptionHandle",
+    "TimerHandle",
+    "get_reactor",
+    "reactor_only",
+]
+
+
+def reactor_only(fn):
+    """Mark ``fn`` as running exclusively on the reactor thread.
+
+    The decorator is a pure tag — zero runtime cost — whose meaning is
+    enforced statically by ``reprolint`` (RL006): decorated code must never
+    block (no ``time.sleep``, no blocking queue ops, no ``Event.wait``, no
+    ``Thread.join``) and must never dial sockets, because it shares the one
+    event loop every consumer in the process rides on.  Conversely, selector
+    state may *only* be touched from decorated code, which is how the
+    "selector lives on the reactor thread" invariant in this module's
+    docstrings becomes machine-checked.
+    """
+    fn.__reactor_only__ = True
+    return fn
 
 
 class TimerHandle:
@@ -145,13 +166,17 @@ class ConsumerReactor:
         self._timers: List[Tuple[float, int, TimerHandle]] = []
         self._seq = itertools.count()
         self._lock = threading.RLock()
-        self._channels: Dict[Tuple[int, str], _Channel] = {}
-        self._clients: Dict[Tuple[str, int], _SharedTcpClient] = {}
+        self._channels: Dict[Tuple[int, str], _Channel] = {}  #: guarded by _lock
+        self._clients: Dict[Tuple[str, int], _SharedTcpClient] = {}  #: guarded by _lock
         self._selector = selectors.DefaultSelector()
         self._waker_recv, self._waker_send = socket.socketpair()
         self._waker_recv.setblocking(False)
         self._waker_send.setblocking(False)
         self._selector.register(self._waker_recv, selectors.EVENT_READ, None)
+        # Sockets currently registered via register_socket (the waker is not
+        # counted).  Written only from reactor-thread closures; stats() reads
+        # the int for the test suite's quiescence check.
+        self._registered_sockets = 0
         self._sleeping = False
         self._stopped = False
         self._thread: Optional[threading.Thread] = None
@@ -168,6 +193,7 @@ class ConsumerReactor:
                 )
                 self._thread.start()
 
+    @reactor_only
     def _run(self) -> None:
         while not self._stopped:
             timeout = self._next_timer_delay()
@@ -206,6 +232,7 @@ class ConsumerReactor:
                     pass
             self._fire_due_timers()
 
+    @reactor_only
     def _next_timer_delay(self) -> Optional[float]:
         while self._timers and self._timers[0][2].cancelled:
             heapq.heappop(self._timers)
@@ -213,6 +240,7 @@ class ConsumerReactor:
             return None
         return max(0.0, self._timers[0][0] - time.monotonic())
 
+    @reactor_only
     def _fire_due_timers(self) -> None:
         now = time.monotonic()
         while self._timers and self._timers[0][0] <= now:
@@ -255,6 +283,7 @@ class ConsumerReactor:
             raise ValueError("timer interval must be positive")
         handle = TimerHandle(interval, callback)
 
+        @reactor_only
         def arm() -> None:
             heapq.heappush(
                 self._timers,
@@ -269,11 +298,13 @@ class ConsumerReactor:
                         on_readable: Callable[[], None]) -> None:
         """Watch ``sock`` for readability, calling ``on_readable`` on the
         reactor thread.  The selector is only ever touched from the loop."""
+        @reactor_only
         def register() -> None:
             try:
                 self._selector.register(sock, selectors.EVENT_READ, on_readable)
             except (KeyError, ValueError, OSError):
-                pass
+                return
+            self._registered_sockets += 1
 
         self.submit(register)
 
@@ -281,11 +312,14 @@ class ConsumerReactor:
                           after: Optional[Callable[[], None]] = None) -> None:
         """Stop watching ``sock``; ``after`` (e.g. ``sock.close``) runs on the
         reactor thread once it is out of the selector."""
+        @reactor_only
         def unregister() -> None:
             try:
                 self._selector.unregister(sock)
             except (KeyError, ValueError, OSError):
                 pass
+            else:
+                self._registered_sockets -= 1
             if after is not None:
                 try:
                     after()
@@ -310,6 +344,10 @@ class ConsumerReactor:
         messages out by prefix, so ordering per consumer is what a private
         endpoint would have delivered.
         """
+        # Deferred: transport imports ``reactor_only`` from this module at
+        # import time, so the reverse import must happen at call time.
+        from repro.messaging.transport import channel_key
+
         self._ensure_thread()
         key = (id(hub), channel_key(address))
         with self._lock:
@@ -415,6 +453,7 @@ class ConsumerReactor:
                 ),
                 "tcp_clients": len(self._clients),
                 "tcp_client_refs": sum(e.refs for e in self._clients.values()),
+                "sockets": self._registered_sockets,
                 "timers": sum(1 for *_x, h in self._timers if not h.cancelled),
                 "running": self._thread is not None and self._thread.is_alive(),
             }
@@ -433,7 +472,10 @@ class ConsumerReactor:
         if thread is not None:
             thread.join(timeout=timeout)
         try:
-            self._selector.close()
+            # The loop thread is stopped (or abandoned after the join
+            # timeout); closing its selector here is the one sanctioned
+            # off-thread touch.
+            self._selector.close()  # reprolint: disable=RL006
         except OSError:
             pass
         for sock in (self._waker_recv, self._waker_send):

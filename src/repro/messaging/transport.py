@@ -33,6 +33,7 @@ from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.messaging.errors import EndpointClosedError, MessagingError, TimeoutError_
 from repro.messaging.message import Message, MessageKind
+from repro.messaging.reactor import reactor_only
 
 
 class Endpoint:
@@ -49,8 +50,8 @@ class Endpoint:
         self.subscriptions: Set[str] = set()
         self._queue: "queue.Queue[Message]" = queue.Queue()
         self._closed = False
-        self._sink = None
         self._sink_lock = threading.Lock()
+        self._sink = None  #: guarded by _sink_lock
 
     # -- subscription management ---------------------------------------------------
     def subscribe(self, prefix: str = "") -> None:
@@ -91,7 +92,9 @@ class Endpoint:
             if self._sink is not None:
                 self._sink(message)
                 return
-            self._queue.put(message)
+            # The queue is unbounded; put_nowait makes that explicit so no
+            # deliverer can ever park inside _sink_lock.
+            self._queue.put_nowait(message)
 
     def receive(self, timeout: Optional[float] = None, block: bool = True) -> Message:
         if self._closed and self._queue.empty():
@@ -129,8 +132,8 @@ class InProcHub:
 
     def __init__(self) -> None:
         self._lock = threading.RLock()
-        self._bound: Dict[str, Endpoint] = {}
-        self._connected: Dict[str, List[Endpoint]] = {}
+        self._bound: Dict[str, Endpoint] = {}  #: guarded by _lock
+        self._connected: Dict[str, List[Endpoint]] = {}  #: guarded by _lock
         self._messages_published = 0
         self._messages_pushed = 0
 
@@ -284,10 +287,10 @@ class TcpHub:
         self.host, self.port = self._server.getsockname()
         self._inner = InProcHub()
         self._running = True
-        self._clients: List[socket.socket] = []
+        self._clients: List[socket.socket] = []  #: guarded by _clients_lock
         # Endpoints with a live _forward_loop — the only queues close() can
         # meaningfully wait on when draining final deliveries.
-        self._forwarded: List[Endpoint] = []
+        self._forwarded: List[Endpoint] = []  #: guarded by _clients_lock
         self._clients_lock = threading.Lock()
         self._accept_thread = threading.Thread(
             target=self._accept_loop, name="repro-tcp-accept", daemon=True
@@ -493,8 +496,8 @@ class TcpClientEndpoint:
         self._send_lock = threading.Lock()
         self._queue: "queue.Queue[Message]" = queue.Queue()
         self._closed = False
-        self._sink = None
         self._sink_lock = threading.Lock()
+        self._sink = None  #: guarded by _sink_lock
         self._reactor = reactor
         self._rbuf = bytearray()
         self._acks: Dict[str, threading.Event] = {}
@@ -570,6 +573,7 @@ class TcpClientEndpoint:
                 self._dispatch(Message.from_bytes(frame["message"]))
 
     # -- reactor-mode receive path ------------------------------------------------------
+    @reactor_only
     def _on_readable(self) -> None:
         """Selector callback (reactor thread): pull bytes, parse whole frames."""
         while not self._closed:
@@ -587,6 +591,7 @@ class TcpClientEndpoint:
             self._rbuf.extend(chunk)
         self._drain_rbuf()
 
+    @reactor_only
     def _drain_rbuf(self) -> None:
         while len(self._rbuf) >= _HEADER.size:
             (length,) = _HEADER.unpack(bytes(self._rbuf[: _HEADER.size]))
@@ -616,7 +621,9 @@ class TcpClientEndpoint:
             if self._sink is not None:
                 self._sink(message)
                 return
-            self._queue.put(message)
+            # Unbounded queue: put_nowait keeps the reactor thread (which
+            # calls _dispatch in reactor mode) out of any blocking wait.
+            self._queue.put_nowait(message)
 
     def set_sink(self, sink) -> None:
         """Same handover contract as :meth:`Endpoint.set_sink`."""
@@ -684,9 +691,12 @@ class TcpClientEndpoint:
             payload = pickle.dumps({"op": "close"})
             try:
                 with self._send_lock:
-                    # Best-effort single write; a full buffer just means the
-                    # broker learns about the close from the FIN instead.
-                    self._sock.send(_HEADER.pack(len(payload)) + payload)
+                    # Best-effort single write on the *non-blocking* reactor
+                    # socket; a full buffer just means the broker learns
+                    # about the close from the FIN instead.
+                    self._sock.send(  # reprolint: disable=RL002
+                        _HEADER.pack(len(payload)) + payload
+                    )
             except OSError:
                 pass
             # The socket must leave the selector before it is closed, and the
@@ -802,7 +812,7 @@ class TcpHubClient:
         self.host = host
         self.port = int(port)
         self._lock = threading.Lock()
-        self._endpoints: List[TcpClientEndpoint] = []
+        self._endpoints: List[TcpClientEndpoint] = []  #: guarded by _lock
         self._closed = False
         # With a reactor, every endpoint's socket lives on its selector
         # instead of spawning a reader thread per connection.

@@ -45,9 +45,9 @@ except ImportError:  # pragma: no cover
     _POSIX_AVAILABLE = False
 
 
-# Registry of in-process segments, keyed by name.  Thread-safe via _REGISTRY_LOCK.
-_INPROC_REGISTRY: Dict[str, bytearray] = {}
+# Registry of in-process segments, keyed by name.
 _REGISTRY_LOCK = threading.Lock()
+_INPROC_REGISTRY: Dict[str, bytearray] = {}  #: guarded by _REGISTRY_LOCK
 
 
 _TRACKER_PATCH_LOCK = threading.Lock()
@@ -232,26 +232,26 @@ class SharedMemoryPool:
     ) -> None:
         self._backend = backend
         self._prefix = name_prefix
-        self._records: Dict[str, _SegmentRecord] = {}
         self._lock = threading.Lock()
-        self._bytes_in_flight = 0
-        self._cached_bytes = 0
-        self._peak_bytes = 0
-        self._total_allocated = 0
-        self._total_released = 0
+        self._records: Dict[str, _SegmentRecord] = {}  #: guarded by _lock
+        self._bytes_in_flight = 0  #: guarded by _lock
+        self._cached_bytes = 0  #: guarded by _lock
+        self._peak_bytes = 0  #: guarded by _lock
+        self._total_allocated = 0  #: guarded by _lock
+        self._total_released = 0  #: guarded by _lock
         # Consumer-side cross-process mode: segments this pool never allocated
         # can be opened by name (posix shared memory reached from another OS
         # process).  Opened handles are cached and trimmed once the training
         # loop has moved past them; the creator still owns unlinking.
         self._attach_by_name = attach_by_name
         self._attach_cache_limit = max(1, int(attach_cache_limit))
-        self._attached: "OrderedDict[str, SharedSegment]" = OrderedDict()
+        self._attached: "OrderedDict[str, SharedSegment]" = OrderedDict()  #: guarded by _lock
         # Multi-tenant accounting (the broker's per-dataset quotas): segments
         # allocated through a tenant view are tagged with the tenant name and
         # counted against its quota until freed.  A tenant without a quota
         # entry is unlimited; its usage is still tracked.
-        self._tenant_quotas: Dict[str, Optional[int]] = {}
-        self._tenant_bytes: Dict[str, int] = {}
+        self._tenant_quotas: Dict[str, Optional[int]] = {}  #: guarded by _lock
+        self._tenant_bytes: Dict[str, int] = {}  #: guarded by _lock
 
     # -- allocation -------------------------------------------------------------
     def allocate_tensor(
@@ -329,7 +329,7 @@ class SharedMemoryPool:
         return shared
 
     # -- refcounting -------------------------------------------------------------
-    def _record_for(self, name: str) -> _SegmentRecord:
+    def _record_for_locked(self, name: str) -> _SegmentRecord:
         try:
             return self._records[name]
         except KeyError as exc:
@@ -340,7 +340,7 @@ class SharedMemoryPool:
         if count <= 0:
             raise ValueError("retain count must be positive")
         with self._lock:
-            record = self._record_for(name)
+            record = self._record_for_locked(name)
             record.refcount += count
             return record.refcount
 
@@ -420,7 +420,7 @@ class SharedMemoryPool:
         if count <= 0:
             raise ValueError("retain count must be positive")
         with self._lock:
-            record = self._record_for(name)
+            record = self._record_for_locked(name)
             if record.cache_holds == 0:
                 self._bytes_in_flight -= record.nbytes
                 self._cached_bytes += record.nbytes
@@ -468,7 +468,7 @@ class SharedMemoryPool:
 
     def refcount(self, name: str) -> int:
         with self._lock:
-            return self._record_for(name).refcount
+            return self._record_for_locked(name).refcount
 
     def contains(self, name: str) -> bool:
         with self._lock:
@@ -614,11 +614,13 @@ class SharedMemoryPool:
                 self._tenant_bytes[tenant] = 0
 
     def __repr__(self) -> str:
-        return (
-            f"SharedMemoryPool(backend={self._backend!r}, live={self.live_segments}, "
-            f"in_flight={self._bytes_in_flight}B, cached={self._cached_bytes}B, "
-            f"peak={self._peak_bytes}B)"
-        )
+        with self._lock:
+            return (
+                f"SharedMemoryPool(backend={self._backend!r}, "
+                f"live={len(self._records)}, "
+                f"in_flight={self._bytes_in_flight}B, "
+                f"cached={self._cached_bytes}B, peak={self._peak_bytes}B)"
+            )
 
 
 class TenantPool:

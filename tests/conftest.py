@@ -5,6 +5,13 @@ tests must not leave stray *non-daemon* threads behind (a leaked non-daemon
 thread hangs interpreter shutdown).  Daemon threads — the process-wide
 reactor, loader workers mid-teardown — are reaped by the interpreter and are
 not failures, but anything non-daemon that outlives the session is.
+
+The reactor-quiescence sentinel is its runtime twin: because every consumer
+in the process rides one shared event loop, a test that forgets to close a
+consumer leaks its subscription, heartbeat timer or broker socket into every
+later test.  At session end the process-wide reactor must be back to zero
+channels, zero subscribers, zero live timers, zero registered sockets and
+zero shared TCP clients.
 """
 
 from __future__ import annotations
@@ -40,5 +47,36 @@ def fail_on_leaked_threads():
         names = ", ".join(sorted(t.name for t in leaked))
         pytest.fail(
             f"test session leaked {len(leaked)} non-daemon thread(s): {names}",
+            pytrace=False,
+        )
+
+
+#: Reactor stats that must read zero once every consumer is closed.
+_QUIESCENT_STATS = ("channels", "subscribers", "timers", "sockets", "tcp_clients")
+
+
+@pytest.fixture(scope="session", autouse=True)
+def fail_on_leaked_reactor_state():
+    """The shared reactor must be quiescent once the session's tests finish:
+    no channel fan-outs, no subscriptions, no live heartbeat timers, no
+    selector-registered sockets, no refcounted broker connections."""
+    yield
+    from repro.messaging.reactor import get_reactor
+
+    reactor = get_reactor()
+    # Unsubscribes and socket unregistrations are submitted to the reactor
+    # thread; give in-flight teardown work a grace period to drain.
+    deadline = time.monotonic() + 5.0
+    while time.monotonic() < deadline:
+        stats = reactor.stats()
+        if not any(stats[key] for key in _QUIESCENT_STATS):
+            return
+        time.sleep(0.05)
+    stats = reactor.stats()
+    residue = {key: stats[key] for key in _QUIESCENT_STATS if stats[key]}
+    if residue:
+        pytest.fail(
+            f"test session left the shared reactor non-quiescent: {residue} "
+            "(a consumer, group merge or broker connection was not closed)",
             pytrace=False,
         )

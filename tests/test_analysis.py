@@ -1,0 +1,972 @@
+"""Tests for ``repro.analysis`` (reprolint), the concurrency-invariant linter.
+
+Layout mirrors the analyzer itself:
+
+* a fixture corpus of small good/bad modules per check (RL001–RL007), run
+  through :func:`repro.analysis.analyze_source`;
+* finding-identity tests (ids stable under reformatting, occurrence
+  numbering for duplicate sites);
+* baseline round-trip, inline-pragma suppression, JSON output schema and
+  exit codes through the real CLI;
+* a meta-test that the committed ``src/`` tree is clean — the same gate CI
+  runs via ``python -m repro.analysis src``;
+* regression tests for real defects the first analyzer run found in ``src/``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import textwrap
+import threading
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import analyze_paths, analyze_source
+from repro.analysis.baseline import load_baseline, partition, write_baseline
+from repro.analysis.cli import main as reprolint_main
+from repro.analysis.driver import CHECKS
+from repro.analysis.findings import Finding
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+SRC = REPO_ROOT / "src"
+
+
+def findings_for(source: str, *checks: str, path: str = "snippet.py"):
+    return analyze_source(textwrap.dedent(source), path=path, checks=list(checks) or None)
+
+
+def rules_of(findings):
+    return sorted(f.rule for f in findings)
+
+
+# ---------------------------------------------------------------------------
+# RL001 — guarded attributes
+# ---------------------------------------------------------------------------
+
+
+class TestGuardedAttributes:
+    def test_flags_unlocked_read_of_guarded_attr(self):
+        findings = findings_for(
+            """
+            import threading
+
+            class Pool:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._records = {}  #: guarded by _lock
+
+                def size(self):
+                    return len(self._records)
+            """,
+            "RL001",
+        )
+        assert rules_of(findings) == ["RL001"]
+        assert "self._records" in findings[0].message
+        assert findings[0].qualname == "Pool.size"
+
+    def test_flags_unlocked_module_global(self):
+        findings = findings_for(
+            """
+            import threading
+
+            _REG_LOCK = threading.Lock()
+            _REGISTRY = {}  #: guarded by _REG_LOCK
+
+            def lookup(name):
+                return _REGISTRY.get(name)
+            """,
+            "RL001",
+        )
+        assert rules_of(findings) == ["RL001"]
+        assert "_REGISTRY" in findings[0].message
+
+    def test_access_under_lock_is_clean(self):
+        findings = findings_for(
+            """
+            import threading
+
+            class Pool:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._records = {}  #: guarded by _lock
+
+                def size(self):
+                    with self._lock:
+                        return len(self._records)
+            """,
+            "RL001",
+        )
+        assert findings == []
+
+    def test_locked_suffix_helpers_and_init_are_exempt(self):
+        # ``*_locked`` is the caller-holds-the-lock convention; __init__ runs
+        # single-threaded.  Neither may be flagged.
+        findings = findings_for(
+            """
+            import threading
+
+            class Pool:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._records = {}  #: guarded by _lock
+                    self._records["seed"] = 1
+
+                def _record_for_locked(self, key):
+                    return self._records[key]
+            """,
+            "RL001",
+        )
+        assert findings == []
+
+    def test_global_access_under_its_lock_is_clean(self):
+        findings = findings_for(
+            """
+            import threading
+
+            _REG_LOCK = threading.Lock()
+            _REGISTRY = {}  #: guarded by _REG_LOCK
+
+            def register(name, value):
+                with _REG_LOCK:
+                    _REGISTRY[name] = value
+            """,
+            "RL001",
+        )
+        assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# RL002 — blocking under a held lock
+# ---------------------------------------------------------------------------
+
+
+class TestBlockingUnderLock:
+    def test_flags_sleep_under_lock(self):
+        findings = findings_for(
+            """
+            import threading
+            import time
+
+            class Worker:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def spin(self):
+                    with self._lock:
+                        time.sleep(0.1)
+            """,
+            "RL002",
+        )
+        assert rules_of(findings) == ["RL002"]
+        assert "time.sleep()" in findings[0].message
+
+    def test_flags_queue_get_under_lock(self):
+        findings = findings_for(
+            """
+            import queue
+            import threading
+
+            class Worker:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._inbox = queue.Queue()
+
+                def drain(self):
+                    with self._lock:
+                        return self._inbox.get()
+            """,
+            "RL002",
+        )
+        assert rules_of(findings) == ["RL002"]
+        assert "Queue.get()" in findings[0].message
+
+    def test_nonblocking_queue_get_is_clean(self):
+        findings = findings_for(
+            """
+            import queue
+            import threading
+
+            class Worker:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._inbox = queue.Queue()
+
+                def drain(self):
+                    with self._lock:
+                        return self._inbox.get(block=False)
+            """,
+            "RL002",
+        )
+        assert findings == []
+
+    def test_condition_wait_on_own_lock_is_clean(self):
+        # cond.wait() releases the condition's own lock — that is the point
+        # of a condition variable, not a lock-held blocking call.
+        findings = findings_for(
+            """
+            import threading
+
+            class Mailbox:
+                def __init__(self):
+                    self._cond = threading.Condition()
+
+                def take(self):
+                    with self._cond:
+                        self._cond.wait()
+            """,
+            "RL002",
+        )
+        assert findings == []
+
+    def test_condition_wait_with_second_lock_held_is_flagged(self):
+        findings = findings_for(
+            """
+            import threading
+
+            class Mailbox:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._cond = threading.Condition()
+
+                def take(self):
+                    with self._lock:
+                        with self._cond:
+                            self._cond.wait()
+            """,
+            "RL002",
+        )
+        assert rules_of(findings) == ["RL002"]
+
+
+# ---------------------------------------------------------------------------
+# RL003 — lock-order cycles
+# ---------------------------------------------------------------------------
+
+
+class TestLockOrderCycles:
+    def test_flags_direct_ab_ba_cycle(self):
+        findings = findings_for(
+            """
+            import threading
+
+            _LOCK_A = threading.Lock()
+            _LOCK_B = threading.Lock()
+
+            def ab():
+                with _LOCK_A:
+                    with _LOCK_B:
+                        pass
+
+            def ba():
+                with _LOCK_B:
+                    with _LOCK_A:
+                        pass
+            """,
+            "RL003",
+        )
+        assert rules_of(findings) == ["RL003"]
+        assert "_LOCK_A" in findings[0].message and "_LOCK_B" in findings[0].message
+
+    def test_flags_interprocedural_cycle(self):
+        # Neither function nests two ``with`` blocks; the cycle only exists
+        # through the call graph.
+        findings = findings_for(
+            """
+            import threading
+
+            _LOCK_A = threading.Lock()
+            _LOCK_B = threading.Lock()
+
+            def ab():
+                with _LOCK_A:
+                    grab_b()
+
+            def grab_b():
+                with _LOCK_B:
+                    pass
+
+            def ba():
+                with _LOCK_B:
+                    grab_a()
+
+            def grab_a():
+                with _LOCK_A:
+                    pass
+            """,
+            "RL003",
+        )
+        assert rules_of(findings) == ["RL003"]
+
+    def test_consistent_order_is_clean(self):
+        findings = findings_for(
+            """
+            import threading
+
+            _LOCK_A = threading.Lock()
+            _LOCK_B = threading.Lock()
+
+            def first():
+                with _LOCK_A:
+                    with _LOCK_B:
+                        pass
+
+            def second():
+                with _LOCK_A:
+                    with _LOCK_B:
+                        pass
+            """,
+            "RL003",
+        )
+        assert findings == []
+
+    def test_reentrant_self_acquisition_is_clean(self):
+        # An RLock re-acquired through a helper is legal reentrancy, not a
+        # deadlock; only plain-Lock self-edges deadlock.
+        findings = findings_for(
+            """
+            import threading
+
+            _LOCK = threading.RLock()
+
+            def outer():
+                with _LOCK:
+                    inner()
+
+            def inner():
+                with _LOCK:
+                    pass
+            """,
+            "RL003",
+        )
+        assert findings == []
+
+    def test_plain_lock_self_acquisition_is_flagged(self):
+        findings = findings_for(
+            """
+            import threading
+
+            _LOCK = threading.Lock()
+
+            def outer():
+                with _LOCK:
+                    inner()
+
+            def inner():
+                with _LOCK:
+                    pass
+            """,
+            "RL003",
+        )
+        assert rules_of(findings) == ["RL003"]
+
+
+# ---------------------------------------------------------------------------
+# RL004 — hold pairing
+# ---------------------------------------------------------------------------
+
+
+class TestHoldPairing:
+    def test_flags_normal_path_release(self):
+        findings = findings_for(
+            """
+            class Publisher:
+                def publish(self, pool, tensor):
+                    handle = pool.retain(tensor)
+                    self.send(handle)
+                    pool.release(handle)
+            """,
+            "RL004",
+        )
+        assert rules_of(findings) == ["RL004"]
+        assert "try/finally" in findings[0].message
+
+    def test_flags_attach_close_on_normal_path(self):
+        findings = findings_for(
+            """
+            def read(pool, name):
+                segment = pool.attach(name)
+                data = segment.read()
+                segment.close()
+                return data
+            """,
+            "RL004",
+        )
+        assert rules_of(findings) == ["RL004"]
+
+    def test_release_in_finally_is_clean(self):
+        findings = findings_for(
+            """
+            def read(pool, name):
+                segment = pool.attach(name)
+                try:
+                    return segment.read()
+                finally:
+                    segment.close()
+            """,
+            "RL004",
+        )
+        assert findings == []
+
+    def test_context_manager_is_clean(self):
+        findings = findings_for(
+            """
+            def read(pool, name):
+                with pool.attach(name) as segment:
+                    return segment.read()
+            """,
+            "RL004",
+        )
+        assert findings == []
+
+    def test_acquire_only_ownership_transfer_is_clean(self):
+        # The producer retains; the consumer-ack path releases much later in
+        # another function.  Acquire-without-release is a transfer, not a leak.
+        findings = findings_for(
+            """
+            class Publisher:
+                def publish(self, pool, tensor):
+                    handle = pool.retain(tensor)
+                    self.outbox.append(handle)
+            """,
+            "RL004",
+        )
+        assert findings == []
+
+    def test_release_only_in_except_is_clean(self):
+        # Compensation pattern: keep the hold on success, give it back on
+        # failure.
+        findings = findings_for(
+            """
+            class Publisher:
+                def publish(self, pool, tensor):
+                    handle = pool.retain(tensor)
+                    try:
+                        self.send(handle)
+                    except OSError:
+                        pool.release(handle)
+                        raise
+            """,
+            "RL004",
+        )
+        assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# RL005 — thread hygiene
+# ---------------------------------------------------------------------------
+
+
+class TestThreadHygiene:
+    def test_flags_bare_thread(self):
+        findings = findings_for(
+            """
+            import threading
+
+            def start(target):
+                thread = threading.Thread(target=target)
+                thread.start()
+            """,
+            "RL005",
+        )
+        assert rules_of(findings) == ["RL005"]
+        assert "name=" in findings[0].message
+        assert "daemon=" in findings[0].message
+
+    def test_flags_wrong_prefix_and_missing_daemon(self):
+        findings = findings_for(
+            """
+            import threading
+
+            def start(target):
+                thread = threading.Thread(target=target, name="worker-1")
+                thread.start()
+            """,
+            "RL005",
+        )
+        assert rules_of(findings) == ["RL005"]
+        assert 'start with "repro-"' in findings[0].message
+
+    def test_compliant_thread_is_clean(self):
+        findings = findings_for(
+            """
+            import threading
+
+            def start(target):
+                thread = threading.Thread(
+                    target=target, name="repro-pump", daemon=True
+                )
+                thread.start()
+            """,
+            "RL005",
+        )
+        assert findings == []
+
+    def test_fstring_repro_prefix_is_clean(self):
+        findings = findings_for(
+            """
+            import threading
+
+            def start(target, index):
+                thread = threading.Thread(
+                    target=target, name=f"repro-worker-{index}", daemon=False
+                )
+                thread.start()
+            """,
+            "RL005",
+        )
+        assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# RL006 — reactor affinity
+# ---------------------------------------------------------------------------
+
+
+class TestReactorAffinity:
+    def test_flags_sleep_in_reactor_only_code(self):
+        findings = findings_for(
+            """
+            import time
+
+            from repro.messaging.reactor import reactor_only
+
+            class Loop:
+                @reactor_only
+                def _pump(self):
+                    time.sleep(0.1)
+            """,
+            "RL006",
+        )
+        assert rules_of(findings) == ["RL006"]
+        assert "stall the event loop" in findings[0].message
+
+    def test_flags_dialing_in_on_readable_callback(self):
+        # ``_on_readable``-style callbacks are reactor-affine even without
+        # the decorator, and dialing (unlike readiness-driven recv) blocks.
+        findings = findings_for(
+            """
+            import socket
+
+            class Conn:
+                def _on_readable(self):
+                    peer = socket.create_connection(("backup", 9999))
+                    return peer
+            """,
+            "RL006",
+        )
+        assert rules_of(findings) == ["RL006"]
+
+    def test_flags_selector_touch_outside_reactor_code(self):
+        findings = findings_for(
+            """
+            import selectors
+
+            class Loop:
+                def __init__(self):
+                    self._selector = selectors.DefaultSelector()
+
+                def poke(self, sock):
+                    self._selector.register(sock, selectors.EVENT_READ)
+            """,
+            "RL006",
+        )
+        assert rules_of(findings) == ["RL006"]
+        assert "selector state" in findings[0].message
+
+    def test_reactor_loop_shape_is_clean(self):
+        # The canonical loop: selector.select() and recv on the watched
+        # socket are the reactor's own job, and __init__ may build the
+        # selector.
+        findings = findings_for(
+            """
+            import selectors
+
+            from repro.messaging.reactor import reactor_only
+
+            class Loop:
+                def __init__(self, sock):
+                    self._selector = selectors.DefaultSelector()
+                    self._sock = sock
+
+                @reactor_only
+                def _run(self):
+                    while True:
+                        self._selector.select(0.1)
+
+                def _on_readable(self):
+                    return self._sock.recv(4096)
+            """,
+            "RL006",
+        )
+        assert findings == []
+
+    def test_undecorated_blocking_helper_is_clean(self):
+        # Blocking is fine off the reactor thread; RL006 only polices
+        # reactor-affine functions.
+        findings = findings_for(
+            """
+            import time
+
+            class Helper:
+                def wait_a_bit(self):
+                    time.sleep(0.1)
+            """,
+            "RL006",
+        )
+        assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# RL007 — check-then-act
+# ---------------------------------------------------------------------------
+
+
+class TestCheckThenAct:
+    def test_flags_membership_test_then_mutation(self):
+        findings = findings_for(
+            """
+            import threading
+
+            class Cache:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._cache = {}
+
+                def put(self, key, value):
+                    if key not in self._cache:
+                        self._cache[key] = value
+            """,
+            "RL007",
+        )
+        assert rules_of(findings) == ["RL007"]
+        assert "not atomic" in findings[0].message
+
+    def test_flags_module_global_check_then_act(self):
+        findings = findings_for(
+            """
+            import threading
+
+            _LOCK = threading.Lock()
+            _SEEN = set()
+
+            def mark(item):
+                if item not in _SEEN:
+                    _SEEN.add(item)
+            """,
+            "RL007",
+        )
+        assert rules_of(findings) == ["RL007"]
+
+    def test_check_then_act_under_lock_is_clean(self):
+        findings = findings_for(
+            """
+            import threading
+
+            class Cache:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._cache = {}
+
+                def put(self, key, value):
+                    with self._lock:
+                        if key not in self._cache:
+                            self._cache[key] = value
+            """,
+            "RL007",
+        )
+        assert findings == []
+
+    def test_single_threaded_class_is_clean(self):
+        # No lock anywhere in the class: nothing marks it as shared between
+        # threads, so check-then-act is ordinary (and correct) code.
+        findings = findings_for(
+            """
+            class Memo:
+                def __init__(self):
+                    self._cache = {}
+
+                def put(self, key, value):
+                    if key not in self._cache:
+                        self._cache[key] = value
+            """,
+            "RL007",
+        )
+        assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# Finding identity
+# ---------------------------------------------------------------------------
+
+_RL005_SNIPPET = """
+import threading
+
+def start(target):
+    return threading.Thread(target=target)
+"""
+
+
+class TestFindingIdentity:
+    def test_ids_survive_unrelated_edits(self):
+        before = findings_for(_RL005_SNIPPET, "RL005")
+        shifted = "# a new leading comment\n\n" + textwrap.dedent(_RL005_SNIPPET)
+        after = analyze_source(shifted, path="snippet.py", checks=["RL005"])
+        assert [f.finding_id for f in before] == [f.finding_id for f in after]
+        assert before[0].line != after[0].line  # the *line* did move
+
+    def test_duplicate_sites_get_distinct_stable_ids(self):
+        source = """
+        import threading
+
+        def start(target):
+            first = threading.Thread(target=target)
+            second = threading.Thread(target=target)
+            return first, second
+        """
+        findings = findings_for(source, "RL005")
+        assert len(findings) == 2
+        assert findings[0].finding_id != findings[1].finding_id
+        # Same ids again on a re-run: occurrence numbering is deterministic.
+        again = findings_for(source, "RL005")
+        assert [f.finding_id for f in findings] == [f.finding_id for f in again]
+
+    def test_finding_id_shape(self):
+        finding = findings_for(_RL005_SNIPPET, "RL005")[0]
+        rule, path, qualname, fingerprint = finding.finding_id.split(":")
+        assert rule == "RL005"
+        assert path == "snippet.py"
+        assert qualname == "start"
+        assert len(fingerprint) == 12
+        assert int(fingerprint, 16) >= 0  # hex
+
+
+# ---------------------------------------------------------------------------
+# Pragmas, baseline, CLI
+# ---------------------------------------------------------------------------
+
+_BAD_MODULE = """\
+import threading
+
+
+def start(target):
+    return threading.Thread(target=target)
+"""
+
+_FIXED_MODULE = """\
+import threading
+
+
+def start(target):
+    return threading.Thread(target=target, name="repro-pump", daemon=True)
+"""
+
+
+class TestPragmas:
+    def test_inline_pragma_suppresses_the_finding(self):
+        findings = findings_for(
+            """
+            import threading
+
+            def start(target):
+                return threading.Thread(target=target)  # reprolint: disable=RL005
+            """,
+            "RL005",
+        )
+        assert findings == []
+
+    def test_pragma_is_rule_specific(self):
+        findings = findings_for(
+            """
+            import threading
+
+            def start(target):
+                return threading.Thread(target=target)  # reprolint: disable=RL002
+            """,
+            "RL005",
+        )
+        assert rules_of(findings) == ["RL005"]
+
+
+class TestBaseline:
+    def test_round_trip(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text(_BAD_MODULE, encoding="utf-8")
+        baseline = tmp_path / "reprolint.baseline"
+
+        # First run: one unbaselined finding, exit 1.
+        assert reprolint_main([str(bad)]) == 1
+
+        # Adopt the current findings, then the same tree is green.
+        assert reprolint_main([str(bad), "--baseline", str(baseline), "--write-baseline"]) == 0
+        assert baseline.is_file()
+        assert reprolint_main([str(bad), "--baseline", str(baseline)]) == 0
+
+        # Fix the code: still green, baseline entry now reported stale.
+        bad.write_text(_FIXED_MODULE, encoding="utf-8")
+        assert reprolint_main([str(bad), "--baseline", str(baseline)]) == 0
+
+    def test_baseline_comments_and_partition(self, tmp_path):
+        findings = analyze_source(_BAD_MODULE, path="bad.py", checks=["RL005"])
+        baseline = tmp_path / "base.txt"
+        write_baseline(baseline, findings)
+        text = baseline.read_text(encoding="utf-8")
+        assert text.startswith("# reprolint baseline")
+
+        ids = load_baseline(baseline)
+        assert ids == {f.finding_id for f in findings}
+
+        new, baselined, stale = partition(findings, ids)
+        assert new == [] and len(baselined) == len(findings) and stale == set()
+
+        # A fixed tree leaves the id behind as stale.
+        new, baselined, stale = partition([], ids)
+        assert new == [] and baselined == [] and stale == ids
+
+    def test_missing_baseline_file_is_usage_error(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text(_BAD_MODULE, encoding="utf-8")
+        missing = tmp_path / "nope.baseline"
+        assert reprolint_main([str(bad), "--baseline", str(missing)]) == 2
+
+
+class TestCli:
+    def test_clean_file_exits_zero(self, tmp_path):
+        clean = tmp_path / "clean.py"
+        clean.write_text(_FIXED_MODULE, encoding="utf-8")
+        assert reprolint_main([str(clean)]) == 0
+
+    def test_unknown_path_and_unknown_rule_are_usage_errors(self, tmp_path):
+        assert reprolint_main([str(tmp_path / "missing_dir")]) == 2
+        clean = tmp_path / "clean.py"
+        clean.write_text(_FIXED_MODULE, encoding="utf-8")
+        assert reprolint_main([str(clean), "--select", "RL999"]) == 2
+
+    def test_select_narrows_checks(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text(_BAD_MODULE, encoding="utf-8")
+        assert reprolint_main([str(bad), "--select", "RL001"]) == 0
+        assert reprolint_main([str(bad), "--select", "RL005"]) == 1
+
+    def test_syntax_error_is_reported_not_raised(self, tmp_path, capsys):
+        broken = tmp_path / "broken.py"
+        broken.write_text("def oops(:\n", encoding="utf-8")
+        assert reprolint_main([str(broken)]) == 1
+        assert "error:" in capsys.readouterr().out
+
+    def test_list_checks_covers_all_rules(self, capsys):
+        assert reprolint_main(["--list-checks"]) == 0
+        out = capsys.readouterr().out
+        for rule in CHECKS:
+            assert rule in out
+
+    def test_json_output_schema(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text(_BAD_MODULE, encoding="utf-8")
+        assert reprolint_main([str(bad), "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload) == {
+            "version",
+            "files",
+            "findings",
+            "baselined",
+            "stale_baseline",
+            "suppressed",
+            "errors",
+        }
+        assert payload["version"] == 1
+        assert payload["files"] == 1
+        (finding,) = payload["findings"]
+        assert set(finding) == {
+            "id",
+            "rule",
+            "path",
+            "line",
+            "qualname",
+            "message",
+            "source",
+        }
+        assert finding["rule"] == "RL005"
+        assert finding["id"].startswith("RL005:")
+
+
+# ---------------------------------------------------------------------------
+# Meta: the committed tree is clean
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.analysis
+class TestCommittedTreeIsClean:
+    def test_src_has_no_findings(self):
+        result = analyze_paths([str(SRC)])
+        assert result.errors == []
+        rendered = "\n".join(f.render() for f in result.findings)
+        assert result.findings == [], f"reprolint findings in src/:\n{rendered}"
+
+    def test_module_entry_point_is_clean(self):
+        # The exact command CI runs; exercises __main__ + console wiring.
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(SRC)
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.analysis", str(SRC)],
+            cwd=str(REPO_ROOT),
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "0 finding(s)" in proc.stdout
+
+
+# ---------------------------------------------------------------------------
+# Regressions: real defects the analyzer found in src/
+# ---------------------------------------------------------------------------
+
+
+class TestAnalyzerFoundDefects:
+    def test_remove_mailbox_listener_is_idempotent(self):
+        # RL007 on consumer._wakeups: membership-test-then-remove was a
+        # TOCTOU window between the reactor thread and training threads; the
+        # fix removes unconditionally and swallows the miss.
+        from repro.core.consumer import TensorConsumer
+
+        consumer = object.__new__(TensorConsumer)
+        consumer._wakeups = []
+        wakeup = object()
+        consumer._add_mailbox_listener(wakeup)
+        consumer._remove_mailbox_listener(wakeup)
+        consumer._remove_mailbox_listener(wakeup)  # double removal: no raise
+        assert consumer._wakeups == []
+
+    def test_remove_mailbox_listener_survives_racing_removers(self):
+        from repro.core.consumer import TensorConsumer
+
+        consumer = object.__new__(TensorConsumer)
+        consumer._wakeups = []
+        wakeups = [object() for _ in range(500)]
+        for wakeup in wakeups:
+            consumer._add_mailbox_listener(wakeup)
+
+        errors = []
+
+        def strip():
+            try:
+                for wakeup in wakeups:
+                    consumer._remove_mailbox_listener(wakeup)
+            except Exception as exc:  # pragma: no cover - the failure mode
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=strip, name=f"repro-test-strip-{i}", daemon=True)
+            for i in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=10)
+        assert errors == []
+        assert consumer._wakeups == []

@@ -348,6 +348,11 @@ class TestSessionLifecycle:
         assert session.pool.live_segments == 0
         assert SharedLoaderSession.at("inproc://leaky") is None
         repro.serve(tiny_loader(size=8), address="inproc://leaky", start=False).shutdown()
+        # Restore the real close and run it: the sabotaged consumer still owns
+        # a reactor subscription and heartbeat timer, and the session-scoped
+        # quiescence sentinel rightly flags them if left behind.
+        del consumer.close
+        consumer.close()
 
     def test_producer_error_reraised_after_cleanup(self):
         class ExplodingLoader:

@@ -532,6 +532,15 @@ class TestDuplicateDeliveryRegression:
         pub.send(MessageKind.BATCH, body=p0, topic="consumer/d")  # dup, un-trained
         pub.send(MessageKind.BATCH, body=p1, topic="broadcast")
         pub.send(MessageKind.EPOCH_END, body={"epoch": 0, "batches": 2}, topic="broadcast")
+        # The reactor fans deliveries into the mailbox concurrently with this
+        # thread; wait for all of them so the duplicate is provably ingested
+        # while the original sits un-trained in the buffer (the case under
+        # test).  If the dup straggled in after batch 0's training ack, it
+        # would legitimately be re-acknowledged as a rubberband replay.
+        deadline = time.monotonic() + 5.0
+        while consumer._mailbox.qsize() < 4 and time.monotonic() < deadline:
+            time.sleep(0.002)
+        assert consumer._mailbox.qsize() >= 4
         values = [batch["x"].numpy()[0] for batch in consumer]
         assert values == [0.0, 1.0]
         assert consumer.duplicates_dropped == 1
