@@ -42,6 +42,30 @@ def _bench_name(request) -> str:
     return re.sub(r"[^A-Za-z0-9._-]+", "_", name)
 
 
+def _registry_latency_columns() -> dict:
+    """p50/p95/p99 batch latency from the obs registry, if any batch flowed.
+
+    Cumulative over the pytest process (the registry is process-wide), which
+    is the right envelope context: it answers "what did batches cost while
+    this run produced these numbers".
+    """
+    try:
+        from repro.obs.metrics import REGISTRY
+    except ImportError:
+        return {}
+    latency = REGISTRY.get("repro.consumer.batch_latency_seconds")
+    if latency is None or not latency.count():
+        return {}
+    return {
+        "batch_latency_seconds": {
+            "count": latency.count(),
+            "p50": latency.percentile(0.50),
+            "p95": latency.percentile(0.95),
+            "p99": latency.percentile(0.99),
+        }
+    }
+
+
 def emit_bench_json(request, payload: dict, *, name: str = None) -> Path:
     """Write one ``BENCH_<name>.json`` record and return its path."""
     name = name or _bench_name(request)
@@ -52,6 +76,7 @@ def emit_bench_json(request, payload: dict, *, name: str = None) -> Path:
         "benchmark": name,
         "test": request.node.nodeid,
         "tiny": os.environ.get("REPRO_BENCH_TINY") == "1",
+        **_registry_latency_columns(),
         **payload,
     }
     path = directory / f"BENCH_{name}.json"

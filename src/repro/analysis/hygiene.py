@@ -19,7 +19,12 @@ fixture in ``tests/conftest.py``.
 
 RL006 — functions marked ``@reactor_only`` (and ``_on_readable``-style
 callbacks) run on the reactor thread and must never block or dial sockets,
-and selector state may only be touched from such functions.
+and selector state may only be touched from such functions.  Metric
+instruments (``repro.obs.metrics`` counters/gauges/histograms) are allowed
+on the reactor thread *only* through their per-thread-cell recording methods
+(``inc``/``add``/``set``/``observe``); the aggregation side (``value``,
+``snapshot``, ``percentile``, ...) merges cells under the instrument lock
+and is flagged.
 """
 
 from __future__ import annotations
@@ -29,6 +34,7 @@ from typing import Dict, List, Optional, Set, Tuple
 
 from repro.analysis.findings import Finding
 from repro.analysis.locks import classify_blocking_call
+from repro.analysis.regions import receiver_kind
 from repro.analysis.symbols import FunctionInfo, ModuleInfo, own_walk
 
 # ---------------------------------------------------------------------------
@@ -195,6 +201,13 @@ def check_thread_hygiene(module: ModuleInfo) -> List[Finding]:
 #: Callback names treated as reactor-affine even without the decorator.
 _REACTOR_CALLBACK_NAMES = {"_on_readable"}
 
+#: The only methods of a kind-"metric" receiver that are lock-free on the
+#: hot path (per-thread accumulation cells); everything else on an
+#: instrument — value(), snapshot(), percentile(), reset(), attach() —
+#: takes the instrument lock to merge cells and has no place on the
+#: reactor thread.
+_METRIC_NONBLOCKING = frozenset({"inc", "add", "set", "observe"})
+
 
 def _is_reactor_fn(fn: FunctionInfo) -> bool:
     return fn.reactor_only or fn.node.name in _REACTOR_CALLBACK_NAMES
@@ -216,6 +229,22 @@ def check_reactor_affinity(module: ModuleInfo) -> List[Finding]:
             for node in own_walk(fn.node):
                 if not isinstance(node, ast.Call):
                     continue
+                if isinstance(node.func, ast.Attribute):
+                    kind = receiver_kind(node.func.value, fn, module)
+                    if kind == "metric" and node.func.attr not in _METRIC_NONBLOCKING:
+                        findings.append(
+                            _finding(
+                                "RL006",
+                                module,
+                                node,
+                                fn.qualname,
+                                f"metric aggregation '.{node.func.attr}()' takes "
+                                "the instrument lock; only per-thread-cell "
+                                "recording (inc/add/set/observe) is non-blocking "
+                                "and allowed in @reactor_only code",
+                            )
+                        )
+                        continue
                 classified = classify_blocking_call(node, fn, module)
                 if classified is None:
                     continue

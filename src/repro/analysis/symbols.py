@@ -49,6 +49,16 @@ _CONSTRUCTOR_KINDS: Dict[Tuple[str, str], str] = {
     ("selectors", "SelectSelector"): "selector",
     ("selectors", "PollSelector"): "selector",
     ("selectors", "EpollSelector"): "selector",
+    # Registry instruments: not mutexes and not "concurrent state" (never
+    # added to LOCK_KINDS / CONCURRENT_KINDS) — tagged so RL006 can verify
+    # that reactor-affine code only calls their non-blocking recording
+    # methods, never the lock-taking aggregation side.
+    ("repro.obs.metrics", "counter"): "metric",
+    ("repro.obs.metrics", "gauge"): "metric",
+    ("repro.obs.metrics", "histogram"): "metric",
+    ("repro.obs.metrics", "Counter"): "metric",
+    ("repro.obs.metrics", "Gauge"): "metric",
+    ("repro.obs.metrics", "Histogram"): "metric",
 }
 
 #: Kinds that count as mutexes for held-region tracking.

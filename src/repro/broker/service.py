@@ -53,12 +53,19 @@ from repro.core.session import (
 )
 from repro.messaging import endpoint as endpoints
 from repro.messaging.errors import AddressError, AddressNotServedError
+from repro.obs.metrics import counter
 
 #: Where ``repro.broker()`` puts the plane when the caller does not name one.
 DEFAULT_BROKER_ADDRESS = "inproc://dataset-broker"
 
 #: Channel suffixes the transport itself uses; a dataset may not shadow them.
-RESERVED_DATASET_NAMES = frozenset({"data", "control", "group", "catalog", "reply"})
+RESERVED_DATASET_NAMES = frozenset(
+    {"data", "control", "group", "catalog", "metrics", "reply"}
+)
+
+_MOUNTS = counter("repro.broker.mounts")
+_EVICTIONS = counter("repro.broker.evictions")
+_CATALOG_REQUESTS = counter("repro.broker.catalog_requests")
 
 _NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
 
@@ -160,6 +167,7 @@ class CatalogService:
                 pass  # requester vanished; keep serving others
 
     def _handle(self, payload) -> Dict[str, object]:
+        _CATALOG_REQUESTS.inc()
         if not isinstance(payload, dict):
             return {"ok": False, "error": "catalog requests are dicts with an 'op' key"}
         op = payload.get("op")
@@ -241,11 +249,22 @@ class DatasetBroker:
         # names through this parent-process broker object.
         self._owner_pid = os.getpid()
         self._catalog: Optional[CatalogService] = None
+        self._metrics_service = None
         self._janitor: Optional[threading.Thread] = None
         self._janitor_stop = threading.Event()
         try:
             register_session(self.address, self)
             self._catalog = CatalogService(self)
+            # The plane-wide observability channel on {address}/metrics (see
+            # repro.obs.service): one snapshot covers every mounted dataset.
+            try:
+                from repro.obs.service import MetricsService
+
+                self._metrics_service = MetricsService(
+                    self.hub, self.address, stats_fn=self.stats
+                )
+            except Exception:
+                self._metrics_service = None
             if idle_ttl is not None:
                 self._janitor = threading.Thread(
                     target=self._sweep_idle, daemon=True, name="repro-broker-janitor"
@@ -362,6 +381,7 @@ class DatasetBroker:
         mount.state = "mounted"
         mount.error = None
         mount.last_active = time.monotonic()
+        _MOUNTS.inc()
 
     # ------------------------------------------------------------------ resolution
     def dataset_names(self) -> List[str]:
@@ -515,6 +535,7 @@ class DatasetBroker:
                     mount.session = None
                     mount.state = "registered"
                     mount.evictions += 1
+                    _EVICTIONS.inc()
         return self.pool.tenant_bytes(name)
 
     def unpublish(self, name: str, timeout: float = 10.0) -> None:
@@ -584,6 +605,8 @@ class DatasetBroker:
                 pass
         if self._catalog is not None:
             self._catalog.stop()
+        if self._metrics_service is not None:
+            self._metrics_service.stop()
         unregister_session(self.address, self)
         try:
             self.pool.shutdown()

@@ -31,10 +31,17 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Optional, Tuple
 
+from repro.obs.metrics import counter
 from repro.tensor.payload import BatchPayload
 from repro.tensor.shared_memory import SharedMemoryPool
 
 __all__ = ["CachePolicy", "CacheStats", "BatchCache"]
+
+_HITS = counter("repro.cache.hits")
+_MISSES = counter("repro.cache.misses")
+_INSERTS = counter("repro.cache.inserts")
+_EVICTIONS = counter("repro.cache.evictions")
+_REJECTED = counter("repro.cache.rejected_inserts")
 
 
 class CachePolicy(str, enum.Enum):
@@ -274,6 +281,7 @@ class BatchCache:
             for name in entry.segment_names:
                 self.pool.retain(name)
             payload: BatchPayload = entry.value
+        _HITS.inc()
         return dataclasses.replace(payload, epoch=epoch, is_last_in_epoch=is_last_in_epoch)
 
     def republish_staged(self, index: int):
@@ -290,12 +298,14 @@ class BatchCache:
             self._entries.move_to_end(index)
             self._protected.discard(index)  # served: evictable again
             self.hits += 1
+            _HITS.inc()
             for name in entry.segment_names:
                 self.pool.retain(name)
             return entry.value
 
     def record_miss(self, count: int = 1) -> None:
         """Count misses decided outside the cache (planned loads)."""
+        _MISSES.inc(count)
         with self._lock:
             self.misses += count
 
@@ -326,11 +336,13 @@ class BatchCache:
                 return False
             if self.budget_bytes is not None and nbytes > self.budget_bytes:
                 self.rejected_inserts += 1
+                _REJECTED.inc()
                 return False
             if self.budget_bytes is not None:
                 if self.policy is CachePolicy.MRU:
                     if self._bytes + nbytes > self.budget_bytes:
                         self.rejected_inserts += 1
+                        _REJECTED.inc()
                         return False
                 else:  # LRU: make room, but never at a planned hit's expense
                     while self._bytes + nbytes > self.budget_bytes:
@@ -338,6 +350,7 @@ class BatchCache:
                             # Only this epoch's not-yet-served hits are left;
                             # refuse the insert instead of eating them.
                             self.rejected_inserts += 1
+                            _REJECTED.inc()
                             return False
             for name in segment_names:
                 self.pool.retain_cached(name)
@@ -346,6 +359,7 @@ class BatchCache:
             )
             self._bytes += nbytes
             self.insertions += 1
+            _INSERTS.inc()
             return True
 
     def _evict_one_locked(self) -> bool:
@@ -358,6 +372,7 @@ class BatchCache:
         entry = self._entries.pop(index)
         self._bytes -= entry.nbytes
         self.evictions += 1
+        _EVICTIONS.inc()
         self._complete_epoch_len = None
         for name in entry.segment_names:
             self.pool.release_cached(name)

@@ -41,9 +41,24 @@ from repro.messaging.message import Message, MessageKind
 from repro.messaging.reactor import get_reactor, reactor_only
 from repro.messaging.sockets import PushSocket
 from repro.messaging.transport import InProcHub
+from repro.obs import naming
+from repro.obs import trace as obs_trace
+from repro.obs.metrics import counter, histogram
 from repro.tensor.payload import BatchPayload
 from repro.tensor.shared_memory import SharedMemoryPool
 from repro.tensor.tensor import Tensor
+
+#: Registry instruments (process-wide; see repro.obs.metrics).  The ``stall.``
+#: counters accumulate seconds and feed repro.obs.stall's attribution.
+_BATCHES = counter("repro.consumer.batches")
+_SAMPLES = counter("repro.consumer.samples")
+_DUPLICATES = counter("repro.consumer.duplicates")
+_OVERFLOWS = counter("repro.consumer.mailbox_overflows")
+_WAIT_SECONDS = counter("repro.consumer.stall.wait_seconds")
+_TRAIN_SECONDS = counter("repro.consumer.stall.train_seconds")
+_ACK_SECONDS = counter("repro.consumer.stall.ack_seconds")
+_LOOP_SECONDS = counter("repro.consumer.loop_seconds")
+_LATENCY = histogram("repro.consumer.batch_latency_seconds")
 
 
 class _ShutdownReceived(Exception):
@@ -137,6 +152,13 @@ class TensorConsumer:
         # *completed* epoch, the sized-loader contract).
         self._consumed_per_epoch: Dict[int, int] = {}
         self._last_completed_epoch: Optional[int] = None
+        # Per-batch lifecycle traces keyed by (epoch, batch_index): the
+        # producer-side stamps arrive in payload metadata; this consumer's
+        # delivered/trained stamps are added here and the completed trace
+        # rides back to the producer in the ACK body.  Touched only from the
+        # training thread; entries are popped at acknowledgement time, so the
+        # table is bounded by the buffer size.
+        self._traces: Dict[Tuple[int, int], Dict[str, float]] = {}
 
         # Statistics surfaced by tests and experiments.
         self.batches_consumed = 0
@@ -281,6 +303,7 @@ class TensorConsumer:
             self._mailbox.put_nowait(message)
         except queue.Full:
             self.mailbox_overflows += 1
+            _OVERFLOWS.inc()
             return
         for wakeup in list(self._wakeups):
             try:
@@ -375,10 +398,22 @@ class TensorConsumer:
                 # the outstanding count early, letting the producer publish
                 # past this consumer's buffer capacity.
                 self.duplicates_dropped += 1
+                _DUPLICATES.inc()
                 if key in self._acked_keys:
                     self._acknowledge(payload)
                 return None
             self._delivered_keys.add(key)
+            metadata = payload.metadata
+            producer_trace = (
+                metadata.get("trace") if isinstance(metadata, dict) else None
+            )
+            if isinstance(producer_trace, dict):
+                # Copy before stamping: inproc payloads share one metadata
+                # dict across every consumer in the process (and the window
+                # cache), so the shared trace must stay consumer-agnostic.
+                trace = dict(producer_trace)
+                trace["delivered"] = time.monotonic()
+                self._traces[key] = trace
             return payload
         return None
 
@@ -394,19 +429,38 @@ class TensorConsumer:
 
     # ------------------------------------------------------------------ acknowledgements
     def _acknowledge(self, payload: BatchPayload) -> None:
-        self._acked_keys.add(payload.key())
-        try:
-            self._push.send(
-                MessageKind.ACK,
-                body={
-                    "consumer_id": self.consumer_id,
-                    "epoch": payload.epoch,
-                    "batch_index": payload.batch_index,
-                },
+        started = time.monotonic()
+        key = payload.key()
+        self._acked_keys.add(key)
+        body: Dict[str, object] = {
+            "consumer_id": self.consumer_id,
+            "epoch": payload.epoch,
+            "batch_index": payload.batch_index,
+        }
+        trace = self._traces.pop(key, None)
+        if trace is not None:
+            # Batches dropped without training (duplicates, pre-group epochs,
+            # shutdown drains) never got a trained stamp; close the span at
+            # ack time so it still parses as a complete lifecycle.
+            trace.setdefault("trained", started)
+            trace["acked"] = time.monotonic()
+            if "sampled" in trace:
+                _LATENCY.observe(trace["acked"] - trace["sampled"])
+            obs_trace.record_span(
+                epoch=payload.epoch,
+                batch_index=payload.batch_index,
+                consumer_id=self.consumer_id,
+                stages=trace,
+                origin=obs_trace.origin(),
             )
+            # The producer aggregates the full span on its side of the plane.
+            body["trace"] = trace
+        try:
+            self._push.send(MessageKind.ACK, body=body)
         except MessagingError:
             # The producer is gone; there is nobody left to account the ack.
             pass
+        _ACK_SECONDS.inc(time.monotonic() - started)
 
     # ------------------------------------------------------------------ iteration
     def _reached_epoch_limit(self) -> bool:
@@ -482,6 +536,8 @@ class TensorConsumer:
             batch = payload.unpack(self.pool)
             self.batches_consumed += 1
             self.samples_consumed += payload.batch_size
+            _BATCHES.inc()
+            _SAMPLES.inc(payload.batch_size)
             self._consumed_per_epoch[payload.epoch] = (
                 self._consumed_per_epoch.get(payload.epoch, 0) + 1
             )
@@ -511,42 +567,61 @@ class TensorConsumer:
         # when the stream runs dry and reset whenever a batch is delivered,
         # matching the old pump's per-blocking-call deadline.
         deadline: Optional[float] = None
-        while True:
-            step = self._try_take()
-            if step is _DONE:
-                break
-            if step is _WAIT:
-                if deadline is None:
-                    deadline = time.monotonic() + self.config.receive_timeout
-                if not self._registered:
-                    self._register()
-                try:
-                    self._heartbeat.maybe_send()
-                except MessagingError:
-                    pass
-                remaining = deadline - time.monotonic()
-                if remaining <= 0:
-                    raise TimeoutError_(
-                        f"consumer {self.consumer_id!r} received no data for "
-                        f"{self.config.receive_timeout}s; is the producer running?"
-                    )
-                try:
-                    message = self._mailbox.get(
-                        timeout=min(self.config.heartbeat_interval, remaining)
-                    )
-                except queue.Empty:
-                    continue
-                self._ingest(message)
-                continue
-            deadline = None
-            payload, batch = step
-            yield payload, batch
-            # The training loop finished with the batch: acknowledge it so
-            # the producer can release the shared memory.
-            self._acknowledge(payload)
-            self._heartbeat.maybe_send()
-        # Acknowledge anything left in the buffer so nothing stays pinned.
-        self._drop_buffered()
+        loop_started = time.monotonic()
+        try:
+            while True:
+                step_started = time.monotonic()
+                step = self._try_take()
+                # Ingest/unpack time counts as waiting — anything that is not
+                # the training step or the acknowledgement is time the
+                # trainer spends without compute.
+                _WAIT_SECONDS.inc(time.monotonic() - step_started)
+                if step is _DONE:
+                    break
+                if step is _WAIT:
+                    wait_started = time.monotonic()
+                    try:
+                        if deadline is None:
+                            deadline = time.monotonic() + self.config.receive_timeout
+                        if not self._registered:
+                            self._register()
+                        try:
+                            self._heartbeat.maybe_send()
+                        except MessagingError:
+                            pass
+                        remaining = deadline - time.monotonic()
+                        if remaining <= 0:
+                            raise TimeoutError_(
+                                f"consumer {self.consumer_id!r} received no data for "
+                                f"{self.config.receive_timeout}s; is the producer running?"
+                            )
+                        try:
+                            message = self._mailbox.get(
+                                timeout=min(self.config.heartbeat_interval, remaining)
+                            )
+                        except queue.Empty:
+                            continue
+                        self._ingest(message)
+                        continue
+                    finally:
+                        _WAIT_SECONDS.inc(time.monotonic() - wait_started)
+                deadline = None
+                payload, batch = step
+                train_started = time.monotonic()
+                yield payload, batch
+                trained_at = time.monotonic()
+                _TRAIN_SECONDS.inc(trained_at - train_started)
+                trace = self._traces.get(payload.key())
+                if trace is not None:
+                    trace["trained"] = trained_at
+                # The training loop finished with the batch: acknowledge it so
+                # the producer can release the shared memory.
+                self._acknowledge(payload)
+                self._heartbeat.maybe_send()
+            # Acknowledge anything left in the buffer so nothing stays pinned.
+            self._drop_buffered()
+        finally:
+            _LOOP_SECONDS.inc(time.monotonic() - loop_started)
 
     def __len__(self) -> int:
         """Batches consumed in the last *completed* epoch.
@@ -563,20 +638,32 @@ class TensorConsumer:
         return self.batches_consumed
 
     # ------------------------------------------------------------------ introspection
+    def metrics(self) -> Dict[str, object]:
+        """This consumer's state under the canonical registry namespace
+        (``repro.consumer.*``).  Per-instance snapshot — the process-wide
+        registry aggregates across every consumer in the process; this dict
+        reports one consumer's own counters."""
+        return {
+            "repro.consumer.id": self.consumer_id,
+            "repro.consumer.batches": self.batches_consumed,
+            "repro.consumer.samples": self.samples_consumed,
+            "repro.consumer.epochs": self.epochs_seen,
+            "repro.consumer.duplicates": self.duplicates_dropped,
+            "repro.consumer.buffered": len(self._buffer),
+            "repro.consumer.admitted_epoch": self.admitted_epoch,
+            "repro.consumer.mailbox_overflows": self.mailbox_overflows,
+        }
+
     def stats(self) -> Dict[str, object]:
         """Uniform statistics dict (the consumer half of
         :meth:`TensorProducer.stats`): stable keys instead of ad-hoc
-        attribute spelunking."""
-        return {
-            "role": "consumer",
-            "consumer_id": self.consumer_id,
-            "batches_consumed": self.batches_consumed,
-            "samples_consumed": self.samples_consumed,
-            "epochs_seen": self.epochs_seen,
-            "duplicates_dropped": self.duplicates_dropped,
-            "buffered": len(self._buffer),
-            "admitted_epoch": self.admitted_epoch,
-        }
+        attribute spelunking.
+
+        .. deprecated:: PR 9
+           A thin legacy view over :meth:`metrics` (the key map lives in
+           :mod:`repro.obs.naming`); new code should read :meth:`metrics`.
+        """
+        return naming.to_legacy(self.metrics(), naming.CONSUMER_KEYS, role="consumer")
 
     # ------------------------------------------------------------------ shutdown
     def close(self) -> None:

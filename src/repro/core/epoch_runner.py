@@ -35,16 +35,26 @@ disjoint shards to cover the dataset exactly once.
 
 from __future__ import annotations
 
+import dataclasses
+import time
 from typing import Dict, Iterator, List, Mapping, Optional, Protocol, Tuple
 
 from repro.cache import BatchCache, CachedEpochSource
 from repro.core.flexible_batch import FlexibleBatcher, recommend_producer_batch_size
 from repro.core.pipeline import StagedItem, StagePipeline
+from repro.obs import trace as obs_trace
+from repro.obs.metrics import counter
 from repro.tensor.payload import BatchPayload
 from repro.tensor.shared_memory import SharedMemoryPool
 from repro.tensor.tensor import Tensor
 
 __all__ = ["EpochHost", "EpochRunner", "SkipEpoch", "staged_segment_names"]
+
+#: Stall-attribution components (cumulative seconds) and volume counters.
+_LOAD_SECONDS = counter("repro.producer.stall.load_seconds")
+_STAGE_SECONDS = counter("repro.producer.stall.stage_seconds")
+_BATCHES_LOADED = counter("repro.producer.batches_loaded")
+_CACHE_REPLAYS = counter("repro.producer.cache_replays")
 
 
 class SkipEpoch(Exception):
@@ -180,12 +190,49 @@ class EpochRunner:
         the pool (thread-safe) and the ``batches_loaded`` counter (written by
         exactly one staging thread).
         """
+        started = time.monotonic()
         staged = {}
         for name, tensor in batch.items():
             tensor = tensor.to(self.config.share_device)
             staged[name] = self.pool.share_tensor(tensor, initial_refcount=1)
         self.batches_loaded += 1
+        _BATCHES_LOADED.inc()
+        _STAGE_SECONDS.inc(time.monotonic() - started)
         return staged
+
+    def _timed_source(self, pairs) -> Iterator[Tuple[int, Tuple]]:
+        """Time the loader side of an ``(index, batch)`` stream.
+
+        Yields ``(index, (batch, t_sampled, t_loaded))``: the monotonic
+        stamps bracketing the loader's work become the ``sampled``/``loaded``
+        stages of the batch's lifecycle trace, and the delta accumulates into
+        the load component of the producer's stall attribution.  (At
+        ``pipeline_depth > 1`` this runs on the stage worker, so load seconds
+        measure loader occupancy, which overlaps the publish loop.)
+        """
+        it = iter(pairs)
+        while True:
+            t_sampled = time.monotonic()
+            try:
+                index, batch = next(it)
+            except StopIteration:
+                return
+            t_loaded = time.monotonic()
+            _LOAD_SECONDS.inc(t_loaded - t_sampled)
+            yield index, (batch, t_sampled, t_loaded)
+
+    def _timed_iter(self, source) -> Iterator:
+        """Like :meth:`_timed_source` for a bare batch stream (flexible mode:
+        indices are assigned after re-chunking, so only load time is kept)."""
+        it = iter(source)
+        while True:
+            t_sampled = time.monotonic()
+            try:
+                batch = next(it)
+            except StopIteration:
+                return
+            _LOAD_SECONDS.inc(time.monotonic() - t_sampled)
+            yield batch
 
     # ------------------------------------------------------------------ pipeline plumbing
     def _pipeline_loader_workers(self) -> Optional[int]:
@@ -257,23 +304,30 @@ class EpochRunner:
             else None
         )
 
-        def pack_payload(index, batch) -> BatchPayload:
+        def pack_payload(index, loaded) -> BatchPayload:
+            # ``loaded`` is a (batch, t_sampled, t_loaded) triple from
+            # _timed_source; the stamps seed the batch's lifecycle trace,
+            # which travels in the payload metadata (inproc and tcp alike).
+            batch, t_sampled, t_loaded = loaded
+            staged = self._stage_batch(batch)
+            trace = {"sampled": t_sampled, "loaded": t_loaded, "staged": time.monotonic()}
             return BatchPayload.pack(
-                self._stage_batch(batch),
+                staged,
                 batch_index=index,
                 epoch=epoch,
                 is_last_in_epoch=total is not None and index == total - 1,
+                metadata={"trace": trace, "trace_origin": obs_trace.origin()},
             )
 
         def stage(indexed) -> StagedItem:
-            index, batch = indexed
+            index, loaded = indexed
             if not overlapped:
                 # Depth 1 keeps the classic order — load, wait for capacity,
                 # *then* stage: the batch passes through raw and is staged at
                 # publish time, so no shared memory is held during waits and
                 # skipped batches never touch the pool.
-                return StagedItem(index=index, value=batch)
-            payload = pack_payload(index, batch)
+                return StagedItem(index=index, value=loaded)
+            payload = pack_payload(index, loaded)
             return StagedItem(index=index, value=payload, segment_names=payload.segment_names)
 
         if source is None or source.all_miss:
@@ -289,7 +343,9 @@ class EpochRunner:
                 if sampled is not None:
                     self.cache.remember_composition(sampled)
             pipeline: Optional[StagePipeline] = self._make_pipeline(
-                enumerate(loader_iter), stage, source_close=getattr(loader_iter, "close", None)
+                self._timed_source(enumerate(loader_iter)),
+                stage,
+                source_close=getattr(loader_iter, "close", None),
             )
             stream: Iterator[StagedItem] = iter(pipeline)
         elif source.full_replay:
@@ -306,7 +362,9 @@ class EpochRunner:
                 max_in_flight=self.config.pipeline_depth if overlapped else None,
                 num_workers=self._pipeline_loader_workers() if overlapped else 0,
             )
-            pipeline = self._make_pipeline(misses, stage, source_close=miss_close)
+            pipeline = self._make_pipeline(
+                self._timed_source(misses), stage, source_close=miss_close
+            )
             stream = self._cached_item_stream(source, iter(pipeline))
         try:
             for item in stream:
@@ -364,10 +422,31 @@ class EpochRunner:
         """
         for index in range(source.total):
             if index in source.plan:
+                hit_at = time.monotonic()
                 payload = source.hit(index)
                 if payload is None:
-                    yield StagedItem(index=index, value=source.load_batch(index))
+                    t_sampled = time.monotonic()
+                    batch = source.load_batch(index)
+                    t_loaded = time.monotonic()
+                    _LOAD_SECONDS.inc(t_loaded - t_sampled)
+                    yield StagedItem(index=index, value=(batch, t_sampled, t_loaded))
                 else:
+                    # The cached entry's metadata dict is shared across
+                    # replays; give the republished payload a fresh trace (a
+                    # hit samples/loads/stages in one step) instead of
+                    # mutating the shared dict.
+                    _CACHE_REPLAYS.inc()
+                    payload = dataclasses.replace(
+                        payload,
+                        metadata={
+                            "trace": {
+                                "sampled": hit_at,
+                                "loaded": hit_at,
+                                "staged": hit_at,
+                            },
+                            "trace_origin": obs_trace.origin(),
+                        },
+                    )
                     yield StagedItem(
                         index=index,
                         value=payload,
@@ -427,7 +506,7 @@ class EpochRunner:
         # needed between them.
         def producer_batches():
             index = 0
-            for batch in loader_iter:
+            for batch in self._timed_iter(loader_iter):
                 if host.stopped:
                     return
                 for producer_batch in self.flexible.add_loader_batch(batch):
@@ -488,6 +567,7 @@ class EpochRunner:
                 raise RuntimeError(
                     f"cached producer batch {index} vanished during a full replay"
                 )
+            _CACHE_REPLAYS.inc()
             item = StagedItem(
                 index=index,
                 value=staged,
@@ -528,6 +608,7 @@ class EpochRunner:
                 item.value = staged
                 item.segment_names = staged_segment_names(staged)
             staged = item.value
+            staged_at = time.monotonic()
             for consumer_id in active:
                 if not self.flexible.has_consumer(consumer_id):
                     continue
@@ -537,11 +618,18 @@ class EpochRunner:
                     if consumer_id not in host.active_consumer_ids():
                         break
                     self.publish_seq += 1
+                    # Flexible slices are re-chunked from the loader stream,
+                    # so per-slice sampled/loaded stamps do not exist; their
+                    # lifecycle trace starts at the staging step.
                     payload = BatchPayload.pack(
                         slice_batch,
                         batch_index=self.publish_seq,
                         epoch=self.epoch,
                         producer_batch_id=index,
+                        metadata={
+                            "trace": {"staged": staged_at},
+                            "trace_origin": obs_trace.origin(),
+                        },
                     )
                     host.publish(payload, [consumer_id], topic=f"consumer/{consumer_id}")
             self.batches_published_this_epoch = index + 1

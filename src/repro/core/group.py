@@ -49,6 +49,7 @@ from repro.core.producer import TensorProducer
 from repro.core.session import DescribeService, register_session, unregister_session
 from repro.messaging import endpoint as endpoints
 from repro.messaging.errors import MessagingError, TimeoutError_
+from repro.obs import naming
 from repro.tensor.tensor import Tensor
 
 __all__ = [
@@ -376,19 +377,28 @@ class GroupConsumer:
         """Batches per completed epoch, summed over the member shards."""
         return sum(len(member) for member in self.members)
 
-    def stats(self) -> Dict[str, object]:
-        """Aggregated consumer stats plus one row per member shard."""
-        member_rows = [member.stats() for member in self.members]
+    def metrics(self) -> Dict[str, object]:
+        """Aggregated counters under the canonical ``repro.*`` namespace."""
         return {
-            "role": "group-consumer",
-            "consumer_id": self.consumer_id,
-            "interleave": self.interleave,
-            "shards": len(self.members),
-            "batches_consumed": self.batches_consumed,
-            "samples_consumed": self.samples_consumed,
-            "duplicates_dropped": self.duplicates_dropped,
-            "members": member_rows,
+            "repro.consumer.id": self.consumer_id,
+            "repro.group.interleave": self.interleave,
+            "repro.group.shards": len(self.members),
+            "repro.consumer.batches": self.batches_consumed,
+            "repro.consumer.samples": self.samples_consumed,
+            "repro.consumer.duplicates": self.duplicates_dropped,
         }
+
+    def stats(self) -> Dict[str, object]:
+        """Aggregated consumer stats plus one row per member shard.
+
+        Deprecated view: a projection of :meth:`metrics` onto the historical
+        key names (plus the per-member legacy rows).
+        """
+        legacy = naming.to_legacy(
+            self.metrics(), naming.GROUP_CONSUMER_KEYS, role="group-consumer"
+        )
+        legacy["members"] = [member.stats() for member in self.members]
+        return legacy
 
     # ------------------------------------------------------------------ shutdown
     def close(self) -> None:
@@ -480,6 +490,7 @@ class ShardedLoaderSession:
             self.pool = self._endpoint.pool
         self.members: List[TensorProducer] = []
         self._describe: Optional[DescribeService] = None
+        self._metrics_service = None
         try:
             for rank in range(self.shards):
                 shard_loader = data_loader.shard(rank, self.shards, mode=shard_mode)
@@ -514,6 +525,16 @@ class ShardedLoaderSession:
             self._describe = DescribeService(
                 self.hub, self.address, self.manifest().to_dict()
             )
+            # The observability channel for the whole group on
+            # {address}/metrics (see repro.obs.service).
+            try:
+                from repro.obs.service import MetricsService
+
+                self._metrics_service = MetricsService(
+                    self.hub, self.address, stats_fn=self.stats
+                )
+            except Exception:
+                self._metrics_service = None
         except BaseException:
             for member in self.members:
                 try:
@@ -618,13 +639,51 @@ class ShardedLoaderSession:
     attach = consumer
 
     # ------------------------------------------------------------------ introspection
+    def metrics(self) -> Dict[str, object]:
+        """Group aggregate under the canonical ``repro.*`` namespace.
+
+        Counter fields are summed across members; the pool buckets
+        (``repro.pool.*``) are read once from the shared pool — members share
+        it, so summing would double-count.
+        """
+        member_rows = [member.metrics() for member in self.members]
+        cache_totals: Dict[str, int] = {}
+        for row in member_rows:
+            for key, value in row["repro.cache"].items():
+                if isinstance(value, (int, float)):
+                    cache_totals[key] = cache_totals.get(key, 0) + value
+        return {
+            "repro.group.shards": self.shards,
+            "repro.producer.epoch": min(
+                (row["repro.producer.epoch"] for row in member_rows), default=0
+            ),
+            "repro.producer.epochs_completed": min(
+                (row["repro.producer.epochs_completed"] for row in member_rows),
+                default=0,
+            ),
+            "repro.producer.batches_loaded": sum(
+                row["repro.producer.batches_loaded"] for row in member_rows
+            ),
+            "repro.producer.publishes": sum(
+                row["repro.producer.publishes"] for row in member_rows
+            ),
+            "repro.producer.pending_batches": sum(
+                row["repro.producer.pending_batches"] for row in member_rows
+            ),
+            "repro.producer.consumers": max(
+                (row["repro.producer.consumers"] for row in member_rows), default=0
+            ),
+            "repro.pool.bytes_in_flight": self.pool.bytes_in_flight,
+            "repro.pool.cached_bytes": self.pool.cached_bytes,
+            "repro.pool.peak_bytes": self.pool.peak_bytes,
+            "repro.cache": cache_totals,
+        }
+
     def stats(self) -> Dict[str, object]:
         """One snapshot of the group: aggregate + one row per member shard.
 
-        Counter fields are summed across members; the pool buckets
-        (``bytes_in_flight``, ``cached_bytes``, ``peak_bytes``) are read once
-        from the shared pool — members share it, so summing would
-        double-count.
+        Deprecated view: the aggregate row is a projection of :meth:`metrics`
+        onto the historical key names.
         """
         member_rows = []
         for rank, member in enumerate(self.members):
@@ -632,28 +691,11 @@ class ShardedLoaderSession:
             row["shard"] = rank
             row["address"] = member.address
             member_rows.append(row)
-        cache_totals: Dict[str, int] = {}
-        for row in member_rows:
-            for key, value in row["cache"].items():
-                if isinstance(value, (int, float)):
-                    cache_totals[key] = cache_totals.get(key, 0) + value
-        aggregate = {
-            "role": "producer-group",
-            "shards": self.shards,
-            "epoch": min((row["epoch"] for row in member_rows), default=0),
-            "epochs_completed": min(
-                (row["epochs_completed"] for row in member_rows), default=0
-            ),
-            "batches_loaded": sum(row["batches_loaded"] for row in member_rows),
-            "payloads_published": sum(row["payloads_published"] for row in member_rows),
-            "pending_batches": sum(row["pending_batches"] for row in member_rows),
-            "consumers": max((row["consumers"] for row in member_rows), default=0),
-            "bytes_in_flight": self.pool.bytes_in_flight,
-            "cached_bytes": self.pool.cached_bytes,
-            "peak_bytes": self.pool.peak_bytes,
-            "cache": cache_totals,
-            "epoch_progress": self.epoch_progress(),
-        }
+        aggregate = naming.to_legacy(
+            self.metrics(), naming.PRODUCER_KEYS, role="producer-group"
+        )
+        aggregate["shards"] = self.shards
+        aggregate["epoch_progress"] = self.epoch_progress()
         return {
             "address": self.address,
             "running": self.is_running,
@@ -715,6 +757,8 @@ class ShardedLoaderSession:
             unregister_session(self.address, self)
             if self._describe is not None:
                 self._describe.stop()
+            if self._metrics_service is not None:
+                self._metrics_service.stop()
             try:
                 if not self._embedded:
                     # Embedded groups share the broker's pool: their bytes

@@ -33,7 +33,12 @@ import threading
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Iterator, Optional, Tuple
 
+from repro.obs.metrics import counter
+
 __all__ = ["StagedItem", "StagePipeline"]
+
+_ITEMS_STAGED = counter("repro.pipeline.items_staged")
+_ITEMS_DRAINED = counter("repro.pipeline.items_drained")
 
 
 @dataclass
@@ -133,6 +138,7 @@ class StagePipeline:
                     return
                 staged = self._stage_fn(item)
                 self.items_staged += 1
+                _ITEMS_STAGED.inc()
                 if not self._put(staged):
                     # Stop was requested while the queue was full; the staged
                     # item was never handed over, so its holds are ours to
@@ -166,6 +172,7 @@ class StagePipeline:
             item = next(self._iter)
             staged = self._stage_fn(item)
             self.items_staged += 1
+            _ITEMS_STAGED.inc()
             return staged
         obj = self._queue.get()
         if isinstance(obj, _Done):
@@ -179,6 +186,7 @@ class StagePipeline:
         if not isinstance(obj, StagedItem):
             return
         self.items_released_unconsumed += 1
+        _ITEMS_DRAINED.inc()
         if self._release_fn is not None:
             try:
                 self._release_fn(obj)

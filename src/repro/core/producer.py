@@ -39,8 +39,22 @@ from repro.messaging.heartbeat import HeartbeatMonitor
 from repro.messaging.message import Message, MessageKind
 from repro.messaging.sockets import PubSocket, PullSocket
 from repro.messaging.transport import InProcHub
+from repro.obs import naming
+from repro.obs import trace as obs_trace
+from repro.obs.metrics import counter, histogram
 from repro.tensor.payload import BatchPayload
 from repro.tensor.shared_memory import SharedMemoryPool
+
+#: Registry instruments (process-wide; see repro.obs.metrics).  Counters with
+#: a ``stall.`` segment accumulate seconds and feed the attribution in
+#: repro.obs.stall; the rest are volume counters/latency histograms.
+_PUBLISHES = counter("repro.producer.publishes")
+_ACKS = counter("repro.producer.acks")
+_CAPACITY_WAIT_SECONDS = counter("repro.producer.stall.capacity_wait_seconds")
+_PUBLISH_SECONDS = counter("repro.producer.stall.publish_seconds")
+_EPOCH_SECONDS = histogram("repro.producer.epoch_seconds")
+_SPAN_SECONDS = histogram("repro.producer.batch_span_seconds")
+_CONSUMER_DROPS = counter("repro.producer.consumer_drops")
 
 
 @dataclass
@@ -273,6 +287,7 @@ class TensorProducer:
         state = self._consumers.pop(consumer_id, None)
         if state is None:
             return
+        _CONSUMER_DROPS.inc()
         # Release the holds of every batch the consumer still owed an ack for.
         for key in list(self.ledger.pending_keys()):
             record = self.ledger.record_for(key)
@@ -306,7 +321,11 @@ class TensorProducer:
         if message.kind is MessageKind.HELLO:
             self._register_consumer(body)
         elif message.kind is MessageKind.ACK:
-            self._handle_ack(consumer_id, (int(body["epoch"]), int(body["batch_index"])))
+            self._handle_ack(
+                consumer_id,
+                (int(body["epoch"]), int(body["batch_index"])),
+                trace=body.get("trace"),
+            )
         elif message.kind is MessageKind.BYE:
             # A rejected duplicate also says BYE when it closes; its token
             # mismatch must not drop the rightful owner on its behalf.
@@ -317,7 +336,27 @@ class TensorProducer:
         elif message.kind is MessageKind.HEARTBEAT:
             pass  # the beat above is all that is needed
 
-    def _handle_ack(self, consumer_id: str, key: Tuple[int, int]) -> None:
+    def _handle_ack(
+        self,
+        consumer_id: str,
+        key: Tuple[int, int],
+        trace: Optional[Dict[str, float]] = None,
+    ) -> None:
+        _ACKS.inc()
+        if isinstance(trace, dict):
+            # The consumer carried the batch's completed lifecycle trace back
+            # in the ACK body; record the full seven-stage span on the
+            # producer side so one process (the serving one) holds the
+            # end-to-end picture even over tcp://.
+            obs_trace.record_span(
+                epoch=key[0],
+                batch_index=key[1],
+                consumer_id=consumer_id,
+                stages=trace,
+                origin=obs_trace.origin(),
+            )
+            if "sampled" in trace and "acked" in trace:
+                _SPAN_SECONDS.observe(float(trace["acked"]) - float(trace["sampled"]))
         record = self.ledger.record_for(key)
         if record is None or consumer_id not in record.waiting_on:
             self.ledger.acknowledge(consumer_id, key)  # counts the duplicate
@@ -346,6 +385,13 @@ class TensorProducer:
         Also enforces the paper's pause conditions: no consumers → no
         loading; a rubberbanded consumer catching up → publishing halts.
         """
+        started = time.monotonic()
+        try:
+            self._wait_for_capacity()
+        finally:
+            _CAPACITY_WAIT_SECONDS.inc(time.monotonic() - started)
+
+    def _wait_for_capacity(self) -> None:
         deadline = time.monotonic() + self.config.heartbeat_timeout * 4
         while not self._stopped:
             self._process_control()
@@ -390,6 +436,7 @@ class TensorProducer:
     def publish(
         self, payload: BatchPayload, consumers: List[str], *, topic: str = "broadcast"
     ) -> None:
+        started = time.monotonic()
         for name in payload.segment_names:
             self.pool.retain(name, count=len(consumers))
         self.ledger.publish(
@@ -397,14 +444,22 @@ class TensorProducer:
             consumers,
             segment_names=payload.segment_names,
             nbytes=payload.tensor_nbytes,
-            published_at=time.monotonic(),
+            published_at=started,
         )
+        trace = (
+            payload.metadata.get("trace") if isinstance(payload.metadata, dict) else None
+        )
+        if isinstance(trace, dict):
+            # Stamped before the send so the stamp travels with the payload.
+            trace["published"] = time.monotonic()
         self._pub.send(MessageKind.BATCH, body=payload, topic=topic)
         for consumer_id in consumers:
             state = self._consumers.get(consumer_id)
             if state is not None:
                 state.batches_sent += 1
         self.payloads_published += 1
+        _PUBLISHES.inc()
+        _PUBLISH_SECONDS.inc(time.monotonic() - started)
 
     def retain_for_window(self, payload: BatchPayload, batch_index: int) -> bool:
         """Keep the first few batches of an epoch alive for rubberband joiners.
@@ -444,11 +499,13 @@ class TensorProducer:
         while not self._stopped and (epoch_limit is None or self.epoch < epoch_limit):
             self.runner.begin_epoch(self.epoch)
             self._window_cache.clear()
+            epoch_started = time.monotonic()
             try:
                 for progress in self.runner.run(self.epoch):
                     yield progress
             except SkipEpoch:
                 pass
+            _EPOCH_SECONDS.observe(time.monotonic() - epoch_started)
             self._finish_epoch()
         # Iteration complete; callers call join() for cleanup.
 
@@ -511,29 +568,43 @@ class TensorProducer:
             self._endpoint.release()
 
     # ------------------------------------------------------------------ introspection
+    def metrics(self) -> Dict[str, object]:
+        """This producer's state under the canonical registry namespace
+        (``repro.producer.*`` / ``repro.pool.*`` / ``repro.cache``).
+
+        Per-instance snapshot: the values are this producer's own counters,
+        not the process-wide registry totals (several producers — shard
+        members, broker tenants — share one registry but report their own
+        rows here).
+        """
+        cache_stats = (
+            self.cache.stats() if self.cache is not None else CacheStats()
+        ).as_dict()
+        return {
+            "repro.producer.epoch": self.epoch,
+            "repro.producer.epochs_completed": self.epochs_completed,
+            "repro.producer.batches_loaded": self.batches_loaded,
+            "repro.producer.publishes": self.payloads_published,
+            "repro.producer.pending_batches": self.ledger.pending_batches,
+            "repro.producer.consumers": len(self._consumers),
+            "repro.pool.bytes_in_flight": self.pool.bytes_in_flight,
+            "repro.pool.cached_bytes": self.pool.cached_bytes,
+            "repro.pool.peak_bytes": self.pool.peak_bytes,
+            "repro.cache": cache_stats,
+        }
+
     def stats(self) -> Dict[str, object]:
         """Uniform statistics dict (the producer half of the pair that
         :meth:`TensorConsumer.stats` completes): load/publish counters, the
         cache's hit/miss/eviction figures (zeroed when no cache is
         configured), and the pool's two memory buckets — ``bytes_in_flight``
         vs ``cached_bytes``.
+
+        .. deprecated:: PR 9
+           A thin legacy view over :meth:`metrics` (the key map lives in
+           :mod:`repro.obs.naming`); new code should read :meth:`metrics`.
         """
-        cache_stats = (
-            self.cache.stats() if self.cache is not None else CacheStats()
-        ).as_dict()
-        return {
-            "role": "producer",
-            "epoch": self.epoch,
-            "epochs_completed": self.epochs_completed,
-            "batches_loaded": self.batches_loaded,
-            "payloads_published": self.payloads_published,
-            "pending_batches": self.ledger.pending_batches,
-            "consumers": len(self._consumers),
-            "bytes_in_flight": self.pool.bytes_in_flight,
-            "cached_bytes": self.pool.cached_bytes,
-            "peak_bytes": self.pool.peak_bytes,
-            "cache": cache_stats,
-        }
+        return naming.to_legacy(self.metrics(), naming.PRODUCER_KEYS, role="producer")
 
     def status(self) -> Dict[str, object]:
         """A snapshot used by monitoring utilities and tests."""

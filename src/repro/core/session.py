@@ -141,6 +141,7 @@ class SharedLoaderSession:
         self._shutdown = False
         self._owner_pid = os.getpid()
         self._describe: Optional[DescribeService] = None
+        self._metrics_service = None
         if self.producer.owns_address or embedded:
             # The producer's endpoint bind guarantees the address was free, so
             # this cannot clobber another live session.  Sessions wired from
@@ -157,6 +158,16 @@ class SharedLoaderSession:
                 )
             except Exception:
                 self._describe = None  # a hub without bind support; discovery off
+            # The observability channel: snapshot/prometheus on
+            # {address}/metrics (see repro.obs.service).
+            try:
+                from repro.obs.service import MetricsService
+
+                self._metrics_service = MetricsService(
+                    self.hub, self.address, stats_fn=self.stats
+                )
+            except Exception:
+                self._metrics_service = None
 
     def manifest(self) -> SessionManifest:
         """This session's shape in the unified describe/catalog schema."""
@@ -275,6 +286,8 @@ class SharedLoaderSession:
             unregister_session(self.address, self)
             if self._describe is not None:
                 self._describe.stop()
+            if self._metrics_service is not None:
+                self._metrics_service.stop()
             try:
                 if not self._embedded:
                     # An embedded session's pool is the broker's shared pool

@@ -82,6 +82,26 @@ def run_collocation(
     return runner.run(list(workloads))
 
 
+def observability_probe() -> Dict[str, object]:
+    """Batch-latency percentiles and stall attribution from the obs registry.
+
+    The registry-backed companion to :func:`measure_epoch_throughput`: the
+    wall-clock harness times epochs from the outside, this probe reads what
+    the instrumented data plane recorded on the inside (per-batch
+    sampled->acked latency, per-phase stall seconds).  Returns ``{}``-valued
+    entries when nothing was recorded (observability disabled or no batches
+    flowed in this process).
+    """
+    from repro.obs.metrics import REGISTRY
+    from repro.obs.stall import attribution
+
+    probe: Dict[str, object] = {"stall": attribution(REGISTRY)}
+    latency = REGISTRY.get("repro.consumer.batch_latency_seconds")
+    if latency is not None and latency.count():
+        probe["batch_latency_seconds"] = latency.snapshot()
+    return probe
+
+
 def measure_epoch_throughput(
     session,
     *,

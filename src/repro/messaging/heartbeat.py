@@ -26,8 +26,13 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
 from repro.messaging.message import MessageKind
+from repro.obs.metrics import counter
 
 Clock = Callable[[], float]
+
+_SENT = counter("repro.heartbeat.sent")
+_RECEIVED = counter("repro.heartbeat.received")
+_DETACHES = counter("repro.heartbeat.detaches")
 
 
 @dataclass
@@ -58,6 +63,7 @@ class HeartbeatMonitor:
     # -- recording -------------------------------------------------------------
     def beat(self, consumer_id: str) -> None:
         """Record a heartbeat (or any sign of life) from a consumer."""
+        _RECEIVED.inc()
         now = self._clock()
         with self._lock:
             peer = self._peers.get(consumer_id)
@@ -111,6 +117,8 @@ class HeartbeatMonitor:
                 if peer.silence(now) > self._detach_timeout:
                     detached.append(consumer_id)
                     self._detached[consumer_id] = self._peers.pop(consumer_id)
+        if detached:
+            _DETACHES.inc(len(detached))
         return detached
 
     def detached_consumers(self) -> List[str]:
@@ -148,6 +156,7 @@ class HeartbeatSender:
         self._socket.send(MessageKind.HEARTBEAT, body={"consumer_id": self._consumer_id})
         self._last_sent = self._clock()
         self.beats_sent += 1
+        _SENT.inc()
 
     def maybe_send(self) -> bool:
         """Send a heartbeat if the interval has elapsed; returns True if sent."""

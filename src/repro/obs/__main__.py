@@ -1,0 +1,252 @@
+"""Snapshot or live-tail any running data plane's metrics channel.
+
+Point it at a serving address (session, sharded group, or broker)::
+
+    python -m repro.obs tcp://127.0.0.1:5555            # one snapshot
+    python -m repro.obs tcp://127.0.0.1:5555 --tail     # live, 2s refresh
+    python -m repro.obs tcp://127.0.0.1:5555 --prometheus
+    python -m repro.obs tcp://127.0.0.1:5555 --export trace.jsonl
+
+Or run the built-in smoke test (used by CI)::
+
+    python -m repro.obs --self-test
+
+``--self-test`` serves a tiny in-process session, trains one epoch through a
+real consumer, and asserts the registry counted it, the batch spans cover all
+seven lifecycle stages, the stall attribution accounts for the epoch wall
+time, and the ``{address}/metrics`` channel answers both snapshot and
+Prometheus requests.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Dict, List, Optional
+
+from repro.obs import trace as obs_trace
+from repro.obs.service import fetch_metrics
+
+
+def _fmt_seconds(value: float) -> str:
+    if value >= 1.0:
+        return f"{value:.2f}s"
+    if value >= 1e-3:
+        return f"{value * 1e3:.1f}ms"
+    return f"{value * 1e6:.0f}us"
+
+
+def _fmt_metric(value) -> str:
+    if isinstance(value, dict):
+        parts = [f"count={value.get('count', 0):.0f}"]
+        for key in ("mean", "p50", "p95", "p99"):
+            if key in value:
+                parts.append(f"{key}={_fmt_seconds(value[key])}")
+        return " ".join(parts)
+    if isinstance(value, float) and value == int(value):
+        return f"{int(value)}"
+    return f"{value}"
+
+
+def _print_stall(stall: Dict[str, object]) -> None:
+    print("stall attribution:")
+    for role in ("producer", "consumer"):
+        row = stall.get(role)
+        if not isinstance(row, dict):
+            continue
+        wall = float(row.get("wall_seconds", 0.0))
+        components: Dict[str, float] = row.get("components", {})  # type: ignore[assignment]
+        detail = " ".join(
+            f"{phase}={_fmt_seconds(seconds)}" for phase, seconds in components.items()
+        )
+        print(
+            f"  {role}: wall={_fmt_seconds(wall)} "
+            f"coverage={100.0 * float(row.get('coverage', 0.0)):.0f}% "
+            f"bottleneck={row.get('bottleneck')} ({detail})"
+        )
+
+
+def _print_spans(spans: List[Dict[str, object]], limit: int) -> None:
+    shown = spans[-limit:]
+    print(f"spans (last {len(shown)} of {len(spans)} returned):")
+    for span in shown:
+        stages = span.get("stages", {})
+        if not isinstance(stages, dict):
+            continue
+        phases = []
+        for phase, (begin, end) in zip(
+            obs_trace.PHASES, zip(obs_trace.STAGES, obs_trace.STAGES[1:])
+        ):
+            if begin in stages and end in stages:
+                phases.append(
+                    f"{phase}={_fmt_seconds(float(stages[end]) - float(stages[begin]))}"
+                )
+        total = ""
+        if "sampled" in stages and "acked" in stages:
+            total = f" total={_fmt_seconds(float(stages['acked']) - float(stages['sampled']))}"
+        who = f" consumer={span['consumer_id']}" if "consumer_id" in span else ""
+        print(
+            f"  epoch={span.get('epoch')} batch={span.get('batch_index')}{who} "
+            + " ".join(phases)
+            + total
+        )
+
+
+def _print_snapshot(address: str, reply: Dict[str, object], span_limit: int) -> None:
+    print(f"metrics @ {address}")
+    metrics = reply.get("metrics")
+    if isinstance(metrics, dict):
+        width = max((len(name) for name in metrics), default=0)
+        for name in sorted(metrics):
+            print(f"  {name:<{width}}  {_fmt_metric(metrics[name])}")
+    stall = reply.get("stall")
+    if isinstance(stall, dict):
+        _print_stall(stall)
+    spans = reply.get("spans")
+    if isinstance(spans, list) and spans:
+        _print_spans(spans, span_limit)
+
+
+def _snapshot(address: str, args) -> Dict[str, object]:
+    return fetch_metrics(
+        address,
+        body={"op": "snapshot", "spans": args.spans},
+        timeout=args.timeout,
+    )
+
+
+def self_test() -> int:
+    """In-process serve → attach → assert counters, spans and the channel."""
+    import numpy as np
+
+    import repro
+    from repro.data import DataLoader
+    from repro.data.dataset import Dataset
+    from repro.obs import RING, span_complete
+    from repro.obs.metrics import REGISTRY
+    from repro.obs.service import fetch_metrics_from_hub
+    from repro.obs.stall import attribution
+
+    class _IndexDataset(Dataset):
+        def __len__(self) -> int:
+            return 24
+
+        def __getitem__(self, index: int):
+            return {"x": np.full((8,), float(index), dtype=np.float32)}
+
+    def check(label: str, ok: bool, detail: str = "") -> None:
+        print(f"  [{'ok' if ok else 'FAIL'}] {label}" + (f": {detail}" if detail else ""))
+        if not ok:
+            raise SystemExit(f"obs self-test failed at: {label} {detail}")
+
+    print("obs self-test")
+    RING.clear()
+    address = "inproc://obs-self-test"
+    session = repro.serve(DataLoader(_IndexDataset(), batch_size=4), address=address,
+                          epochs=1, start=False)
+    try:
+        consumer = repro.attach(address, max_epochs=1, receive_timeout=20)
+        try:
+            session.start()
+            batches = sum(1 for _ in consumer)
+        finally:
+            consumer.close()
+        check("consumed one epoch", batches == 6, f"batches={batches}")
+
+        # A finished epochs=1 producer has already released its endpoint, so
+        # dial the metrics channel through the session's own hub.
+        reply = fetch_metrics_from_hub(session.hub, address,
+                                       body={"op": "snapshot", "spans": 64})
+        check("metrics channel answers", reply.get("ok") is True)
+        metrics = reply.get("metrics", {})
+        check(
+            "non-zero counters",
+            metrics.get("repro.producer.publishes", 0) >= 6
+            and metrics.get("repro.consumer.batches", 0) >= 6,
+            f"publishes={metrics.get('repro.producer.publishes')} "
+            f"batches={metrics.get('repro.consumer.batches')}",
+        )
+        prom = fetch_metrics_from_hub(session.hub, address, body={"op": "prometheus"})
+        check(
+            "prometheus dump",
+            prom.get("ok") is True and "repro_producer_publishes" in prom.get("text", ""),
+        )
+    finally:
+        session.shutdown()
+
+    complete = [span for span in RING.spans() if span_complete(span)]
+    check("complete 7-stage span recorded", bool(complete), f"ring={len(RING)}")
+    stages = complete[-1]["stages"]
+    ordered = [stages[name] for name in obs_trace.STAGES]
+    check("span stages monotonic", ordered == sorted(ordered))
+
+    stall = attribution(REGISTRY)
+    producer_row = stall["producer"]
+    check(
+        "stall attribution covers epoch wall",
+        producer_row["wall_seconds"] > 0 and producer_row["coverage"] >= 0.5,
+        f"coverage={producer_row['coverage']:.2f}",
+    )
+    check("bottleneck named", producer_row["bottleneck"] is not None,
+          str(producer_row["bottleneck"]))
+    print("obs self-test: ok")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Snapshot or live-tail a running data plane's metrics.",
+    )
+    parser.add_argument("address", nargs="?", help="serving address (session or broker)")
+    parser.add_argument("--prometheus", action="store_true",
+                        help="dump Prometheus exposition text instead of a snapshot")
+    parser.add_argument("--json", action="store_true", dest="as_json",
+                        help="print the raw snapshot reply as JSON")
+    parser.add_argument("--tail", action="store_true",
+                        help="refresh the snapshot every --interval seconds")
+    parser.add_argument("--interval", type=float, default=2.0,
+                        help="refresh period for --tail (default: %(default)ss)")
+    parser.add_argument("--spans", type=int, default=16,
+                        help="lifecycle spans to request (default: %(default)s)")
+    parser.add_argument("--export", metavar="FILE",
+                        help="also write returned spans as chrome-trace JSONL")
+    parser.add_argument("--timeout", type=float, default=5.0,
+                        help="request timeout in seconds (default: %(default)s)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the in-process observability smoke test and exit")
+    args = parser.parse_args(argv)
+
+    if args.self_test:
+        return self_test()
+    if not args.address:
+        parser.error("an address is required (or pass --self-test)")
+
+    if args.prometheus:
+        reply = fetch_metrics(args.address, body={"op": "prometheus"},
+                              timeout=args.timeout)
+        print(reply.get("text", ""), end="")
+        return 0
+
+    while True:
+        reply = _snapshot(args.address, args)
+        if args.as_json:
+            print(json.dumps(reply, indent=2, default=str))
+        else:
+            _print_snapshot(args.address, reply, args.spans)
+        if args.export:
+            spans = reply.get("spans")
+            if isinstance(spans, list):
+                with open(args.export, "w", encoding="utf-8") as handle:
+                    written = obs_trace.export_chrome_trace(spans, handle)
+                print(f"wrote {written} trace events to {args.export}")
+        if not args.tail:
+            return 0
+        time.sleep(args.interval)
+        print("---")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

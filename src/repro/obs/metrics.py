@@ -1,0 +1,362 @@
+"""Process-wide metrics registry: counters, gauges, histograms.
+
+Design constraints (this module is imported by the messaging/tensor/core hot
+paths, so it must be cheap and dependency-free):
+
+* **stdlib only** — no imports from ``repro``; everything under ``src/repro``
+  may import this module without creating a cycle.
+* **lock-free hot path** — ``Counter.inc`` and ``Histogram.observe`` write to
+  a per-thread cell (a plain list) obtained via ``threading.local``; the
+  instrument's lock is taken only on the *first* recording from a new thread
+  and on aggregation (``value()`` / ``snapshot()``).  Recording from
+  ``@reactor_only`` code is therefore non-blocking, which reprolint's RL006
+  metric check verifies statically.
+* **module-level handles** — instruments are created once at import time
+  (``_PUBLISHES = counter("repro.producer.publishes")``) and the registry
+  get-or-creates by name, so every module referring to the same name shares
+  one instrument.
+
+Names are dotted (``repro.producer.publishes``); ``prometheus_text()``
+rewrites them to the Prometheus grammar (dots become underscores).
+"""
+
+from __future__ import annotations
+
+import threading
+import weakref
+from bisect import bisect_right
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "REGISTRY",
+    "counter",
+    "gauge",
+    "histogram",
+    "set_enabled",
+    "enabled",
+]
+
+#: Global kill switch for the hot-path instruments.  Off, ``inc``/``observe``
+#: return before touching any cell — the obs-overhead benchmark uses this to
+#: measure the uninstrumented baseline without editing call sites.
+_ENABLED = True
+
+
+def set_enabled(flag: bool) -> bool:
+    """Enable/disable hot-path recording; returns the previous setting."""
+    global _ENABLED
+    previous = _ENABLED
+    _ENABLED = bool(flag)
+    return previous
+
+
+def enabled() -> bool:
+    return _ENABLED
+
+
+class Counter:
+    """Monotonic counter with per-thread accumulation cells."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._cells: List[List[float]] = []  #: guarded by _lock
+
+    def _cell(self) -> List[float]:
+        cell = getattr(self._local, "cell", None)
+        if cell is None:
+            cell = [0.0]
+            with self._lock:
+                self._cells.append(cell)
+            self._local.cell = cell
+        return cell
+
+    def inc(self, amount: float = 1.0) -> None:
+        if not _ENABLED:
+            return
+        self._cell()[0] += amount
+
+    def value(self) -> float:
+        with self._lock:
+            return sum(cell[0] for cell in self._cells)
+
+    def reset(self) -> None:
+        with self._lock:
+            for cell in self._cells:
+                cell[0] = 0.0
+
+    def snapshot(self) -> float:
+        return self.value()
+
+
+class Gauge:
+    """Last-value gauge, plus weakly-held callback sources.
+
+    ``set()`` stores a plain float (a single GIL-atomic store — no lock on
+    the hot path).  ``attach(owner, getter)`` registers ``getter(owner)`` to
+    be summed into ``value()`` while ``owner`` is alive; the owner is held
+    through a weakref so pools and sessions are never kept alive by their
+    gauges.  Getters run *outside* the gauge lock (they typically take the
+    owner's own lock, e.g. the shared-memory pool accounting lock).
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._lock = threading.Lock()
+        self._value = 0.0
+        self._sources: List[Tuple[weakref.ref, Callable]] = []  #: guarded by _lock
+
+    def set(self, value: float) -> None:
+        if not _ENABLED:
+            return
+        self._value = float(value)
+
+    def attach(self, owner: object, getter: Callable[[object], float]) -> None:
+        """Sum ``getter(owner)`` into the gauge while ``owner`` is alive."""
+        with self._lock:
+            self._sources.append((weakref.ref(owner), getter))
+
+    def value(self) -> float:
+        total = self._value
+        with self._lock:
+            sources = list(self._sources)
+        saw_dead = False
+        for ref, getter in sources:
+            owner = ref()
+            if owner is None:
+                saw_dead = True
+                continue
+            try:
+                total += float(getter(owner))
+            except Exception:
+                continue  # a mid-teardown owner is not a metrics failure
+        if saw_dead:
+            with self._lock:
+                self._sources = [
+                    (ref, getter) for ref, getter in self._sources if ref() is not None
+                ]
+        return total
+
+    def reset(self) -> None:
+        self._value = 0.0
+
+    def snapshot(self) -> float:
+        return self.value()
+
+
+def default_bounds() -> Tuple[float, ...]:
+    """Log-spaced latency bounds: 1e-6 s .. 1e2 s at 4 buckets per decade."""
+    bounds: List[float] = []
+    for decade in range(-6, 2):
+        for step in range(4):
+            bounds.append(10.0 ** (decade + step / 4.0))
+    bounds.append(100.0)
+    return tuple(bounds)
+
+
+class Histogram:
+    """Fixed-bucket histogram with per-thread accumulation cells.
+
+    Each cell is ``[count, sum, bucket_0, ..., bucket_n]`` where bucket ``i``
+    counts observations ``<= bounds[i]`` exclusive of earlier buckets, and the
+    final bucket is the ``+inf`` overflow.  Aggregation merges cells under
+    the lock; percentiles interpolate the geometric midpoint of the winning
+    bucket (log-spaced bounds make that the unbiased choice).
+    """
+
+    def __init__(self, name: str, bounds: Optional[Iterable[float]] = None) -> None:
+        self.name = name
+        self.bounds: Tuple[float, ...] = (
+            tuple(sorted(set(float(b) for b in bounds)))
+            if bounds is not None
+            else default_bounds()
+        )
+        self._width = 2 + len(self.bounds) + 1
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._cells: List[List[float]] = []  #: guarded by _lock
+
+    def _cell(self) -> List[float]:
+        cell = getattr(self._local, "cell", None)
+        if cell is None:
+            cell = [0.0] * self._width
+            with self._lock:
+                self._cells.append(cell)
+            self._local.cell = cell
+        return cell
+
+    def observe(self, value: float) -> None:
+        if not _ENABLED:
+            return
+        cell = self._cell()
+        cell[0] += 1.0
+        cell[1] += value
+        cell[2 + bisect_right(self.bounds, value)] += 1.0
+
+    def _merged(self) -> List[float]:
+        merged = [0.0] * self._width
+        with self._lock:
+            for cell in self._cells:
+                for i, v in enumerate(cell):
+                    merged[i] += v
+        return merged
+
+    def count(self) -> float:
+        return self._merged()[0]
+
+    def sum(self) -> float:
+        return self._merged()[1]
+
+    def mean(self) -> float:
+        merged = self._merged()
+        return merged[1] / merged[0] if merged[0] else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Approximate quantile ``q`` in [0, 1] from the merged buckets."""
+        merged = self._merged()
+        total = merged[0]
+        if not total:
+            return 0.0
+        target = q * total
+        cumulative = 0.0
+        buckets = merged[2:]
+        for i, bucket_count in enumerate(buckets):
+            cumulative += bucket_count
+            if cumulative >= target and bucket_count:
+                upper = self.bounds[i] if i < len(self.bounds) else self.bounds[-1]
+                lower = self.bounds[i - 1] if i > 0 else upper / 10.0
+                if lower <= 0:
+                    return upper
+                return (lower * upper) ** 0.5
+        return self.bounds[-1]
+
+    def reset(self) -> None:
+        with self._lock:
+            for cell in self._cells:
+                for i in range(len(cell)):
+                    cell[i] = 0.0
+
+    def snapshot(self) -> Dict[str, float]:
+        merged = self._merged()
+        out = {
+            "count": merged[0],
+            "sum": merged[1],
+            "mean": merged[1] / merged[0] if merged[0] else 0.0,
+        }
+        if merged[0]:
+            out["p50"] = self.percentile(0.50)
+            out["p95"] = self.percentile(0.95)
+            out["p99"] = self.percentile(0.99)
+        return out
+
+    def bucket_counts(self) -> List[float]:
+        return self._merged()[2:]
+
+
+class MetricsRegistry:
+    """Name -> instrument map with get-or-create semantics."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: Dict[str, object] = {}  #: guarded by _lock
+
+    def _get_or_create(self, name: str, factory: Callable[[], object], kind: type):
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = factory()
+                self._metrics[name] = metric
+        if not isinstance(metric, kind):
+            raise TypeError(
+                f"metric {name!r} already registered as "
+                f"{type(metric).__name__}, not {kind.__name__}"
+            )
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(name, lambda: Counter(name), Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get_or_create(name, lambda: Gauge(name), Gauge)
+
+    def histogram(
+        self, name: str, bounds: Optional[Iterable[float]] = None
+    ) -> Histogram:
+        return self._get_or_create(name, lambda: Histogram(name, bounds), Histogram)
+
+    def names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._metrics)
+
+    def get(self, name: str) -> Optional[object]:
+        with self._lock:
+            return self._metrics.get(name)
+
+    def snapshot(self) -> Dict[str, object]:
+        """Aggregated view: counters/gauges -> float, histograms -> dict."""
+        with self._lock:
+            metrics = list(self._metrics.items())
+        return {name: metric.snapshot() for name, metric in sorted(metrics)}
+
+    def reset(self) -> None:
+        """Zero every instrument *in place* — module-level handles stay
+        bound to the same objects, so instrumentation keeps working."""
+        with self._lock:
+            metrics = list(self._metrics.values())
+        for metric in metrics:
+            metric.reset()
+
+    def prometheus_text(self) -> str:
+        """Prometheus exposition text format (dots become underscores)."""
+        with self._lock:
+            metrics = list(self._metrics.items())
+        lines: List[str] = []
+        for name, metric in sorted(metrics):
+            flat = _prom_name(name)
+            if isinstance(metric, Counter):
+                lines.append(f"# TYPE {flat} counter")
+                lines.append(f"{flat} {metric.value():.17g}")
+            elif isinstance(metric, Gauge):
+                lines.append(f"# TYPE {flat} gauge")
+                lines.append(f"{flat} {metric.value():.17g}")
+            elif isinstance(metric, Histogram):
+                lines.append(f"# TYPE {flat} histogram")
+                cumulative = 0.0
+                for bound, bucket in zip(metric.bounds, metric.bucket_counts()):
+                    cumulative += bucket
+                    lines.append(f'{flat}_bucket{{le="{bound:.9g}"}} {cumulative:.17g}')
+                lines.append(f'{flat}_bucket{{le="+Inf"}} {metric.count():.17g}')
+                lines.append(f"{flat}_sum {metric.sum():.17g}")
+                lines.append(f"{flat}_count {metric.count():.17g}")
+        return "\n".join(lines) + "\n"
+
+
+def _prom_name(name: str) -> str:
+    flat = "".join(ch if (ch.isalnum() or ch in "_:") else "_" for ch in name)
+    if flat and flat[0].isdigit():
+        flat = "_" + flat
+    return flat
+
+
+#: The process-wide registry every repro component publishes into.
+REGISTRY = MetricsRegistry()
+
+
+def counter(name: str) -> Counter:
+    """Get-or-create a :class:`Counter` in the process-wide registry."""
+    return REGISTRY.counter(name)
+
+
+def gauge(name: str) -> Gauge:
+    """Get-or-create a :class:`Gauge` in the process-wide registry."""
+    return REGISTRY.gauge(name)
+
+
+def histogram(name: str, bounds: Optional[Iterable[float]] = None) -> Histogram:
+    """Get-or-create a :class:`Histogram` in the process-wide registry."""
+    return REGISTRY.histogram(name, bounds)

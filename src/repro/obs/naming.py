@@ -1,0 +1,67 @@
+"""Canonical metric namespace and the legacy ``stats()`` key maps.
+
+Every component reports through one dotted scheme (``repro.<component>.<what>``).
+The pre-observability ``stats()`` dicts used ad-hoc, drifting key names
+(``payloads_published`` on the producer row, ``batches_consumed`` on the
+consumer row, bare pool byte counts on both); those shapes are kept alive as
+*thin deprecated views* derived from the canonical ``metrics()`` dicts via
+the maps below, so existing callers and tests keep working unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+__all__ = [
+    "PRODUCER_KEYS",
+    "CONSUMER_KEYS",
+    "GROUP_CONSUMER_KEYS",
+    "to_legacy",
+]
+
+#: canonical producer metric name -> legacy ``TensorProducer.stats()`` key.
+PRODUCER_KEYS: Dict[str, str] = {
+    "repro.producer.epoch": "epoch",
+    "repro.producer.epochs_completed": "epochs_completed",
+    "repro.producer.batches_loaded": "batches_loaded",
+    "repro.producer.publishes": "payloads_published",
+    "repro.producer.pending_batches": "pending_batches",
+    "repro.producer.consumers": "consumers",
+    "repro.pool.bytes_in_flight": "bytes_in_flight",
+    "repro.pool.cached_bytes": "cached_bytes",
+    "repro.pool.peak_bytes": "peak_bytes",
+    "repro.cache": "cache",
+}
+
+#: canonical consumer metric name -> legacy ``TensorConsumer.stats()`` key.
+CONSUMER_KEYS: Dict[str, str] = {
+    "repro.consumer.id": "consumer_id",
+    "repro.consumer.batches": "batches_consumed",
+    "repro.consumer.samples": "samples_consumed",
+    "repro.consumer.epochs": "epochs_seen",
+    "repro.consumer.duplicates": "duplicates_dropped",
+    "repro.consumer.buffered": "buffered",
+    "repro.consumer.admitted_epoch": "admitted_epoch",
+}
+
+
+#: canonical group metric name -> legacy ``GroupConsumer.stats()`` key.
+GROUP_CONSUMER_KEYS: Dict[str, str] = {
+    "repro.consumer.id": "consumer_id",
+    "repro.group.interleave": "interleave",
+    "repro.group.shards": "shards",
+    "repro.consumer.batches": "batches_consumed",
+    "repro.consumer.samples": "samples_consumed",
+    "repro.consumer.duplicates": "duplicates_dropped",
+}
+
+
+def to_legacy(
+    canonical: Mapping[str, object], key_map: Mapping[str, str], *, role: str
+) -> Dict[str, object]:
+    """Project a canonical ``metrics()`` dict onto the legacy key names."""
+    legacy: Dict[str, object] = {"role": role}
+    for canonical_key, legacy_key in key_map.items():
+        if canonical_key in canonical:
+            legacy[legacy_key] = canonical[canonical_key]
+    return legacy

@@ -1,0 +1,91 @@
+"""Stall attribution: decompose wall time into named phases.
+
+Producer wall time (the epoch loop) splits into **load** (drawing and
+transforming batches), **stage** (copying into shared memory), **capacity
+wait** (blocked on the ack ledger / pool budget) and **publish** (fan-out on
+the data channel).  Consumer wall time (the training loop) splits into
+**wait** (no batch available — starved), **train** (the time the training
+step holds the batch) and **ack** (sending the release).
+
+The components are plain registry counters accumulated by the instrumented
+code; this module derives the breakdown, the per-role coverage (components /
+wall — should be >= 0.95 in a healthy run, the gap being loop bookkeeping)
+and names the bottleneck phase.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+from repro.obs.metrics import REGISTRY, Counter, Histogram, MetricsRegistry
+
+__all__ = [
+    "PRODUCER_COMPONENTS",
+    "CONSUMER_COMPONENTS",
+    "attribution",
+]
+
+#: phase name -> counter holding cumulative seconds spent in that phase.
+PRODUCER_COMPONENTS: Dict[str, str] = {
+    "load": "repro.producer.stall.load_seconds",
+    "stage": "repro.producer.stall.stage_seconds",
+    "capacity_wait": "repro.producer.stall.capacity_wait_seconds",
+    "publish": "repro.producer.stall.publish_seconds",
+}
+
+CONSUMER_COMPONENTS: Dict[str, str] = {
+    "wait": "repro.consumer.stall.wait_seconds",
+    "train": "repro.consumer.stall.train_seconds",
+    "ack": "repro.consumer.stall.ack_seconds",
+}
+
+#: wall-time source per role: a histogram (sum of epoch durations) for the
+#: producer, a counter (cumulative loop seconds) for the consumer.
+PRODUCER_WALL = "repro.producer.epoch_seconds"
+CONSUMER_WALL = "repro.consumer.loop_seconds"
+
+
+def _counter_value(registry: MetricsRegistry, name: str) -> float:
+    metric = registry.get(name)
+    if isinstance(metric, Counter):
+        return metric.value()
+    return 0.0
+
+
+def _wall_seconds(registry: MetricsRegistry, name: str) -> float:
+    metric = registry.get(name)
+    if isinstance(metric, Histogram):
+        return metric.sum()
+    if isinstance(metric, Counter):
+        return metric.value()
+    return 0.0
+
+
+def _role_breakdown(
+    registry: MetricsRegistry, components: Mapping[str, str], wall_name: str
+) -> Dict[str, object]:
+    parts = {
+        phase: _counter_value(registry, metric) for phase, metric in components.items()
+    }
+    wall = _wall_seconds(registry, wall_name)
+    accounted = sum(parts.values())
+    bottleneck: Optional[str] = None
+    if any(parts.values()):
+        bottleneck = max(parts, key=lambda phase: parts[phase])
+    return {
+        "wall_seconds": wall,
+        "components": parts,
+        "accounted_seconds": accounted,
+        "coverage": (accounted / wall) if wall > 0 else 0.0,
+        "bottleneck": bottleneck,
+    }
+
+
+def attribution(registry: Optional[MetricsRegistry] = None) -> Dict[str, object]:
+    """The stall breakdown for both roles, from the given (or global)
+    registry."""
+    registry = registry if registry is not None else REGISTRY
+    return {
+        "producer": _role_breakdown(registry, PRODUCER_COMPONENTS, PRODUCER_WALL),
+        "consumer": _role_breakdown(registry, CONSUMER_COMPONENTS, CONSUMER_WALL),
+    }

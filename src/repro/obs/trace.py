@@ -1,0 +1,190 @@
+"""Batch-lifecycle tracing: one compact span per batch.
+
+A span is a plain dict of stage-name -> ``time.monotonic()`` stamp covering
+the seven lifecycle stages::
+
+    sampled -> loaded -> staged -> published -> delivered -> trained -> acked
+
+The producer stamps the first four into ``BatchPayload.metadata["trace"]``,
+so the stamps travel with the payload over ``inproc://`` (shared dict) and
+``tcp://`` (pickled) alike; the consumer copies the dict (payloads are shared
+between consumers in-process), appends its stages, and carries the completed
+trace back to the producer inside the ACK body.  Both sides record completed
+spans into a bounded in-process :class:`SpanRing`.
+
+Clock model: stamps are ``time.monotonic()`` (CLOCK_MONOTONIC — shared by
+all processes on one Linux host, so cross-process deltas are meaningful on a
+single machine).  Each process also publishes its *wall anchor*
+(``time.time() - time.monotonic()`` at import); adding the anchor converts a
+stamp to an absolute wall-clock time, which the chrome-``trace_event`` export
+uses for its microsecond timestamps.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from collections import deque
+from typing import Deque, Dict, IO, Iterable, List, Optional, Union
+
+__all__ = [
+    "STAGES",
+    "WALL_ANCHOR",
+    "now",
+    "origin",
+    "new_trace",
+    "span_complete",
+    "SpanRing",
+    "RING",
+    "record_span",
+    "export_chrome_trace",
+]
+
+#: Lifecycle stages in order.  Adjacent pairs define the derived phases
+#: (load, stage, publish, deliver, train, ack).
+STAGES = ("sampled", "loaded", "staged", "published", "delivered", "trained", "acked")
+
+#: Names for the interval *between* adjacent stages, index-aligned with
+#: ``zip(STAGES, STAGES[1:])``.
+PHASES = ("load", "stage", "publish", "deliver", "train", "ack")
+
+#: This process's monotonic->wall offset, fixed at import time.
+WALL_ANCHOR = time.time() - time.monotonic()
+
+
+def now() -> float:
+    """The trace clock: ``time.monotonic()``."""
+    return time.monotonic()
+
+
+def origin() -> Dict[str, float]:
+    """Identity of the stamping process, carried alongside the trace."""
+    return {"pid": os.getpid(), "anchor": WALL_ANCHOR}
+
+
+def new_trace(**stamps: float) -> Dict[str, float]:
+    """A fresh trace dict seeded with the given stage stamps."""
+    return dict(stamps)
+
+
+def span_complete(span: Dict[str, object]) -> bool:
+    """True when every lifecycle stage has a stamp."""
+    stages = span.get("stages", span)
+    return isinstance(stages, dict) and all(stage in stages for stage in STAGES)
+
+
+class SpanRing:
+    """Bounded in-memory ring of completed spans (oldest evicted first)."""
+
+    def __init__(self, capacity: int = 2048) -> None:
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._spans: Deque[Dict[str, object]] = deque(maxlen=capacity)  #: guarded by _lock
+        self._recorded = 0  #: guarded by _lock
+
+    def record(self, span: Dict[str, object]) -> None:
+        with self._lock:
+            self._spans.append(span)
+            self._recorded += 1
+
+    def spans(self, limit: Optional[int] = None) -> List[Dict[str, object]]:
+        with self._lock:
+            items = list(self._spans)
+        if limit is not None and limit < len(items):
+            return items[-limit:]
+        return items
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._spans)
+
+    @property
+    def recorded(self) -> int:
+        """Total spans ever recorded (>= len() once eviction starts)."""
+        with self._lock:
+            return self._recorded
+
+    def clear(self) -> None:
+        with self._lock:
+            self._spans.clear()
+
+    def export_jsonl(self, destination: Union[str, IO[str]]) -> int:
+        """Write the ring as chrome-``trace_event`` JSONL; returns the
+        number of events written."""
+        spans = self.spans()
+        if isinstance(destination, str):
+            with open(destination, "w", encoding="utf-8") as handle:
+                return export_chrome_trace(spans, handle)
+        return export_chrome_trace(spans, destination)
+
+
+#: The process-wide ring both producers and consumers record into.
+RING = SpanRing()
+
+
+def record_span(
+    *,
+    epoch: int,
+    batch_index: int,
+    stages: Dict[str, float],
+    consumer_id: Optional[str] = None,
+    origin: Optional[Dict[str, float]] = None,
+    ring: Optional[SpanRing] = None,
+) -> Dict[str, object]:
+    """Assemble a span record and push it onto the ring."""
+    span: Dict[str, object] = {
+        "epoch": int(epoch),
+        "batch_index": int(batch_index),
+        "stages": dict(stages),
+    }
+    if consumer_id is not None:
+        span["consumer_id"] = consumer_id
+    if origin:
+        span["origin"] = dict(origin)
+    (ring if ring is not None else RING).record(span)
+    return span
+
+
+def _span_events(span: Dict[str, object]) -> Iterable[Dict[str, object]]:
+    stages = span.get("stages")
+    if not isinstance(stages, dict):
+        return
+    span_origin = span.get("origin") or {}
+    anchor = float(span_origin.get("anchor", WALL_ANCHOR))
+    pid = int(span_origin.get("pid", os.getpid()))
+    tid = int(span.get("batch_index", 0))
+    for phase, (begin, end) in zip(PHASES, zip(STAGES, STAGES[1:])):
+        if begin not in stages or end not in stages:
+            continue
+        start = float(stages[begin])
+        duration = max(0.0, float(stages[end]) - start)
+        yield {
+            "name": phase,
+            "ph": "X",
+            "ts": (start + anchor) * 1e6,
+            "dur": duration * 1e6,
+            "pid": pid,
+            "tid": tid,
+            "cat": "batch",
+            "args": {
+                "epoch": span.get("epoch"),
+                "batch_index": span.get("batch_index"),
+                "consumer_id": span.get("consumer_id"),
+            },
+        }
+
+
+def export_chrome_trace(spans: Iterable[Dict[str, object]], handle: IO[str]) -> int:
+    """Write spans as JSONL, one chrome-``trace_event`` dict per line.
+
+    The output loads in Perfetto / ``chrome://tracing`` after wrapping the
+    lines in a JSON array (``jq -s .``), or line-by-line in any JSONL tool.
+    """
+    written = 0
+    for span in spans:
+        for event in _span_events(span):
+            handle.write(json.dumps(event) + "\n")
+            written += 1
+    return written

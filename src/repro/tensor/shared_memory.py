@@ -31,6 +31,7 @@ from typing import Dict, Optional, Tuple
 
 import numpy as np
 
+from repro.obs.metrics import gauge
 from repro.tensor.dtype import DTypeLike, as_dtype
 from repro.tensor.device import DeviceLike
 from repro.tensor.errors import QuotaExceededError, SharedMemoryError
@@ -252,6 +253,13 @@ class SharedMemoryPool:
         # entry is unlimited; its usage is still tracked.
         self._tenant_quotas: Dict[str, Optional[int]] = {}  #: guarded by _lock
         self._tenant_bytes: Dict[str, int] = {}  #: guarded by _lock
+        # Accounting surfaces as process-wide gauges, summed over live pools.
+        # The gauge holds this pool through a weakref, so metrics never extend
+        # a pool's lifetime (TenantPool views delegate here — no double count).
+        gauge("repro.pool.bytes_in_flight").attach(self, lambda p: p.bytes_in_flight)
+        gauge("repro.pool.cached_bytes").attach(self, lambda p: p.cached_bytes)
+        gauge("repro.pool.peak_bytes").attach(self, lambda p: p.peak_bytes)
+        gauge("repro.pool.live_segments").attach(self, lambda p: p.live_segments)
 
     # -- allocation -------------------------------------------------------------
     def allocate_tensor(

@@ -619,6 +619,89 @@ class TestReactorAffinity:
         )
         assert findings == []
 
+    def test_metric_recording_in_reactor_code_is_clean(self):
+        # Module-level instrument handles record through per-thread cells:
+        # inc/observe never block, so the reactor thread may call them.
+        findings = findings_for(
+            """
+            from repro.obs.metrics import counter, histogram
+
+            from repro.messaging.reactor import reactor_only
+
+            _DISPATCHES = counter("repro.reactor.dispatches")
+            _LATENCY = histogram("repro.reactor.dispatch_seconds")
+
+            class Loop:
+                @reactor_only
+                def _pump(self):
+                    _DISPATCHES.inc()
+                    _LATENCY.observe(0.001)
+            """,
+            "RL006",
+        )
+        assert findings == []
+
+    def test_flags_metric_aggregation_in_reactor_code(self):
+        # value()/snapshot() merge the per-thread cells under the instrument
+        # lock — that side of a metric has no place on the reactor thread.
+        findings = findings_for(
+            """
+            from repro.obs.metrics import counter
+
+            from repro.messaging.reactor import reactor_only
+
+            _DISPATCHES = counter("repro.reactor.dispatches")
+
+            class Loop:
+                @reactor_only
+                def _pump(self):
+                    return _DISPATCHES.value()
+            """,
+            "RL006",
+        )
+        assert rules_of(findings) == ["RL006"]
+        assert "metric aggregation" in findings[0].message
+
+    def test_flags_histogram_percentile_on_instance_attr(self):
+        # Instance-held instruments resolve through the class symbol table
+        # (annotation or constructor assignment), same as locks and queues.
+        findings = findings_for(
+            """
+            from repro.obs.metrics import Histogram
+
+            from repro.messaging.reactor import reactor_only
+
+            class Loop:
+                def __init__(self):
+                    self._latency = Histogram("repro.reactor.dispatch_seconds")
+
+                @reactor_only
+                def _pump(self):
+                    self._latency.observe(0.001)
+                    return self._latency.percentile(0.99)
+            """,
+            "RL006",
+        )
+        assert rules_of(findings) == ["RL006"]
+        assert ".percentile()" in findings[0].message
+
+    def test_metric_aggregation_off_reactor_is_clean(self):
+        # Aggregation is fine anywhere else; only reactor-affine functions
+        # are held to the non-blocking recording set.
+        findings = findings_for(
+            """
+            from repro.obs.metrics import counter
+
+            _DISPATCHES = counter("repro.reactor.dispatches")
+
+            class Reporter:
+                def snapshot(self):
+                    return _DISPATCHES.value()
+            """,
+            "RL006",
+        )
+        assert findings == []
+
 
 # ---------------------------------------------------------------------------
 # RL007 — check-then-act

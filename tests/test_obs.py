@@ -1,0 +1,461 @@
+"""Tests for the observability layer: registry, tracing, stall, service.
+
+Covers the four surfaces ``repro.obs`` exposes:
+
+* the metrics registry primitives (per-thread accumulation, weakly-attached
+  gauges, log-bucket histograms, in-place reset, the kill switch);
+* batch-lifecycle tracing — span completeness end-to-end on ``inproc://``,
+  cross-process propagation over ``tcp://`` (producer-side spans must carry
+  the consumer's ``delivered``/``trained``/``acked`` stamps, returned through
+  the ACK body), and ring bounding under sustained multi-threaded load;
+* stall attribution (phase seconds must account for the epoch wall);
+* the ``{address}/metrics`` Rep channel via :func:`repro.obs.fetch_metrics`,
+  and the deprecated legacy ``stats()`` views staying shape-compatible.
+"""
+
+import gc
+import io
+import json
+import multiprocessing
+import os
+import threading
+
+import pytest
+
+import repro
+from repro.core import ConsumerConfig
+from repro.data import DataLoader, SyntheticImageDataset
+from repro.data.transforms import Compose, DecodeJpeg, Normalize, ToTensor
+from repro.obs import RING, STAGES, SpanRing, record_span, span_complete
+from repro.obs import trace as obs_trace
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    REGISTRY,
+    set_enabled,
+)
+from repro.obs.naming import CONSUMER_KEYS, PRODUCER_KEYS, to_legacy
+from repro.obs.service import fetch_metrics
+from repro.obs.stall import attribution
+
+
+def tiny_loader(size=24, batch_size=4):
+    dataset = SyntheticImageDataset(size, image_size=8, payload_bytes=16)
+    pipeline = Compose([DecodeJpeg(height=8, width=8), Normalize(), ToTensor()])
+    return DataLoader(dataset, batch_size=batch_size, transform=pipeline)
+
+
+# ---------------------------------------------------------------------------
+# registry primitives
+# ---------------------------------------------------------------------------
+
+
+class TestCounter:
+    def test_accumulates_across_threads(self):
+        c = Counter("t.counter")
+        n_threads, n_incs = 4, 1000
+
+        def worker():
+            for _ in range(n_incs):
+                c.inc()
+
+        threads = [threading.Thread(target=worker) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value() == n_threads * n_incs
+
+    def test_inc_amount_and_reset(self):
+        c = Counter("t.amount")
+        c.inc(2.5)
+        c.inc(0.5)
+        assert c.value() == 3.0
+        c.reset()
+        assert c.value() == 0.0
+        c.inc()
+        assert c.value() == 1.0
+
+    def test_kill_switch_disables_recording(self):
+        c = Counter("t.killed")
+        previous = set_enabled(False)
+        try:
+            c.inc()
+            assert c.value() == 0.0
+        finally:
+            set_enabled(previous)
+        c.inc()
+        assert c.value() == 1.0
+
+
+class TestGauge:
+    def test_set_and_read(self):
+        g = Gauge("t.gauge")
+        g.set(42)
+        assert g.value() == 42.0
+
+    def test_attached_sources_sum_while_owner_lives(self):
+        class Owner:
+            bytes_used = 7
+
+        g = Gauge("t.attached")
+        owner = Owner()
+        g.attach(owner, lambda o: o.bytes_used)
+        assert g.value() == 7.0
+        # A dead owner's source is pruned, not an error.
+        del owner
+        gc.collect()
+        assert g.value() == 0.0
+
+
+class TestHistogram:
+    def test_percentile_brackets_observation(self):
+        h = Histogram("t.hist")
+        for _ in range(100):
+            h.observe(0.003)
+        # Log-spaced buckets: the geometric-midpoint estimate lands within
+        # one bucket width (10^0.25 per step) of the true value.
+        assert 0.0015 < h.percentile(0.5) < 0.006
+        assert h.count() == 100
+        assert abs(h.sum() - 0.3) < 1e-9
+
+    def test_snapshot_has_percentile_columns(self):
+        h = Histogram("t.snap")
+        h.observe(0.01)
+        snap = h.snapshot()
+        assert set(snap) == {"count", "sum", "mean", "p50", "p95", "p99"}
+
+    def test_overflow_bucket_catches_huge_values(self):
+        h = Histogram("t.overflow")
+        h.observe(1e6)
+        assert h.count() == 1
+        assert h.bucket_counts()[-1] == 1
+
+
+class TestRegistry:
+    def test_get_or_create_shares_one_instrument(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a.b") is reg.counter("a.b")
+
+    def test_type_clash_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("a.b")
+        with pytest.raises(TypeError, match="already registered"):
+            reg.gauge("a.b")
+
+    def test_reset_zeroes_in_place(self):
+        # Module-level handles must stay bound across reset() — a reset that
+        # replaced instruments would silently disconnect instrumentation.
+        reg = MetricsRegistry()
+        handle = reg.counter("a.reset")
+        handle.inc()
+        reg.reset()
+        assert reg.counter("a.reset") is handle
+        handle.inc()
+        assert handle.value() == 1.0
+
+    def test_prometheus_text_grammar(self):
+        reg = MetricsRegistry()
+        reg.counter("repro.test.count").inc(3)
+        reg.gauge("repro.test.level").set(5)
+        hist = reg.histogram("repro.test.lat")
+        hist.observe(0.01)
+        text = reg.prometheus_text()
+        assert "# TYPE repro_test_count counter" in text
+        assert "repro_test_count 3" in text
+        assert "# TYPE repro_test_level gauge" in text
+        assert "# TYPE repro_test_lat histogram" in text
+        assert 'repro_test_lat_bucket{le="+Inf"} 1' in text
+        assert "repro_test_lat_count 1" in text
+
+
+# ---------------------------------------------------------------------------
+# span ring + chrome-trace export
+# ---------------------------------------------------------------------------
+
+
+def _complete_stages(start=100.0, step=0.01):
+    return {name: start + i * step for i, name in enumerate(STAGES)}
+
+
+class TestSpanRing:
+    def test_bounded_under_sustained_multithreaded_load(self):
+        ring = SpanRing(capacity=64)
+        n_threads, n_spans = 8, 500
+
+        def worker(rank):
+            for i in range(n_spans):
+                record_span(
+                    epoch=rank, batch_index=i, stages=_complete_stages(), ring=ring
+                )
+
+        threads = [
+            threading.Thread(target=worker, args=(rank,)) for rank in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(ring) == 64  # bounded: old spans evicted, never grown
+        assert ring.recorded == n_threads * n_spans
+        assert len(ring.spans()) == 64
+        assert len(ring.spans(limit=10)) == 10
+
+    def test_span_complete_requires_all_seven_stages(self):
+        stages = _complete_stages()
+        assert span_complete({"stages": stages})
+        partial = dict(stages)
+        del partial["trained"]
+        assert not span_complete({"stages": partial})
+
+    def test_chrome_trace_export_emits_phase_events(self):
+        ring = SpanRing(capacity=8)
+        record_span(epoch=0, batch_index=0, stages=_complete_stages(), ring=ring)
+        handle = io.StringIO()
+        written = obs_trace.export_chrome_trace(ring.spans(), handle)
+        events = [json.loads(line) for line in handle.getvalue().splitlines()]
+        assert written == len(events) == len(obs_trace.PHASES)
+        for event in events:
+            assert event["ph"] == "X"
+            assert event["dur"] > 0
+
+
+# ---------------------------------------------------------------------------
+# end-to-end: inproc trace completeness + stall attribution
+# ---------------------------------------------------------------------------
+
+
+class TestEndToEndTracing:
+    def test_inproc_epoch_records_complete_monotonic_spans(self):
+        RING.clear()
+        session = repro.serve(
+            tiny_loader(), address="inproc://obs-e2e", epochs=1, start=False
+        )
+        try:
+            consumer = session.consumer(
+                ConsumerConfig(
+                    consumer_id="obs-e2e-c", max_epochs=1, receive_timeout=20
+                )
+            )
+            try:
+                session.start()
+                batches = sum(1 for _ in consumer)
+            finally:
+                consumer.close()
+        finally:
+            session.shutdown()
+        assert batches == 6
+        spans = [
+            s
+            for s in RING.spans()
+            if s.get("consumer_id") == "obs-e2e-c" and span_complete(s)
+        ]
+        # Each batch yields two complete spans in-process: the consumer
+        # records at ack time and the producer again when the ACK arrives.
+        covered = {(s["epoch"], s["batch_index"]) for s in spans}
+        assert covered == {(0, i) for i in range(6)}
+        for span in spans:
+            ordered = [span["stages"][name] for name in STAGES]
+            assert ordered == sorted(ordered), span
+
+    def test_stall_attribution_accounts_for_epoch_wall(self):
+        REGISTRY.reset()
+        session = repro.serve(
+            tiny_loader(), address="inproc://obs-stall", epochs=1, start=False
+        )
+        try:
+            consumer = session.consumer(
+                ConsumerConfig(max_epochs=1, receive_timeout=20)
+            )
+            try:
+                session.start()
+                assert sum(1 for _ in consumer) == 6
+            finally:
+                consumer.close()
+        finally:
+            session.shutdown()
+        stall = attribution(REGISTRY)
+        for role in ("producer", "consumer"):
+            row = stall[role]
+            assert row["wall_seconds"] > 0, stall
+            assert row["bottleneck"] in row["components"]
+            assert row["accounted_seconds"] == pytest.approx(
+                sum(row["components"].values())
+            )
+            # The named phases must explain most of the wall (>= 95% is the
+            # acceptance criterion on a quiet run; 80% here because tiny CI
+            # epochs have proportionally fat constant overheads).
+            assert row["coverage"] >= 0.8, stall
+
+
+# ---------------------------------------------------------------------------
+# the {address}/metrics channel
+# ---------------------------------------------------------------------------
+
+
+class TestMetricsService:
+    def test_fetch_metrics_from_live_session(self):
+        RING.clear()
+        session = repro.serve(
+            tiny_loader(), address="inproc://obs-svc", epochs=None, start=False
+        )
+        try:
+            consumer = session.consumer(
+                ConsumerConfig(
+                    consumer_id="obs-svc-c", max_epochs=1, receive_timeout=20
+                )
+            )
+            try:
+                session.start()
+                assert sum(1 for _ in consumer) == 6
+            finally:
+                consumer.close()
+            reply = fetch_metrics(session.address, body={"op": "snapshot", "spans": 8})
+            assert reply["ok"] is True
+            assert reply["metrics"]["repro.producer.publishes"] >= 6
+            assert reply["metrics"]["repro.consumer.batches"] >= 6
+            assert "producer" in reply["stall"] and "consumer" in reply["stall"]
+            assert len(reply["spans"]) <= 8
+            assert reply["origin"]["pid"] == os.getpid()
+            # The embedded legacy stats() view rides along for dashboards.
+            assert reply["stats"]["producer"]["role"] == "producer"
+
+            prom = fetch_metrics(session.address, body={"op": "prometheus"})
+            assert prom["ok"] is True
+            assert "repro_producer_publishes" in prom["text"]
+        finally:
+            session.shutdown()
+
+
+# ---------------------------------------------------------------------------
+# legacy stats() views stay shape-compatible
+# ---------------------------------------------------------------------------
+
+
+class TestLegacyStatsViews:
+    def test_to_legacy_projects_and_tags_role(self):
+        canonical = {"repro.producer.publishes": 5, "repro.pool.peak_bytes": 9}
+        legacy = to_legacy(canonical, PRODUCER_KEYS, role="producer")
+        assert legacy == {"role": "producer", "payloads_published": 5, "peak_bytes": 9}
+
+    def test_producer_and_consumer_stats_keep_legacy_keys(self):
+        session = repro.serve(
+            tiny_loader(), address="inproc://obs-legacy", epochs=1, start=False
+        )
+        try:
+            consumer = session.consumer(
+                ConsumerConfig(max_epochs=1, receive_timeout=20)
+            )
+            try:
+                session.start()
+                assert sum(1 for _ in consumer) == 6
+                producer_stats = session.producer.stats()
+                consumer_stats = consumer.stats()
+            finally:
+                consumer.close()
+        finally:
+            session.shutdown()
+        assert set(producer_stats) == {"role", *PRODUCER_KEYS.values()}
+        assert producer_stats["role"] == "producer"
+        assert producer_stats["payloads_published"] == 6
+        assert set(consumer_stats) == {"role", *CONSUMER_KEYS.values()}
+        assert consumer_stats["role"] == "consumer"
+        assert consumer_stats["batches_consumed"] == 6
+
+    def test_group_consumer_stats_keep_legacy_keys(self):
+        session = repro.serve(
+            tiny_loader(size=24, batch_size=2),
+            address="inproc://obs-legacy-group",
+            shards=2,
+            epochs=1,
+            start=False,
+        )
+        try:
+            group = session.consumer(ConsumerConfig(receive_timeout=20))
+            try:
+                stats = group.stats()
+            finally:
+                group.close()
+        finally:
+            session.shutdown()
+        assert set(stats) == {
+            "role",
+            "consumer_id",
+            "interleave",
+            "shards",
+            "batches_consumed",
+            "samples_consumed",
+            "duplicates_dropped",
+            "members",
+        }
+        assert stats["role"] == "group-consumer"
+        assert stats["shards"] == 2
+        assert [m["role"] for m in stats["members"]] == ["consumer", "consumer"]
+
+
+# ---------------------------------------------------------------------------
+# cross-process: trace stamps survive the tcp:// round trip
+# ---------------------------------------------------------------------------
+
+
+def _remote_obs_trainer(address, result_queue):
+    """Runs in a separate OS process: attach, train one epoch, report."""
+    import repro as repro_child
+
+    consumer = repro_child.attach(
+        address, consumer_id="obs-remote", max_epochs=1, receive_timeout=30
+    )
+    batches = 0
+    try:
+        for _ in consumer:
+            batches += 1
+    finally:
+        consumer.close()
+    result_queue.put((batches, os.getpid()))
+
+
+@pytest.mark.multiprocess
+class TestCrossProcessTracePropagation:
+    def test_producer_side_spans_carry_consumer_stamps_over_tcp(self):
+        """The child's delivered/trained/acked stamps ride the ACK body back,
+        so the producer's ring holds the full seven-stage span — and because
+        both processes read the same CLOCK_MONOTONIC on one host, the merged
+        stamps are ordered."""
+        RING.clear()
+        session = repro.serve(
+            tiny_loader(), address="tcp://127.0.0.1:0", epochs=1, start=False
+        )
+        result_queue = multiprocessing.Queue()
+        child = multiprocessing.Process(
+            target=_remote_obs_trainer, args=(session.address, result_queue)
+        )
+        child.start()
+        try:
+            session.start()
+            batches, child_pid = result_queue.get(timeout=60)
+        finally:
+            child.join(timeout=30)
+            if child.is_alive():
+                child.terminate()
+            session.shutdown()
+        assert child.exitcode == 0
+        assert batches == 6
+        assert child_pid != os.getpid()
+
+        spans = [
+            s
+            for s in RING.spans()
+            if s.get("consumer_id") == "obs-remote" and span_complete(s)
+        ]
+        assert len(spans) == 6, "every remote batch must complete a 7-stage span"
+        for span in spans:
+            stages = span["stages"]
+            ordered = [stages[name] for name in STAGES]
+            assert ordered == sorted(ordered), span
+            # The span was recorded producer-side (this process)...
+            assert span["origin"]["pid"] == os.getpid()
+            # ...yet its tail stamps were taken in the child: the remote
+            # round trip (deliver over tcp + ack back) takes real time.
+            assert stages["acked"] > stages["published"]
