@@ -1,0 +1,185 @@
+"""Slab-allocator benchmark: segment reuse kills steady-state mmap churn.
+
+Seed behavior (PR <= 9): every tensor of every batch paid a fresh
+``shm_open`` + ``ftruncate`` + ``mmap`` and a later ``unlink``, with uuid
+names guaranteeing the consumer's attach cache missed on each delivery.  The
+slab allocator recycles freed segments through size-class free lists (same
+name, bumped generation) and packs each batch into one segment, so after a
+warm-up pass the hot path allocates nothing.
+
+Two measurements:
+
+* **Allocation microbench** — the same publish/release traffic against a
+  slab pool (``share_batch`` + default free lists) and a seed-shaped pool
+  (``free_list_max_bytes=0`` restores eager unlink, per-tensor
+  ``share_tensor`` restores one segment per tensor).  Headline assertion:
+  the seed regime creates **>= 5x more segments** for identical traffic, and
+  the slab's steady state (after batch 0) creates **zero** new segments.
+* **End-to-end session** — a short multi-epoch serve: once the free list is
+  warm, ``repro.pool.segment_reuse_hits`` covers the remaining batches and
+  ``segments_created`` stays near the in-flight window, far under one per
+  batch.  ``bytes_in_flight`` AND ``free_bytes`` drain to zero on shutdown.
+
+``REPRO_BENCH_TINY=1`` shrinks sizes and skips the wall-clock ratio
+assertion (CI runs the smoke under ``timeout``); the creation-count
+assertions are deterministic and always on.
+"""
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core import ConsumerConfig
+from repro.tensor import SharedMemoryPool, from_numpy
+
+TINY = os.environ.get("REPRO_BENCH_TINY") == "1"
+
+N_BATCHES = 40 if TINY else 200
+TENSOR_SHAPE = (16, 32) if TINY else (64, 128)  # float32 inputs
+N_ITEMS = 24 if TINY else 48
+BATCH_SIZE = 4
+EPOCHS = 3
+
+
+def _batch():
+    return {
+        "inputs": from_numpy(np.ones(TENSOR_SHAPE, dtype=np.float32)),
+        "targets": from_numpy(np.zeros(TENSOR_SHAPE[0], dtype=np.int64)),
+    }
+
+
+def _drive(pool, *, slab: bool, batches: int) -> float:
+    """Publish/ack ``batches`` batches; returns wall seconds."""
+    started = time.perf_counter()
+    for _ in range(batches):
+        if slab:
+            staged = pool.share_batch(_batch())
+            for name in {t.segment.name for t in staged.values()}:
+                pool.release(name)
+        else:
+            staged = {k: pool.share_tensor(t) for k, t in _batch().items()}
+            for tensor in staged.values():
+                pool.release(tensor.segment.name)
+    return time.perf_counter() - started
+
+
+@pytest.mark.overlap_ratio
+def test_slab_vs_seed_allocation(bench_record):
+    """>= 5x fewer segment creations than the seed regime (criterion).
+
+    Marked ``overlap_ratio``: the wall-clock ratio is load sensitive, so the
+    main CI step deselects this test and only the TINY smoke step (which
+    skips that one assertion) runs it on shared runners.  The creation-count
+    assertions hold at any speed and run in both modes.
+    """
+    seed_pool = SharedMemoryPool(free_list_max_bytes=0, name_prefix="seed")
+    slab_pool = SharedMemoryPool(name_prefix="slab")
+    try:
+        # Warm both pools with one batch so the timed region is steady state.
+        _drive(seed_pool, slab=False, batches=1)
+        _drive(slab_pool, slab=True, batches=1)
+        warm_creations = slab_pool.segments_created
+        seed_seconds = _drive(seed_pool, slab=False, batches=N_BATCHES)
+        slab_seconds = _drive(slab_pool, slab=True, batches=N_BATCHES)
+        seed_creations = seed_pool.segments_created
+        slab_creations = slab_pool.segments_created
+        ratio = seed_seconds / slab_seconds if slab_seconds else float("inf")
+        bench_record(
+            name="segment_reuse",
+            batches=N_BATCHES,
+            seed_segments_created=seed_creations,
+            slab_segments_created=slab_creations,
+            creation_ratio=seed_creations / max(slab_creations, 1),
+            slab_reuse_hits=slab_pool.segment_reuse_hits,
+            slab_mmap_total=slab_pool.mmap_total,
+            seed_mmap_total=seed_pool.mmap_total,
+            seed_seconds=seed_seconds,
+            slab_seconds=slab_seconds,
+            wall_ratio=ratio,
+        )
+        print(
+            f"\n| regime | segments created | mmap ops | seconds |\n|---|---|---|---|\n"
+            f"| seed (fresh per tensor) | {seed_creations} | "
+            f"{seed_pool.mmap_total} | {seed_seconds:.3f} |\n"
+            f"| slab (reuse + batch packing) | {slab_creations} | "
+            f"{slab_pool.mmap_total} | {slab_seconds:.3f} |\n"
+            f"creation ratio: {seed_creations / max(slab_creations, 1):.0f}x, "
+            f"wall ratio: {ratio:.2f}x"
+        )
+        # Steady state allocates nothing: the warm-up batch created the one
+        # segment the whole run recycles.
+        assert slab_creations == warm_creations, "slab created segments after warm-up"
+        assert slab_pool.segment_reuse_hits >= N_BATCHES
+        # Seed behavior pays one creation per tensor per batch: 2x per batch.
+        assert seed_creations == 2 * (N_BATCHES + 1)
+        assert seed_creations >= 5 * slab_creations
+        if not TINY:
+            assert ratio >= 1.0, (
+                f"slab allocation slower than seed regime ({ratio:.2f}x)"
+            )
+    finally:
+        seed_pool.shutdown()
+        slab_pool.shutdown()
+    assert seed_pool.free_bytes == 0 and slab_pool.free_bytes == 0
+
+
+def test_end_to_end_session_reuses_segments(bench_record):
+    """A multi-epoch serve stops creating segments once the list is warm."""
+
+    class IndexDataset:
+        def __len__(self):
+            return N_ITEMS
+
+        def __getitem__(self, index):
+            return {"index": np.array([index], dtype=np.int64)}
+
+    from repro.data import DataLoader
+
+    session = repro.serve(
+        DataLoader(IndexDataset(), batch_size=BATCH_SIZE),
+        address="inproc://bench-segment-reuse",
+        epochs=EPOCHS,
+        start=False,
+    )
+    import threading
+
+    counts = []
+
+    def consume():
+        consumer = session.consumer(
+            ConsumerConfig(consumer_id="bench", max_epochs=EPOCHS, receive_timeout=60)
+        )
+        counts.append(sum(1 for _ in consumer))
+        consumer.close()
+
+    thread = threading.Thread(target=consume)
+    thread.start()
+    time.sleep(0.1)
+    session.start()
+    thread.join(timeout=120)
+    assert not thread.is_alive()
+    batches = (N_ITEMS // BATCH_SIZE) * EPOCHS
+    assert counts and counts[0] == batches
+    created = session.pool.segments_created
+    reuse_hits = session.pool.segment_reuse_hits
+    bench_record(
+        name="segment_reuse_session",
+        session_batches=batches,
+        session_segments_created=created,
+        session_reuse_hits=reuse_hits,
+        session_mmap_total=session.pool.mmap_total,
+    )
+    # Every batch needed a segment; reuse covered all but the warm-up ones.
+    assert created + reuse_hits >= batches
+    assert reuse_hits > 0
+    assert created < batches, (
+        f"created {created} segments for {batches} batches: free list never warmed"
+    )
+    # The drain contract, free list included (stop path).
+    session.shutdown()
+    assert session.pool.bytes_in_flight == 0
+    assert session.pool.cached_bytes == 0
+    assert session.pool.free_bytes == 0

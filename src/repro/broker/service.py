@@ -575,6 +575,11 @@ class DatasetBroker:
                     "bytes_in_flight": self.pool.bytes_in_flight,
                     "cached_bytes": self.pool.cached_bytes,
                     "peak_bytes": self.pool.peak_bytes,
+                    # Slab free lists are shared across tenants and charged to
+                    # none of them: a dataset's quota bounds its *live* bytes,
+                    # and segments it frees become warm capacity any tenant may
+                    # recycle.  Drains to zero on shutdown with the rest.
+                    "free_bytes": self.pool.free_bytes,
                 },
             }
 

@@ -352,6 +352,12 @@ class BatchCache:
                             self.rejected_inserts += 1
                             _REJECTED.inc()
                             return False
+            # Cache holds pin each segment's *generation* along with its
+            # bytes: the slab allocator can only recycle (bump the
+            # generation, invalidate packed handles) once every hold — cache
+            # holds included — is gone, so the cached payload's
+            # (name, generation) handles stay valid for as long as the entry
+            # lives, however many epochs that is.
             for name in segment_names:
                 self.pool.retain_cached(name)
             self._entries[index] = _CacheEntry(

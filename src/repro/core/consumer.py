@@ -652,6 +652,11 @@ class TensorConsumer:
             "repro.consumer.buffered": len(self._buffer),
             "repro.consumer.admitted_epoch": self.admitted_epoch,
             "repro.consumer.mailbox_overflows": self.mailbox_overflows,
+            # Attach-side effect of the producer's slab recycling: once
+            # segment names repeat, by-name attaches hit this consumer's
+            # cache instead of opening + mapping a segment per delivery.
+            "repro.pool.attach_cache_hits": getattr(self.pool, "attach_cache_hits", 0),
+            "repro.pool.attach_opens": getattr(self.pool, "attach_opens", 0),
         }
 
     def stats(self) -> Dict[str, object]:

@@ -191,10 +191,13 @@ class EpochRunner:
         exactly one staging thread).
         """
         started = time.monotonic()
-        staged = {}
-        for name, tensor in batch.items():
-            tensor = tensor.to(self.config.share_device)
-            staged[name] = self.pool.share_tensor(tensor, initial_refcount=1)
+        converted = {
+            name: tensor.to(self.config.share_device) for name, tensor in batch.items()
+        }
+        # One slab segment per batch: every tensor (data + labels) lands at an
+        # aligned offset of a single allocation, so the batch publishes as one
+        # handle and consumers attach once instead of once per tensor.
+        staged = self.pool.share_batch(converted, initial_refcount=1)
         self.batches_loaded += 1
         _BATCHES_LOADED.inc()
         _STAGE_SECONDS.inc(time.monotonic() - started)

@@ -676,6 +676,10 @@ class ShardedLoaderSession:
             "repro.pool.bytes_in_flight": self.pool.bytes_in_flight,
             "repro.pool.cached_bytes": self.pool.cached_bytes,
             "repro.pool.peak_bytes": self.pool.peak_bytes,
+            "repro.pool.free_bytes": self.pool.free_bytes,
+            "repro.pool.segment_reuse_hits": self.pool.segment_reuse_hits,
+            "repro.pool.segment_reuse_misses": self.pool.segment_reuse_misses,
+            "repro.pool.mmap_total": self.pool.mmap_total,
             "repro.cache": cache_totals,
         }
 

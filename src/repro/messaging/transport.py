@@ -241,12 +241,59 @@ class InProcHub:
 # ---------------------------------------------------------------------------
 # TCP transport
 # ---------------------------------------------------------------------------
+#
+# Wire format: a 4-byte big-endian length, then a 1-byte tag, then the body
+# (the length counts the tag).  Control frames carry a pickled dict exactly
+# as before; the data-plane frames (DELIVER broker→client, PUBLISH/PUSH
+# client→broker) carry the already-pickled ``Message.to_bytes()`` payload
+# *raw* — the old protocol re-pickled those bytes inside a wrapper dict,
+# serializing and copying every data frame twice on both directions of the
+# hot path.  The pieces (header+tag, routing preamble, message bytes) go to
+# the kernel via ``sendmsg`` scatter-gather, so they are never joined into
+# one buffer in userspace either.
 
 _HEADER = struct.Struct("!I")
+#: PUBLISH/PUSH routing preamble: length of the UTF-8 channel address.
+_ADDR = struct.Struct("!H")
+
+_TAG_CTRL = 0  #: pickled dict (handshakes, subscribe, close, replies)
+_TAG_DELIVER = 1  #: raw Message bytes (broker -> client)
+_TAG_PUBLISH = 2  #: !H addr-len + addr + raw Message bytes (client -> broker)
+_TAG_PUSH = 3  #: same layout as PUBLISH
+
+_HAS_SENDMSG = hasattr(socket.socket, "sendmsg")
 
 
-def _send_frame(sock: socket.socket, payload: bytes) -> None:
-    sock.sendall(_HEADER.pack(len(payload)) + payload)
+def _frame_parts(tag: int, *parts) -> List:
+    """The buffer list of one tagged frame (header+tag first, body unjoined)."""
+    length = 1 + sum(len(part) for part in parts)
+    return [_HEADER.pack(length) + bytes((tag,)), *parts]
+
+
+def _send_parts(sock: socket.socket, parts: List) -> None:
+    """sendall() a buffer list on a *blocking* socket, scatter-gather when
+    the platform has ``sendmsg`` (no userspace join of the frame pieces)."""
+    if not _HAS_SENDMSG:
+        sock.sendall(b"".join(bytes(p) if not isinstance(p, bytes) else p for p in parts))
+        return
+    views = [memoryview(part) for part in parts]
+    while views:
+        try:
+            sent = sock.sendmsg(views)
+        except InterruptedError:
+            continue
+        while sent and views:
+            head = views[0]
+            if sent >= len(head):
+                sent -= len(head)
+                views.pop(0)
+            else:
+                views[0] = head[sent:]
+                sent = 0
+
+
+def _send_ctrl(sock: socket.socket, obj: dict) -> None:
+    _send_parts(sock, _frame_parts(_TAG_CTRL, pickle.dumps(obj)))
 
 
 def _recv_exactly(sock: socket.socket, count: int) -> bytes:
@@ -261,10 +308,22 @@ def _recv_exactly(sock: socket.socket, count: int) -> bytes:
     return b"".join(chunks)
 
 
-def _recv_frame(sock: socket.socket) -> bytes:
+def _recv_frame(sock: socket.socket) -> Tuple[int, memoryview]:
+    """One tagged frame: ``(tag, body)``; the body view skips the tag byte."""
     header = _recv_exactly(sock, _HEADER.size)
     (length,) = _HEADER.unpack(header)
-    return _recv_exactly(sock, length)
+    body = _recv_exactly(sock, length)
+    if not body:
+        raise ConnectionError("zero-length frame (missing tag byte)")
+    return body[0], memoryview(body)[1:]
+
+
+def _split_routed(body: memoryview) -> Tuple[str, memoryview]:
+    """Decode a PUBLISH/PUSH body into ``(address, raw message bytes)``."""
+    (addr_len,) = _ADDR.unpack_from(body, 0)
+    start = _ADDR.size
+    address = bytes(body[start : start + addr_len]).decode("utf-8")
+    return address, body[start + addr_len :]
 
 
 class TcpHub:
@@ -323,7 +382,28 @@ class TcpHub:
         endpoint: Optional[Endpoint] = None
         try:
             while self._running:
-                frame = pickle.loads(_recv_frame(client))
+                tag, body = _recv_frame(client)
+                if tag == _TAG_PUBLISH:
+                    address, raw = _split_routed(body)
+                    message = Message.from_bytes(raw)
+                    try:
+                        self._inner.publish(address, message)
+                    except MessagingError:
+                        pass
+                    continue
+                if tag == _TAG_PUSH:
+                    address, raw = _split_routed(body)
+                    message = Message.from_bytes(raw)
+                    try:
+                        self._inner.push(address, message)
+                    except MessagingError:
+                        # Nothing bound at the address (e.g. the producer is
+                        # gone); pushes are fire-and-forget over TCP.
+                        pass
+                    continue
+                if tag != _TAG_CTRL:
+                    continue  # unknown/unsupported tag: skip the frame
+                frame = pickle.loads(body)
                 op = frame["op"]
                 if op in ("bind", "connect"):
                     address = frame["address"]
@@ -342,14 +422,12 @@ class TcpHub:
                         # bound) must travel back as an error reply — raising
                         # here would kill this thread and leave the client
                         # waiting on a reply that never comes.
-                        _send_frame(
-                            client, pickle.dumps({"ok": False, "error": str(exc)})
-                        )
+                        _send_ctrl(client, {"ok": False, "error": str(exc)})
                         continue
                     endpoint = new_endpoint
                     # Reply before starting the forwarder so a delivery can
                     # never overtake the registration acknowledgement.
-                    _send_frame(client, pickle.dumps({"ok": True}))
+                    _send_ctrl(client, {"ok": True})
                     with self._clients_lock:
                         self._forwarded.append(endpoint)
                     threading.Thread(
@@ -360,7 +438,7 @@ class TcpHub:
                     ).start()
                 elif op == "open":
                     # A send-only channel (publish/push source, no endpoint).
-                    _send_frame(client, pickle.dumps({"ok": True}))
+                    _send_ctrl(client, {"ok": True})
                 elif op == "subscribe" and endpoint is not None:
                     endpoint.subscribe(frame["prefix"])
                     token = frame.get("ack")
@@ -378,20 +456,6 @@ class TcpHub:
                                 "broker",
                             )
                         )
-                elif op == "publish":
-                    message = Message.from_bytes(frame["message"])
-                    try:
-                        self._inner.publish(frame["address"], message)
-                    except MessagingError:
-                        pass
-                elif op == "push":
-                    message = Message.from_bytes(frame["message"])
-                    try:
-                        self._inner.push(frame["address"], message)
-                    except MessagingError:
-                        # Nothing bound at the address (e.g. the producer is
-                        # gone); pushes are fire-and-forget over TCP.
-                        pass
                 elif op == "close":
                     break
         except (ConnectionError, EOFError, OSError):
@@ -419,9 +483,10 @@ class TcpHub:
             except EndpointClosedError:
                 break
             try:
-                _send_frame(
-                    client, pickle.dumps({"op": "deliver", "message": message.to_bytes()})
-                )
+                # The message's own pickled bytes are the frame body — no
+                # wrapper dict, no second pickle pass, no userspace copy of
+                # the payload into a joined buffer.
+                _send_parts(client, _frame_parts(_TAG_DELIVER, message.to_bytes()))
             except OSError:
                 break
 
@@ -521,56 +586,78 @@ class TcpClientEndpoint:
     def _request(self, frame: dict) -> None:
         try:
             with self._send_lock:
-                _send_frame(self._sock, pickle.dumps(frame))
-                reply = pickle.loads(_recv_frame(self._sock))
+                _send_ctrl(self._sock, frame)
+                tag, body = _recv_frame(self._sock)
+                if tag != _TAG_CTRL:
+                    raise MessagingError(
+                        f"expected a control reply to {frame!r}, got frame tag {tag}"
+                    )
+                reply = pickle.loads(body)
         except (ConnectionError, EOFError, OSError) as exc:
             raise MessagingError(f"broker connection lost during {frame!r}: {exc}") from exc
         if not reply.get("ok"):
             raise MessagingError(f"broker rejected {frame!r}: {reply!r}")
 
     def _send(self, frame: dict) -> None:
-        """Fire-and-forget frame; broker connection loss surfaces uniformly
-        as :class:`MessagingError` so protocol code can treat TCP like a hub."""
+        """Fire-and-forget control frame; broker connection loss surfaces
+        uniformly as :class:`MessagingError` so protocol code can treat TCP
+        like a hub."""
+        self._send_tagged(_TAG_CTRL, pickle.dumps(frame))
+
+    def _send_tagged(self, tag: int, *parts) -> None:
+        """Send one tagged frame, serialized once, whatever the I/O mode."""
         if self._closed:
             raise EndpointClosedError(f"endpoint {self.name!r} is closed")
-        payload = pickle.dumps(frame)
+        frame = _frame_parts(tag, *parts)
         try:
             with self._send_lock:
                 if self._reactor is not None:
-                    self._send_all_nonblocking(_HEADER.pack(len(payload)) + payload)
+                    self._send_all_nonblocking(frame)
                 else:
-                    _send_frame(self._sock, pickle.dumps(frame))
+                    _send_parts(self._sock, frame)
         except OSError as exc:
             raise MessagingError(f"broker connection lost: {exc}") from exc
 
-    def _send_all_nonblocking(self, data: bytes) -> None:
-        """sendall() for the non-blocking reactor-mode socket.
+    def _send_all_nonblocking(self, parts: List) -> None:
+        """sendall() a buffer list on the non-blocking reactor-mode socket.
 
-        Caller holds ``_send_lock``.  A full kernel buffer parks this sender
-        in short writability waits instead of busy-spinning; ``close()``
-        concurrently flips ``_closed`` to break the wait.
+        Caller holds ``_send_lock``.  Scatter-gather via ``sendmsg`` where
+        available, with the consumed prefix dropped after every partial send.
+        A full kernel buffer parks this sender in short writability waits
+        instead of busy-spinning; ``close()`` concurrently flips ``_closed``
+        to break the wait.
         """
         import select as _select
 
-        view = memoryview(data)
-        while view:
+        views = [memoryview(part) for part in parts]
+        while views:
             if self._closed:
                 raise OSError("endpoint closed during send")
             try:
-                sent = self._sock.send(view)
+                if _HAS_SENDMSG:
+                    sent = self._sock.sendmsg(views)
+                else:
+                    sent = self._sock.send(views[0])
             except (BlockingIOError, InterruptedError):
                 _select.select([], [self._sock], [], 0.5)
                 continue
-            view = view[sent:]
+            while sent and views:
+                head = views[0]
+                if sent >= len(head):
+                    sent -= len(head)
+                    views.pop(0)
+                else:
+                    views[0] = head[sent:]
+                    sent = 0
 
     def _read_loop(self) -> None:
         while not self._closed:
             try:
-                frame = pickle.loads(_recv_frame(self._sock))
+                tag, body = _recv_frame(self._sock)
             except (ConnectionError, EOFError, OSError):
                 break
-            if frame.get("op") == "deliver":
-                self._dispatch(Message.from_bytes(frame["message"]))
+            if tag == _TAG_DELIVER:
+                self._dispatch(Message.from_bytes(body))
 
     # -- reactor-mode receive path ------------------------------------------------------
     @reactor_only
@@ -593,19 +680,21 @@ class TcpClientEndpoint:
 
     @reactor_only
     def _drain_rbuf(self) -> None:
-        while len(self._rbuf) >= _HEADER.size:
+        while len(self._rbuf) >= _HEADER.size + 1:
             (length,) = _HEADER.unpack(bytes(self._rbuf[: _HEADER.size]))
             end = _HEADER.size + length
             if len(self._rbuf) < end:
                 return
-            payload = bytes(self._rbuf[_HEADER.size : end])
+            tag = self._rbuf[_HEADER.size]
+            payload = bytes(self._rbuf[_HEADER.size + 1 : end])
             del self._rbuf[:end]
+            if tag != _TAG_DELIVER:
+                continue
             try:
-                frame = pickle.loads(payload)
+                message = Message.from_bytes(payload)
             except Exception:
                 continue
-            if frame.get("op") == "deliver":
-                self._dispatch(Message.from_bytes(frame["message"]))
+            self._dispatch(message)
 
     def _detach_from_reactor(self) -> None:
         if self._reactor is not None:
@@ -640,10 +729,13 @@ class TcpClientEndpoint:
 
     # -- sending ----------------------------------------------------------------------
     def send_publish(self, address: str, message: Message) -> None:
-        self._send({"op": "publish", "address": address, "message": message.to_bytes()})
+        """Publish: routing preamble + the message's own bytes, pickled once."""
+        addr = address.encode("utf-8")
+        self._send_tagged(_TAG_PUBLISH, _ADDR.pack(len(addr)) + addr, message.to_bytes())
 
     def send_push(self, address: str, message: Message) -> None:
-        self._send({"op": "push", "address": address, "message": message.to_bytes()})
+        addr = address.encode("utf-8")
+        self._send_tagged(_TAG_PUSH, _ADDR.pack(len(addr)) + addr, message.to_bytes())
 
     # -- receiving ---------------------------------------------------------------------
     def subscribe(self, prefix: str = "") -> None:
@@ -695,7 +787,7 @@ class TcpClientEndpoint:
                     # socket; a full buffer just means the broker learns
                     # about the close from the FIN instead.
                     self._sock.send(  # reprolint: disable=RL002
-                        _HEADER.pack(len(payload)) + payload
+                        _HEADER.pack(len(payload) + 1) + bytes((_TAG_CTRL,)) + payload
                     )
             except OSError:
                 pass
@@ -705,7 +797,7 @@ class TcpClientEndpoint:
             return
         try:
             with self._send_lock:
-                _send_frame(self._sock, pickle.dumps({"op": "close"}))
+                _send_ctrl(self._sock, {"op": "close"})
         except OSError:
             pass
         try:

@@ -30,6 +30,7 @@ PRODUCER_KEYS: Dict[str, str] = {
     "repro.pool.bytes_in_flight": "bytes_in_flight",
     "repro.pool.cached_bytes": "cached_bytes",
     "repro.pool.peak_bytes": "peak_bytes",
+    "repro.pool.free_bytes": "free_bytes",
     "repro.cache": "cache",
 }
 

@@ -17,5 +17,13 @@ class QuotaExceededError(SharedMemoryError):
     """Raised when an allocation would push a tenant past its byte quota."""
 
 
+class StaleHandleError(SharedMemoryError):
+    """Raised when a (name, generation) handle refers to a recycled segment.
+
+    The slab allocator reuses segment names; a handle packed before the
+    segment was recycled must be rejected — attaching it would silently
+    alias whatever batch lives in the segment now (the ABA hazard)."""
+
+
 class PayloadError(TensorError):
     """Raised when a :class:`TensorPayload` cannot be packed or unpacked."""

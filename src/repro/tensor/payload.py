@@ -29,7 +29,7 @@ import numpy as np
 
 from repro.tensor.device import as_device
 from repro.tensor.dtype import as_dtype
-from repro.tensor.errors import PayloadError, SharedMemoryError
+from repro.tensor.errors import PayloadError, SharedMemoryError, StaleHandleError
 from repro.tensor.shared_memory import SharedMemoryPool
 from repro.tensor.tensor import Tensor
 
@@ -44,7 +44,10 @@ class TensorPayload:
     """A packed description of one tensor.
 
     Exactly one of ``segment_name`` (shared handle) or ``inline_bytes``
-    (byte copy) is set.
+    (byte copy) is set.  ``generation`` rides along with shared handles: the
+    pool recycles segment names, and the generation lets ``unpack`` reject a
+    handle whose segment was recycled after packing (the ABA hazard) instead
+    of silently reading the new occupant's bytes.
     """
 
     shape: Tuple[int, ...]
@@ -53,6 +56,7 @@ class TensorPayload:
     segment_name: Optional[str] = None
     segment_offset: int = 0
     inline_bytes: Optional[bytes] = None
+    generation: Optional[int] = None
 
     # -- constructors -----------------------------------------------------------
     @staticmethod
@@ -63,22 +67,53 @@ class TensorPayload:
                 "tensor is not backed by a shared segment; use SharedMemoryPool."
                 "share_tensor() first or pack it inline"
             )
+        # Raw segments created outside a pool have generation 0 — no recycle
+        # can ever happen to them, so the handle carries no generation and
+        # unpack skips the check.
+        generation = getattr(tensor.segment, "generation", 0)
         return TensorPayload(
             shape=tensor.shape,
             dtype=tensor.dtype.name,
             device=str(tensor.device),
             segment_name=tensor.segment.name,
             segment_offset=tensor.segment_offset,
+            generation=generation if generation else None,
         )
 
     @staticmethod
     def inline(tensor: Tensor) -> "TensorPayload":
-        """Pack a tensor by copying its bytes (the expensive path)."""
+        """Pack a tensor by copying its bytes (the expensive path).
+
+        The payload holds a zero-copy ``memoryview`` of the tensor's
+        contiguous bytes — the copy is deferred to the framing layer (or to
+        pickling, see ``__reduce__``), so an inline payload that never
+        leaves the process never duplicates the tensor.
+        """
+        array = np.ascontiguousarray(tensor.numpy())
         return TensorPayload(
             shape=tensor.shape,
             dtype=tensor.dtype.name,
             device=str(tensor.device),
-            inline_bytes=tensor.numpy().tobytes(),
+            inline_bytes=array.data.cast("B"),
+        )
+
+    def __reduce__(self):
+        # memoryviews cannot be pickled; materialize the inline bytes only
+        # when the payload actually leaves the process.
+        inline = self.inline_bytes
+        if inline is not None and not isinstance(inline, bytes):
+            inline = bytes(inline)
+        return (
+            TensorPayload,
+            (
+                self.shape,
+                self.dtype,
+                self.device,
+                self.segment_name,
+                self.segment_offset,
+                inline,
+                self.generation,
+            ),
         )
 
     @staticmethod
@@ -132,7 +167,14 @@ class TensorPayload:
                 self.dtype,
                 device=device,
                 offset=self.segment_offset,
+                generation=self.generation,
             )
+        except StaleHandleError as exc:
+            raise PayloadError(
+                f"segment {self.segment_name!r} was recycled after this payload was "
+                f"packed (handle generation {self.generation}); the bytes it pointed "
+                "at are gone"
+            ) from exc
         except SharedMemoryError as exc:
             raise PayloadError(
                 f"segment {self.segment_name!r} is not (or no longer) registered in the pool; "
@@ -141,13 +183,15 @@ class TensorPayload:
 
     def to_dict(self) -> dict:
         """A JSON-serializable description (inline bytes are hex-encoded)."""
+        inline = self.inline_bytes
         return {
             "shape": list(self.shape),
             "dtype": self.dtype,
             "device": self.device,
             "segment_name": self.segment_name,
             "segment_offset": self.segment_offset,
-            "inline_bytes": self.inline_bytes.hex() if self.inline_bytes is not None else None,
+            "inline_bytes": bytes(inline).hex() if inline is not None else None,
+            "generation": self.generation,
         }
 
     @staticmethod
@@ -160,6 +204,7 @@ class TensorPayload:
             segment_name=data.get("segment_name"),
             segment_offset=int(data.get("segment_offset", 0)),
             inline_bytes=bytes.fromhex(inline) if inline is not None else None,
+            generation=data.get("generation"),
         )
 
 
@@ -243,12 +288,26 @@ class BatchPayload:
 
     @property
     def segment_names(self) -> Tuple[str, ...]:
-        """Unique shared segments referenced by this batch (for refcounting)."""
+        """Unique shared segments referenced by this batch (for refcounting).
+
+        With single-segment batch packing (``SharedMemoryPool.share_batch``)
+        every tensor of the batch lives in one segment, so this collapses to
+        one name per batch.
+        """
         names = []
         for payload in self.tensors.values():
             if payload.is_shared and payload.segment_name not in names:
                 names.append(payload.segment_name)
         return tuple(names)
+
+    @property
+    def segment_handles(self) -> Tuple[Tuple[str, Optional[int]], ...]:
+        """Unique ``(segment_name, generation)`` pairs referenced by this batch."""
+        handles: Dict[str, Optional[int]] = {}
+        for payload in self.tensors.values():
+            if payload.is_shared and payload.segment_name not in handles:
+                handles[payload.segment_name] = payload.generation
+        return tuple(handles.items())
 
     def key(self) -> Tuple[int, int]:
         """A (epoch, batch_index) identity used for acknowledgements."""

@@ -19,22 +19,47 @@ the paper).  This module provides the storage side of that protocol:
   frees the segment once all holds are released.  The pool also exposes
   accounting (bytes in flight, high-water mark) that Table 3 / Table 4 style
   experiments read as "extra VRAM held by the producer".
+
+Slab allocation
+---------------
+
+Freed segments are not unlinked eagerly: they return to per-size-class free
+lists (power-of-two classes with quarter subdivisions, exact class preferred)
+and are recycled under the *same name* on the next allocation of a matching
+size.  After a warm-up epoch the steady-state hot path therefore performs
+zero ``shm_open``/``mmap`` on either side: the producer pops a warm segment
+off the free list and the consumer's attach-by-name cache hits on the
+recycled name.  :meth:`SharedMemoryPool.share_batch` additionally packs every
+tensor of one batch into a *single* segment at 64-byte-aligned offsets, so
+the per-batch handle count (and cross-process attach count) drops to one.
+
+Because names now repeat, every segment starts with a 64-byte slab header
+holding a **generation** counter that the pool bumps on every recycle.
+Payload handles carry ``(name, generation)`` and :meth:`attach` rejects a
+stale pair with :class:`~repro.tensor.errors.StaleHandleError` — a rubberband
+replay or late duplicate ack can never silently alias a recycled segment.
+Retained-free memory is bounded by a hard cap (``free_list_max_bytes``) and
+an idle trim (``free_idle_seconds``); free-listed segments belong to no
+tenant (quotas charge *live* logical bytes only) and surface through the
+``repro.pool.free_bytes`` gauge, which drains to zero on :meth:`shutdown`.
 """
 
 from __future__ import annotations
 
+import struct
 import threading
+import time
 import uuid
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Mapping, Optional, Tuple
 
 import numpy as np
 
-from repro.obs.metrics import gauge
+from repro.obs.metrics import counter, gauge
 from repro.tensor.dtype import DTypeLike, as_dtype
 from repro.tensor.device import DeviceLike
-from repro.tensor.errors import QuotaExceededError, SharedMemoryError
+from repro.tensor.errors import QuotaExceededError, SharedMemoryError, StaleHandleError
 from repro.tensor.tensor import Tensor
 
 try:  # pragma: no cover - availability depends on the platform
@@ -52,6 +77,52 @@ _INPROC_REGISTRY: Dict[str, bytearray] = {}  #: guarded by _REGISTRY_LOCK
 
 
 _TRACKER_PATCH_LOCK = threading.Lock()
+
+# ---------------------------------------------------------------------------
+# Slab layout constants
+# ---------------------------------------------------------------------------
+
+#: Magic marking a segment as slab-allocated ("SLAB").
+_SLAB_MAGIC = 0x534C4142
+_SLAB_VERSION = 1
+#: magic u32, version u16, flags u16, generation u64 — written at offset 0.
+_SLAB_HEADER = struct.Struct("<IHHQ")
+#: The header reserves one cache line; tensor data starts here, and every
+#: tensor inside a batch segment is aligned to this quantum.
+_SLAB_HEADER_SIZE = 64
+_SLAB_ALIGN = 64
+#: Smallest data capacity a segment is created with; tiny label tensors and
+#: the batch they belong to land in the same few classes instead of one
+#: class per odd byte count.
+_SLAB_MIN_CLASS = 4096
+
+_REUSE_HITS = counter("repro.pool.segment_reuse_hits")
+_REUSE_MISSES = counter("repro.pool.segment_reuse_misses")
+#: Real mapping operations: segment creations plus cross-process attach opens.
+_MMAP_TOTAL = counter("repro.pool.mmap_total")
+
+
+def _align_up(value: int, align: int) -> int:
+    return (value + align - 1) // align * align
+
+
+def _size_class(nbytes: int) -> int:
+    """Round a data size up to its slab class (jemalloc-style).
+
+    Classes are powers of two subdivided into quarters: between ``2^k`` and
+    ``2^(k+1)`` the steps are ``2^k + i * 2^(k-2)``, bounding internal waste
+    at 25% while keeping the number of distinct classes (and therefore free
+    lists) small.
+    """
+    if nbytes <= _SLAB_MIN_CLASS:
+        return _SLAB_MIN_CLASS
+    power = 1 << (int(nbytes) - 1).bit_length()
+    half = power >> 1
+    if nbytes == power:
+        return power
+    quarter = half >> 2
+    steps = -(-(nbytes - half) // quarter)
+    return half + steps * quarter
 
 
 def _open_posix_untracked(name: str):
@@ -91,6 +162,11 @@ class SharedSegment:
     attached to by name from any other party (``create=False``).  The segment
     exposes a writable memoryview; tensors are laid out inside it by the
     :class:`SharedMemoryPool`.
+
+    ``generation`` is the slab allocator's recycle counter for pool-owned
+    segments (0 for raw segments created outside a pool).  The pool keeps it
+    in sync with the in-segment slab header, which is the cross-process
+    source of truth.
     """
 
     def __init__(
@@ -109,6 +185,7 @@ class SharedSegment:
             raise SharedMemoryError("posix shared memory is not available on this platform")
         self.name = name
         self.backend = backend
+        self.generation = 0
         self._closed = False
         self._shm = None
 
@@ -193,16 +270,54 @@ class SharedSegment:
         return f"SharedSegment(name={self.name!r}, size={self.size}, backend={self.backend!r})"
 
 
+def _write_slab_header(segment: SharedSegment) -> None:
+    """Stamp the segment's current generation into its in-band slab header."""
+    _SLAB_HEADER.pack_into(
+        segment.buffer, 0, _SLAB_MAGIC, _SLAB_VERSION, 0, segment.generation
+    )
+
+
+def _read_slab_generation(segment: SharedSegment) -> Optional[int]:
+    """The generation recorded in a segment's slab header, or ``None``.
+
+    Reading the mapped bytes (rather than pool-local state) is what lets an
+    attach-by-name consumer in another OS process validate a handle against
+    the producer's latest recycle.
+    """
+    try:
+        magic, _version, _flags, generation = _SLAB_HEADER.unpack_from(segment.buffer, 0)
+    except (struct.error, SharedMemoryError):
+        return None
+    if magic != _SLAB_MAGIC:
+        return None
+    return generation
+
+
 @dataclass
 class _SegmentRecord:
     segment: SharedSegment
     refcount: int
+    #: Logical data bytes charged to the accounting buckets and tenant
+    #: quotas — the tensor bytes the caller asked for, not the (larger)
+    #: size-class capacity the slab actually reserved.
     nbytes: int
+    #: Allocator generation of this incarnation of the segment's name.
+    generation: int = 0
     #: Holds taken by an epoch cache (see :mod:`repro.cache`).  A segment with
     #: at least one cache hold is accounted under ``cached_bytes`` instead of
     #: ``bytes_in_flight``; the two buckets always sum to the live total.
     cache_holds: int = 0
     metadata: dict = field(default_factory=dict)
+
+
+@dataclass
+class _FreeSegment:
+    """One recycled segment parked on a size-class free list."""
+
+    segment: SharedSegment
+    #: Data capacity (segment size minus the slab header) — the free-list key.
+    capacity: int
+    freed_at: float
 
 
 class SharedMemoryPool:
@@ -213,14 +328,24 @@ class SharedMemoryPool:
     consumer has acknowledged (step 6).  ``bytes_in_flight`` and
     ``peak_bytes`` give the memory-overhead numbers reported in Tables 3 and 4.
 
+    Allocation is slab-based: freed segments return to per-size-class free
+    lists and are recycled (same name, bumped generation) by later
+    allocations, so the steady-state epoch loop creates no new segments.  See
+    the module docstring for the layout, the ABA protection and the trim
+    policy; ``free_list_max_bytes=0`` disables retention entirely (every free
+    unlinks eagerly, the pre-slab behaviour).
+
     Thread-safety: every mutation and every accounting read takes the pool
-    lock, so a background stage worker may ``share_tensor``/``allocate_tensor``
+    lock, so a background stage worker may ``share_batch``/``allocate_tensor``
     concurrently with the publish thread calling ``retain``/``release`` on
-    *other* segments (segment names are unique per allocation, so the two
-    never contend on one record).  Check-then-act sequences over the same
-    segment still race between lock acquisitions; use
-    :meth:`release_if_present` instead of ``contains()`` + ``release()``.
-    The lock is never held while tensor bytes are copied.
+    *other* segments (a live name maps to exactly one record, so the two never
+    contend on one record).  Check-then-act sequences over the same segment
+    still race between lock acquisitions; use :meth:`release_if_present`
+    instead of ``contains()`` + ``release()``, and only ever release a hold
+    the caller owns — the ack ledger's per-hold discipline is what guarantees
+    a name seen by ``release_if_present`` has not been recycled underneath it
+    (a recycle requires the refcount to reach zero first).  The lock is never
+    held while tensor bytes are copied.
     """
 
     def __init__(
@@ -230,6 +355,8 @@ class SharedMemoryPool:
         *,
         attach_by_name: bool = False,
         attach_cache_limit: int = 32,
+        free_list_max_bytes: Optional[int] = 256 * 1024 * 1024,
+        free_idle_seconds: Optional[float] = 30.0,
     ) -> None:
         self._backend = backend
         self._prefix = name_prefix
@@ -240,6 +367,20 @@ class SharedMemoryPool:
         self._peak_bytes = 0  #: guarded by _lock
         self._total_allocated = 0  #: guarded by _lock
         self._total_released = 0  #: guarded by _lock
+        # Slab free lists: size-class capacity -> recycled segments, newest
+        # last (reuse pops LIFO — the most recently freed segment is the
+        # warmest).  ``_free_bytes`` tracks the real retained memory (capacity
+        # plus header) and is bounded by the hard cap; the idle trim unlinks
+        # entries that sat unused past ``free_idle_seconds``.
+        self._free_lists: Dict[int, List[_FreeSegment]] = {}  #: guarded by _lock
+        self._free_bytes = 0  #: guarded by _lock
+        self._free_list_max_bytes = free_list_max_bytes
+        self._free_idle_seconds = free_idle_seconds
+        self._reuse_hits = 0  #: guarded by _lock
+        self._reuse_misses = 0  #: guarded by _lock
+        self._segments_created = 0  #: guarded by _lock
+        self._attach_cache_hits = 0  #: guarded by _lock
+        self._attach_opens = 0  #: guarded by _lock
         # Consumer-side cross-process mode: segments this pool never allocated
         # can be opened by name (posix shared memory reached from another OS
         # process).  Opened handles are cached and trimmed once the training
@@ -250,7 +391,8 @@ class SharedMemoryPool:
         # Multi-tenant accounting (the broker's per-dataset quotas): segments
         # allocated through a tenant view are tagged with the tenant name and
         # counted against its quota until freed.  A tenant without a quota
-        # entry is unlimited; its usage is still tracked.
+        # entry is unlimited; its usage is still tracked.  Free-listed
+        # segments belong to no tenant: quotas bound *live* logical bytes.
         self._tenant_quotas: Dict[str, Optional[int]] = {}  #: guarded by _lock
         self._tenant_bytes: Dict[str, int] = {}  #: guarded by _lock
         # Accounting surfaces as process-wide gauges, summed over live pools.
@@ -260,6 +402,140 @@ class SharedMemoryPool:
         gauge("repro.pool.cached_bytes").attach(self, lambda p: p.cached_bytes)
         gauge("repro.pool.peak_bytes").attach(self, lambda p: p.peak_bytes)
         gauge("repro.pool.live_segments").attach(self, lambda p: p.live_segments)
+        gauge("repro.pool.free_bytes").attach(self, lambda p: p.free_bytes)
+
+    # -- slab machinery ----------------------------------------------------------
+    def _check_quota_locked(self, tenant: str, nbytes: int) -> None:
+        quota = self._tenant_quotas.get(tenant)
+        used = self._tenant_bytes.get(tenant, 0)
+        if quota is not None and used + nbytes > quota:
+            raise QuotaExceededError(
+                f"tenant {tenant!r} shared-memory quota exceeded: "
+                f"{used} + {nbytes} bytes > quota {quota}"
+            )
+
+    def _pop_free_locked(self, size_class: int) -> Optional[_FreeSegment]:
+        """Pop a recyclable segment: exact class preferred, else the smallest
+        larger class within 2x (bounding internal waste on a fallback fit)."""
+        bucket = self._free_lists.get(size_class)
+        chosen = size_class if bucket else None
+        if chosen is None:
+            for capacity in sorted(self._free_lists):
+                if capacity <= size_class:
+                    continue
+                if capacity > 2 * size_class:
+                    break
+                chosen = capacity
+                bucket = self._free_lists[capacity]
+                break
+        if bucket is None or chosen is None:
+            return None
+        entry = bucket.pop()
+        if not bucket:
+            del self._free_lists[chosen]
+        self._free_bytes -= entry.segment.size
+        return entry
+
+    def _pool_segment_locked(self, segment: SharedSegment) -> None:
+        """Return a dead segment to its size-class free list (or retire it).
+
+        The hard cap bounds retained-free memory: past it the segment is
+        unlinked instead, and its uuid name is never reused.
+        """
+        capacity = segment.size - _SLAB_HEADER_SIZE
+        if (
+            capacity <= 0
+            or self._free_list_max_bytes is not None
+            and self._free_bytes + segment.size > self._free_list_max_bytes
+        ):
+            segment.unlink()
+            return
+        self._free_lists.setdefault(capacity, []).append(
+            _FreeSegment(segment, capacity, time.monotonic())
+        )
+        self._free_bytes += segment.size
+
+    def _trim_idle_free_locked(self, now: float) -> None:
+        """Unlink free-listed segments that sat unused past the idle window."""
+        if self._free_idle_seconds is None or not self._free_lists:
+            return
+        cutoff = now - self._free_idle_seconds
+        for capacity in list(self._free_lists):
+            kept = []
+            for entry in self._free_lists[capacity]:
+                if entry.freed_at < cutoff:
+                    self._free_bytes -= entry.segment.size
+                    entry.segment.unlink()
+                else:
+                    kept.append(entry)
+            if kept:
+                self._free_lists[capacity] = kept
+            else:
+                del self._free_lists[capacity]
+
+    def _acquire_segment(self, data_nbytes: int) -> Tuple[SharedSegment, int, bool]:
+        """A segment with at least ``data_nbytes`` of data capacity.
+
+        Recycles from the free lists when possible (bumping the generation
+        and restamping the slab header); creates a fresh segment otherwise.
+        Returns ``(segment, generation, reused)``; the caller owns the
+        segment exclusively until it commits a record for it.
+        """
+        size_class = _size_class(data_nbytes)
+        with self._lock:
+            self._trim_idle_free_locked(time.monotonic())
+            entry = self._pop_free_locked(size_class)
+            if entry is not None:
+                self._reuse_hits += 1
+        if entry is not None:
+            segment = entry.segment
+            segment.generation += 1
+            _write_slab_header(segment)
+            _REUSE_HITS.inc()
+            return segment, segment.generation, True
+        name = _new_segment_name(self._prefix)
+        segment = SharedSegment(
+            name, _SLAB_HEADER_SIZE + size_class, create=True, backend=self._backend
+        )
+        segment.generation = 1
+        _write_slab_header(segment)
+        with self._lock:
+            self._reuse_misses += 1
+            self._segments_created += 1
+        _REUSE_MISSES.inc()
+        _MMAP_TOTAL.inc()
+        return segment, 1, False
+
+    def _commit_segment(
+        self,
+        segment: SharedSegment,
+        generation: int,
+        nbytes: int,
+        initial_refcount: int,
+        tenant: Optional[str],
+    ) -> None:
+        """Register an acquired segment as a live record (with quota re-check)."""
+        with self._lock:
+            if tenant is not None:
+                # Re-check under the same lock that commits the record: two
+                # tenant allocations racing past the pre-check must not
+                # overshoot the quota together.  The rejected segment goes
+                # straight back to the free list.
+                try:
+                    self._check_quota_locked(tenant, nbytes)
+                except QuotaExceededError:
+                    self._pool_segment_locked(segment)
+                    raise
+                self._tenant_bytes[tenant] = self._tenant_bytes.get(tenant, 0) + nbytes
+            record = _SegmentRecord(
+                segment, int(initial_refcount), nbytes, generation=generation
+            )
+            if tenant is not None:
+                record.metadata["tenant"] = tenant
+            self._records[segment.name] = record
+            self._bytes_in_flight += nbytes
+            self._total_allocated += nbytes
+            self._note_peak_locked()
 
     # -- allocation -------------------------------------------------------------
     def allocate_tensor(
@@ -271,50 +547,24 @@ class SharedMemoryPool:
         initial_refcount: int = 1,
         tenant: Optional[str] = None,
     ) -> Tensor:
-        """Allocate an uninitialized tensor inside a fresh shared segment.
+        """Allocate an uninitialized tensor inside a (possibly recycled) segment.
 
-        ``tenant`` charges the segment to a named tenant's byte account (see
-        :meth:`set_tenant_quota` / :class:`TenantPool`); the quota check runs
-        *before* the segment is created, so a rejected allocation never
-        touches ``/dev/shm``.
+        The tensor's data starts right after the slab header
+        (``segment_offset == 64``).  ``tenant`` charges the tensor's logical
+        bytes to a named tenant's account (see :meth:`set_tenant_quota` /
+        :class:`TenantPool`); the quota check runs *before* a segment is
+        acquired, so a rejected allocation never touches ``/dev/shm``.
         """
         dt = as_dtype(dtype)
         count = int(np.prod(shape)) if shape else 1
         nbytes = max(count * dt.itemsize, 1)
         if tenant is not None:
             with self._lock:
-                quota = self._tenant_quotas.get(tenant)
-                used = self._tenant_bytes.get(tenant, 0)
-                if quota is not None and used + nbytes > quota:
-                    raise QuotaExceededError(
-                        f"tenant {tenant!r} shared-memory quota exceeded: "
-                        f"{used} + {nbytes} bytes > quota {quota}"
-                    )
-        name = _new_segment_name(self._prefix)
-        segment = SharedSegment(name, nbytes, create=True, backend=self._backend)
-        array = segment.ndarray(tuple(shape), dt, offset=0)
-        with self._lock:
-            if tenant is not None:
-                # Re-check under the same lock that commits the record: two
-                # tenant allocations racing past the pre-check above must not
-                # overshoot the quota together.
-                quota = self._tenant_quotas.get(tenant)
-                used = self._tenant_bytes.get(tenant, 0)
-                if quota is not None and used + nbytes > quota:
-                    segment.unlink()
-                    raise QuotaExceededError(
-                        f"tenant {tenant!r} shared-memory quota exceeded: "
-                        f"{used} + {nbytes} bytes > quota {quota}"
-                    )
-                self._tenant_bytes[tenant] = used + nbytes
-            record = _SegmentRecord(segment, int(initial_refcount), nbytes)
-            if tenant is not None:
-                record.metadata["tenant"] = tenant
-            self._records[name] = record
-            self._bytes_in_flight += nbytes
-            self._total_allocated += nbytes
-            self._note_peak_locked()
-        return Tensor(array, device, segment=segment, segment_offset=0)
+                self._check_quota_locked(tenant, nbytes)
+        segment, generation, _reused = self._acquire_segment(nbytes)
+        array = segment.ndarray(tuple(shape), dt, offset=_SLAB_HEADER_SIZE)
+        self._commit_segment(segment, generation, nbytes, initial_refcount, tenant)
+        return Tensor(array, device, segment=segment, segment_offset=_SLAB_HEADER_SIZE)
 
     def _note_peak_locked(self) -> None:
         """Peak tracks *total* live bytes — in-flight plus cache-pinned — so
@@ -336,6 +586,51 @@ class SharedMemoryPool:
         shared.numpy()[...] = tensor.numpy()
         return shared
 
+    def share_batch(
+        self,
+        batch: Mapping[str, Tensor],
+        *,
+        initial_refcount: int = 1,
+        tenant: Optional[str] = None,
+    ) -> Dict[str, Tensor]:
+        """Copy every tensor of one batch into a *single* shared segment.
+
+        Layout: the slab header, then each tensor at the next 64-byte-aligned
+        offset.  The returned tensors are views into the one segment, so
+        packing them (``BatchPayload.pack``) yields exactly one segment name
+        per batch — one producer hold, one retain per consumer, and one
+        cross-process attach per delivery instead of one per tensor.
+
+        Accounting charges the batch's logical tensor bytes (the refcounted
+        record and any tenant quota); the slab's size-class rounding only
+        shows up in ``free_bytes`` once the segment is recycled.
+        """
+        if not batch:
+            raise SharedMemoryError("cannot share an empty batch")
+        items = list(batch.items())
+        offsets: Dict[str, int] = {}
+        cursor = _SLAB_HEADER_SIZE
+        logical = 0
+        for key, tensor in items:
+            cursor = _align_up(cursor, _SLAB_ALIGN)
+            offsets[key] = cursor
+            nbytes = max(int(tensor.nbytes), 1)
+            cursor += nbytes
+            logical += nbytes
+        if tenant is not None:
+            with self._lock:
+                self._check_quota_locked(tenant, logical)
+        segment, generation, _reused = self._acquire_segment(cursor - _SLAB_HEADER_SIZE)
+        shared: Dict[str, Tensor] = {}
+        for key, tensor in items:
+            array = segment.ndarray(tensor.shape, tensor.dtype, offset=offsets[key])
+            array[...] = tensor.numpy()
+            shared[key] = Tensor(
+                array, tensor.device, segment=segment, segment_offset=offsets[key]
+            )
+        self._commit_segment(segment, generation, logical, initial_refcount, tenant)
+        return shared
+
     # -- refcounting -------------------------------------------------------------
     def _record_for_locked(self, name: str) -> _SegmentRecord:
         try:
@@ -353,7 +648,7 @@ class SharedMemoryPool:
             return record.refcount
 
     def release(self, name: str, count: int = 1) -> int:
-        """Drop ``count`` holds; frees the segment when the count reaches zero."""
+        """Drop ``count`` holds; recycles the segment when the count reaches zero."""
         if count <= 0:
             raise ValueError("release count must be positive")
         with self._lock:
@@ -368,7 +663,10 @@ class SharedMemoryPool:
         Returns the remaining refcount, or ``None`` when the segment is not
         (or no longer) registered.  This is the form concurrent code must
         use: a separate ``contains()`` check followed by ``release()`` races
-        with other releasers between the two lock acquisitions.
+        with other releasers between the two lock acquisitions.  The caller
+        must own the holds it drops — the segment then cannot have been
+        recycled under the same name, because recycling requires all holds
+        (including the caller's) to be gone first.
         """
         if count <= 0:
             raise ValueError("release count must be positive")
@@ -395,11 +693,14 @@ class SharedMemoryPool:
         return remaining
 
     def _free_record_locked(self, name: str, record: _SegmentRecord, *, cached: bool) -> None:
-        """Drop a dead record from the books and unlink its segment eagerly.
+        """Drop a dead record from the books and recycle its segment.
 
         ``cached`` names the bucket the segment's bytes are currently counted
         in (a segment sits in ``cached_bytes`` while it has cache holds,
-        ``bytes_in_flight`` otherwise).
+        ``bytes_in_flight`` otherwise).  The segment goes to the free list
+        (its name will be reused at a bumped generation) unless the hard cap
+        retires it; the tenant's charge ends here either way — free-listed
+        bytes belong to no tenant.
         """
         self._records.pop(name)
         if cached:
@@ -411,7 +712,7 @@ class SharedMemoryPool:
             remaining = self._tenant_bytes.get(tenant, 0) - record.nbytes
             self._tenant_bytes[tenant] = max(0, remaining)
         self._total_released += record.nbytes
-        record.segment.unlink()
+        self._pool_segment_locked(record.segment)
 
     # -- cache holds -----------------------------------------------------------------
     def retain_cached(self, name: str, count: int = 1) -> int:
@@ -423,7 +724,10 @@ class SharedMemoryPool:
         segment with at least one cache hold counts toward
         :attr:`cached_bytes` rather than :attr:`bytes_in_flight`, so the
         in-flight figure keeps meaning "staged batches consumers have not yet
-        acknowledged" even while a cache pins whole epochs.
+        acknowledged" even while a cache pins whole epochs.  A cache hold
+        also pins the segment's *generation*: recycling (and the generation
+        bump that would invalidate the cached payload's handles) can only
+        happen once the refcount — cache holds included — reaches zero.
         """
         if count <= 0:
             raise ValueError("retain count must be positive")
@@ -442,8 +746,8 @@ class SharedMemoryPool:
         When the last cache hold goes and other holds remain (consumers still
         reading a republished batch), the segment's bytes move back to
         ``bytes_in_flight``; when no holds remain at all the segment is
-        unlinked eagerly.  Returns the remaining refcount, or ``None`` when
-        the segment was not registered.
+        recycled.  Returns the remaining refcount, or ``None`` when the
+        segment was not registered.
         """
         if count <= 0:
             raise ValueError("release count must be positive")
@@ -478,6 +782,12 @@ class SharedMemoryPool:
         with self._lock:
             return self._record_for_locked(name).refcount
 
+    def generation(self, name: str) -> Optional[int]:
+        """Current generation of a live segment (``None`` when not live)."""
+        with self._lock:
+            record = self._records.get(name)
+            return record.generation if record is not None else None
+
     def contains(self, name: str) -> bool:
         with self._lock:
             if name in self._records:
@@ -488,15 +798,23 @@ class SharedMemoryPool:
 
     # -- cross-process attach ------------------------------------------------------
     def _open_attached_locked(self, name: str) -> Optional[SharedSegment]:
-        """Open (or fetch the cached handle of) a segment another process created."""
+        """Open (or fetch the cached handle of) a segment another process created.
+
+        A cache hit on a recycled name costs no syscall at all — the mapping
+        is shared memory, so the producer's header restamp (new generation,
+        new batch bytes) is already visible through it.
+        """
         segment = self._attached.get(name)
         if segment is not None:
+            self._attach_cache_hits += 1
             self._attached.move_to_end(name)
             return segment
         try:
             segment = SharedSegment(name, create=False, backend=self._backend)
         except SharedMemoryError:
             return None
+        self._attach_opens += 1
+        _MMAP_TOTAL.inc()
         self._attached[name] = segment
         self._trim_attached_locked()
         return segment
@@ -505,16 +823,23 @@ class SharedMemoryPool:
         """Close the oldest cached attach handles once the cache overflows.
 
         A handle whose tensor views are still alive cannot be closed
-        (BufferError); it is kept and retried on a later trim.
+        (BufferError); it is *skipped* — kept at its place in the cache and
+        retried on a later trim — and trimming continues with the next-oldest
+        candidate, so one pinned view cannot let the cache grow without
+        bound past ``attach_cache_limit``.
         """
-        while len(self._attached) > self._attach_cache_limit:
-            name, segment = next(iter(self._attached.items()))
-            del self._attached[name]
-            try:
-                segment.close()
-            except (BufferError, ValueError):
-                self._attached[name] = segment  # still viewed; now newest again
+        excess = len(self._attached) - self._attach_cache_limit
+        if excess <= 0:
+            return
+        for name in list(self._attached):
+            if excess <= 0:
                 break
+            try:
+                self._attached[name].close()
+            except (BufferError, ValueError):
+                continue  # still viewed; try the next-oldest instead
+            del self._attached[name]
+            excess -= 1
 
     def close_attached(self) -> None:
         """Close every cached attach handle that is no longer viewed."""
@@ -526,21 +851,86 @@ class SharedMemoryPool:
                     continue
                 del self._attached[name]
 
-    def attach(self, name: str, shape: Tuple[int, ...], dtype: DTypeLike,
-               device: DeviceLike = "cpu", offset: int = 0) -> Tensor:
-        """Rebuild a tensor view over an existing segment (consumer side)."""
+    def attach(
+        self,
+        name: str,
+        shape: Tuple[int, ...],
+        dtype: DTypeLike,
+        device: DeviceLike = "cpu",
+        offset: int = 0,
+        *,
+        generation: Optional[int] = None,
+    ) -> Tensor:
+        """Rebuild a tensor view over an existing segment (consumer side).
+
+        ``generation`` (from a payload handle) guards against the slab
+        allocator's name reuse: if the segment was recycled since the handle
+        was packed, the attach raises
+        :class:`~repro.tensor.errors.StaleHandleError` instead of silently
+        aliasing the new occupant's bytes.  Producer-side records are checked
+        against the pool's books; by-name attaches from another process are
+        checked against the segment's in-band slab header.
+        """
         with self._lock:
             record = self._records.get(name)
             if record is not None:
                 segment = record.segment
+                if generation is not None and record.generation != generation:
+                    raise StaleHandleError(
+                        f"stale handle for segment {name!r}: packed at generation "
+                        f"{generation}, segment was recycled and is now generation "
+                        f"{record.generation}"
+                    )
             elif self._attach_by_name:
                 segment = self._open_attached_locked(name)
                 if segment is None:
                     raise SharedMemoryError(f"unknown segment {name!r}")
+                if generation is not None:
+                    current = _read_slab_generation(segment)
+                    if current is None:
+                        raise SharedMemoryError(
+                            f"segment {name!r} carries no slab header; cannot "
+                            f"validate handle generation {generation}"
+                        )
+                    if current != generation:
+                        raise StaleHandleError(
+                            f"stale handle for segment {name!r}: packed at generation "
+                            f"{generation}, segment was recycled and is now generation "
+                            f"{current}"
+                        )
             else:
                 raise SharedMemoryError(f"unknown segment {name!r}")
         array = segment.ndarray(tuple(shape), as_dtype(dtype), offset=offset)
         return Tensor(array, device, segment=segment, segment_offset=offset)
+
+    # -- free-list maintenance ------------------------------------------------------
+    def trim_free(self, max_bytes: int = 0) -> int:
+        """Unlink free-listed segments (oldest first) down to ``max_bytes``.
+
+        Returns the number of bytes released.  ``trim_free()`` with the
+        default empties the free lists entirely — the explicit way to drain
+        ``free_bytes`` to zero without shutting the pool down.
+        """
+        released = 0
+        with self._lock:
+            while self._free_bytes > max_bytes and self._free_lists:
+                oldest_capacity = None
+                oldest_index = None
+                oldest: Optional[_FreeSegment] = None
+                for capacity, bucket in self._free_lists.items():
+                    for index, entry in enumerate(bucket):
+                        if oldest is None or entry.freed_at < oldest.freed_at:
+                            oldest_capacity, oldest_index, oldest = capacity, index, entry
+                if oldest is None:
+                    break
+                bucket = self._free_lists[oldest_capacity]
+                bucket.pop(oldest_index)
+                if not bucket:
+                    del self._free_lists[oldest_capacity]
+                self._free_bytes -= oldest.segment.size
+                released += oldest.segment.size
+                oldest.segment.unlink()
+        return released
 
     # -- accounting ----------------------------------------------------------------
     @property
@@ -559,6 +949,53 @@ class SharedMemoryPool:
         """High-water mark of total live bytes (in-flight + cache-pinned)."""
         with self._lock:
             return self._peak_bytes
+
+    @property
+    def free_bytes(self) -> int:
+        """Real memory retained on the slab free lists (capacity + headers)."""
+        with self._lock:
+            return self._free_bytes
+
+    @property
+    def free_segments(self) -> int:
+        with self._lock:
+            return sum(len(bucket) for bucket in self._free_lists.values())
+
+    @property
+    def segment_reuse_hits(self) -> int:
+        """Allocations served by recycling a free-listed segment."""
+        with self._lock:
+            return self._reuse_hits
+
+    @property
+    def segment_reuse_misses(self) -> int:
+        """Allocations that had to create a fresh segment."""
+        with self._lock:
+            return self._reuse_misses
+
+    @property
+    def segments_created(self) -> int:
+        """Total segments this pool ever created (``shm_open`` + ``mmap``)."""
+        with self._lock:
+            return self._segments_created
+
+    @property
+    def attach_cache_hits(self) -> int:
+        """By-name lookups served from the attach cache (no syscall)."""
+        with self._lock:
+            return self._attach_cache_hits
+
+    @property
+    def attach_opens(self) -> int:
+        """By-name attaches that had to open + map a segment."""
+        with self._lock:
+            return self._attach_opens
+
+    @property
+    def mmap_total(self) -> int:
+        """Mapping operations performed: segment creations + attach opens."""
+        with self._lock:
+            return self._segments_created + self._attach_opens
 
     @property
     def total_allocated_bytes(self) -> int:
@@ -584,14 +1021,21 @@ class SharedMemoryPool:
 
         Live segments stay tagged and keep decrementing the (now orphaned)
         usage counter as they free, so a non-zero return flags an eviction
-        that ran before the tenant's session finished draining.
+        that ran before the tenant's session finished draining.  Segments
+        the tenant already freed sit on the shared free lists untagged —
+        eviction does not (and must not) reclaim them from other tenants.
         """
         with self._lock:
             self._tenant_quotas.pop(tenant, None)
             return self._tenant_bytes.pop(tenant, 0)
 
     def tenant_bytes(self, tenant: str) -> int:
-        """Live bytes currently charged to ``tenant`` (in-flight + cached)."""
+        """Live bytes currently charged to ``tenant`` (in-flight + cached).
+
+        Free-listed bytes are never charged here: a segment's tenant charge
+        ends the moment its last hold is released, even while the slab keeps
+        the segment warm for the next allocation.
+        """
         with self._lock:
             return self._tenant_bytes.get(tenant, 0)
 
@@ -605,13 +1049,19 @@ class SharedMemoryPool:
         return TenantPool(self, tenant)
 
     def shutdown(self) -> None:
-        """Free every live segment regardless of refcount (end-of-run cleanup)."""
+        """Free every live and free-listed segment regardless of refcount
+        (end-of-run cleanup); ``free_bytes`` drains to zero here too."""
         with self._lock:
             for record in self._records.values():
                 record.segment.unlink()
             self._records.clear()
             self._bytes_in_flight = 0
             self._cached_bytes = 0
+            for bucket in self._free_lists.values():
+                for entry in bucket:
+                    entry.segment.unlink()
+            self._free_lists.clear()
+            self._free_bytes = 0
             for segment in self._attached.values():
                 try:
                     segment.close()
@@ -627,7 +1077,8 @@ class SharedMemoryPool:
                 f"SharedMemoryPool(backend={self._backend!r}, "
                 f"live={len(self._records)}, "
                 f"in_flight={self._bytes_in_flight}B, "
-                f"cached={self._cached_bytes}B, peak={self._peak_bytes}B)"
+                f"cached={self._cached_bytes}B, peak={self._peak_bytes}B, "
+                f"free={self._free_bytes}B)"
             )
 
 
@@ -640,7 +1091,9 @@ class TenantPool:
     :class:`~repro.tensor.errors.QuotaExceededError` past its quota, while
     every other operation — refcounting, cache holds, attach, accounting
     reads — passes straight through to the shared pool, so payloads staged by
-    one tenant stay reachable to every consumer of the same transport.
+    one tenant stay reachable to every consumer of the same transport.  The
+    slab free lists are likewise shared: a segment freed by one tenant is
+    uncharged from it immediately and may be recycled by any other.
 
     ``shutdown()`` is deliberately a no-op: the shared pool outlives any one
     tenant, and a tenant's bytes drain through ordinary releases when its
@@ -670,6 +1123,13 @@ class TenantPool:
     def share_tensor(self, tensor: Tensor, *, initial_refcount: int = 1) -> Tensor:
         return self._pool.share_tensor(
             tensor, initial_refcount=initial_refcount, tenant=self.tenant
+        )
+
+    def share_batch(
+        self, batch: Mapping[str, Tensor], *, initial_refcount: int = 1
+    ) -> Dict[str, Tensor]:
+        return self._pool.share_batch(
+            batch, initial_refcount=initial_refcount, tenant=self.tenant
         )
 
     @property

@@ -236,7 +236,12 @@ class TestMultiTenantServing:
             assert stats["datasets"]["a"]["state"] == "mounted"
             assert stats["datasets"]["a"]["quota_bytes"] == 1 << 20
             assert stats["datasets"]["b"]["state"] == "registered"
-            assert set(stats["pool"]) == {"bytes_in_flight", "cached_bytes", "peak_bytes"}
+            assert set(stats["pool"]) == {
+                "bytes_in_flight",
+                "cached_bytes",
+                "peak_bytes",
+                "free_bytes",
+            }
 
     def test_shutdown_drains_every_dataset_to_zero(self):
         broker = repro.broker("inproc://plane-drain")

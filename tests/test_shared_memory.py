@@ -123,7 +123,9 @@ class TestSharedMemoryPool:
     def test_attach_rebuilds_view_over_same_bytes(self, pool):
         tensor = pool.allocate_tensor((2, 3), "float32")
         tensor.numpy()[...] = 5.0
-        rebuilt = pool.attach(tensor.segment.name, (2, 3), "float32")
+        rebuilt = pool.attach(
+            tensor.segment.name, (2, 3), "float32", offset=tensor.segment_offset
+        )
         assert rebuilt.numpy().sum() == 30.0
         rebuilt.numpy()[0, 0] = 9.0
         assert tensor.numpy()[0, 0] == 9.0
